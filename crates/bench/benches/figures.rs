@@ -1,0 +1,51 @@
+//! Criterion wrappers around scaled-down versions of the paper's figure workloads.
+//!
+//! These are intentionally tiny (they run on every `cargo bench`); the real figure
+//! reproduction lives in the `fig*` binaries of this crate, which print full tables.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use triad_bench::experiments::{bench_options, synthetic_workload, SkewProfile};
+use triad_bench::runner::{run_experiment, ExperimentConfig, Scale};
+use triad_core::TriadConfig;
+use triad_workload::OperationMix;
+
+fn figure_point(c: &mut Criterion, name: &str, skew: SkewProfile, triad: TriadConfig) {
+    c.bench_function(name, |b| {
+        b.iter_batched(
+            || {
+                let workload = synthetic_workload(Scale::Quick, skew, OperationMix::write_intensive())
+                    .with_num_keys(4_000);
+                ExperimentConfig::new(name, bench_options(Scale::Quick, triad.clone()), workload)
+                    .with_threads(2)
+                    .with_ops_per_thread(2_500)
+            },
+            |config| run_experiment(&config).expect("experiment run"),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    // One skewed and one uniform point for each system: the core comparison behind
+    // Figures 9B/9C at a Criterion-friendly size.
+    figure_point(c, "fig9/skew1-99/rocksdb", SkewProfile::High, TriadConfig::baseline());
+    figure_point(c, "fig9/skew1-99/triad", SkewProfile::High, TriadConfig::all_enabled());
+    figure_point(c, "fig9/uniform/rocksdb", SkewProfile::None, TriadConfig::baseline());
+    figure_point(c, "fig9/uniform/triad", SkewProfile::None, TriadConfig::all_enabled());
+    // Figure 10 breakdown points under skew.
+    figure_point(c, "fig10/skew1-99/triad-mem", SkewProfile::High, TriadConfig::mem_only());
+    figure_point(c, "fig10/uniform/triad-disk", SkewProfile::None, TriadConfig::disk_only());
+    figure_point(c, "fig10/uniform/triad-log", SkewProfile::None, TriadConfig::log_only());
+}
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = figures;
+    config = configure();
+    targets = bench_figures
+}
+criterion_main!(figures);

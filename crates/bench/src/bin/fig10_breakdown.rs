@@ -1,0 +1,9 @@
+//! Regenerates Figure 10 (per-technique throughput breakdown).
+
+use triad_bench::experiments::fig10_breakdown;
+use triad_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    fig10_breakdown::run(scale).expect("figure 10 experiment failed");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 11 (write- and read-amplification breakdown per technique).
+
+use triad_bench::experiments::fig11_wa_ra;
+use triad_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    fig11_wa_ra::run_write_amplification(scale).expect("figure 11 WA breakdown failed");
+    fig11_wa_ra::run_read_amplification(scale).expect("figure 11 RA breakdown failed");
+}

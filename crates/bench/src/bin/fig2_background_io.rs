@@ -1,0 +1,9 @@
+//! Regenerates Figure 2 (background I/O impact). Pass `--full` for paper-scale runs.
+
+use triad_bench::experiments::fig2_background_io;
+use triad_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    fig2_background_io::run(scale).expect("figure 2 experiment failed");
+}

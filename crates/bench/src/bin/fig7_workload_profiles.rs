@@ -1,0 +1,9 @@
+//! Prints the production workload profiles substituted for Figures 7 and 8.
+
+use triad_bench::experiments::fig7_profiles;
+use triad_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    fig7_profiles::run(scale).expect("figure 7/8 report failed");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 9A (production workload throughput and write amplification).
+
+use triad_bench::experiments::fig9a_production;
+use triad_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    fig9a_production::run(scale).expect("figure 9A experiment failed");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 9B (throughput vs thread count for three skews and two mixes).
+
+use triad_bench::experiments::grid;
+use triad_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let points = grid::run_grid(scale).expect("figure 9B grid failed");
+    grid::print_throughput(&points);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 9C (write amplification for the same grid as Figure 9B).
+
+use triad_bench::experiments::grid;
+use triad_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let points = grid::run_grid(scale).expect("figure 9C grid failed");
+    grid::print_write_amplification(&points);
+}

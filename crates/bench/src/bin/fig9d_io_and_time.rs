@@ -1,0 +1,9 @@
+//! Regenerates Figure 9D (compacted GB and percentage of time spent in compaction).
+
+use triad_bench::experiments::fig9d_io_time;
+use triad_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    fig9d_io_time::run(scale).expect("figure 9D experiment failed");
+}

@@ -1,0 +1,9 @@
+//! Prints the headline TRIAD-vs-baseline summary (§5.2/§5.3 claims).
+
+use triad_bench::experiments::summary;
+use triad_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    summary::run(scale).expect("summary experiment failed");
+}

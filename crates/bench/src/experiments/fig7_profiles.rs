@@ -1,0 +1,64 @@
+//! Figures 7 and 8: the production workload profiles.
+//!
+//! We cannot publish the Nutanix traces, so this experiment prints the synthetic
+//! profiles the harness substitutes for them: the access-probability curve of each
+//! workload (Figure 7) and the update/key counts (Figure 8), so the reader can check
+//! the shapes against the paper.
+
+use triad_workload::{ProductionProfile, ProductionWorkload};
+
+use crate::report::{print_table, Table};
+use crate::runner::Scale;
+
+/// Scale-down factor applied to the paper's workload sizes.
+pub fn scale_down_factor(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 100,
+    }
+}
+
+/// Prints the probability curves (Figure 7) and size table (Figure 8).
+pub fn run(scale: Scale) -> triad_common::Result<(Table, Table)> {
+    let factor = scale_down_factor(scale);
+    let profiles: Vec<ProductionProfile> =
+        ProductionWorkload::all().iter().map(|w| ProductionProfile::new(*w, factor)).collect();
+
+    let mut fig7 = Table::new(&["key rank", "W1 p(access)", "W2 p(access)", "W3 p(access)", "W4 p(access)"]);
+    let max_keys = profiles.iter().map(|p| p.num_keys).max().unwrap_or(1);
+    let mut rank = 1u64;
+    while rank < max_keys {
+        let mut row = vec![format!("{rank}")];
+        for profile in &profiles {
+            if rank < profile.num_keys {
+                row.push(format!("{:.2e}", profile.access_probability(rank)));
+            } else {
+                row.push("-".to_string());
+            }
+        }
+        fig7.add_row(row);
+        rank *= 4;
+    }
+    print_table(
+        "Figure 7: production workload key popularity (synthetic substitution)",
+        &fig7,
+        "W2 and W4 are visibly more skewed than W1 and W3; probability decays smoothly with rank",
+    );
+
+    let mut fig8 = Table::new(&["workload", "updates", "keys", "updates/key", "skew family"]);
+    for profile in &profiles {
+        fig8.add_row(vec![
+            profile.workload.label().to_string(),
+            format!("{}", profile.num_updates),
+            format!("{}", profile.num_keys),
+            format!("{:.1}", profile.update_to_key_ratio()),
+            if profile.is_high_skew() { "more skew".into() } else { "less skew".into() },
+        ]);
+    }
+    print_table(
+        "Figure 8: production workload sizes (scaled)",
+        &fig8,
+        "W1=250M/40M, W2=75M/9M, W3=200M/30M, W4=75M/8M (updates/keys)",
+    );
+    Ok((fig7, fig8))
+}

@@ -1,0 +1,25 @@
+//! The TRIAD experiment harness.
+//!
+//! This crate regenerates every figure of the paper's evaluation (§5). Each figure
+//! has a dedicated binary (`fig2_background_io`, `fig9a_production`, …) built on a
+//! shared [`runner`] that opens a database with a given [`triad_core::Options`]
+//! configuration, drives it with a [`triad_workload`] workload from several client
+//! threads, and reports the metrics the paper uses: throughput (KOPS), write
+//! amplification, read amplification, compacted gigabytes and the share of time
+//! spent in background work.
+//!
+//! Absolute numbers differ from the paper (different hardware, scaled-down datasets,
+//! a from-scratch engine instead of RocksDB); what the harness is designed to
+//! reproduce is the *shape* of every figure — which system wins, by roughly what
+//! factor, and how the gap changes with skew, write intensity and thread count.
+//! `EXPERIMENTS.md` records the measured outcomes next to the paper's claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::{format_row, print_table, Table};
+pub use runner::{ExperimentConfig, ExperimentResult, Scale};

@@ -1,0 +1,120 @@
+//! Plain-text table reporting for the figure binaries.
+
+/// A simple column-aligned table.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; the number of cells should match the header count.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an aligned plain-text string.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, header) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(header.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints a titled table with an optional note about the paper expectation.
+pub fn print_table(title: &str, table: &Table, paper_note: &str) {
+    println!("\n== {title} ==");
+    table.print();
+    if !paper_note.is_empty() {
+        println!("paper: {paper_note}");
+    }
+}
+
+/// Formats a float with a fixed number of decimals, used by the figure binaries.
+pub fn format_row(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut table = Table::new(&["system", "kops", "wa"]);
+        assert!(table.is_empty());
+        table.add_row(vec!["RocksDB".into(), "120.0".into(), "8.1".into()]);
+        table.add_row(vec!["TRIAD".into(), "300.5".into(), "2.0".into()]);
+        let rendered = table.render();
+        assert_eq!(table.len(), 2);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("system") && lines[0].contains("kops"));
+        assert!(lines[2].starts_with("RocksDB"));
+        assert!(lines[3].starts_with("TRIAD"));
+        // Columns align: "kops" column starts at the same offset in every row.
+        let offset = lines[0].find("kops").unwrap();
+        assert_eq!(&lines[2][offset..offset + 5], "120.0");
+        assert_eq!(&lines[3][offset..offset + 5], "300.5");
+    }
+
+    #[test]
+    fn format_row_controls_decimals() {
+        assert_eq!(format_row(3.14159, 2), "3.14");
+        assert_eq!(format_row(10.0, 0), "10");
+    }
+
+    #[test]
+    fn ragged_rows_do_not_panic() {
+        let mut table = Table::new(&["a", "b"]);
+        table.add_row(vec!["1".into()]);
+        table.add_row(vec!["1".into(), "2".into(), "3".into()]);
+        let rendered = table.render();
+        assert!(rendered.contains('3'));
+    }
+}

@@ -1,0 +1,145 @@
+//! Error and result types shared across the TRIAD workspace.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// The unified error type for all TRIAD crates.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O operation failed.
+    Io {
+        /// Human-readable context describing what was being attempted.
+        context: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A stored record, block or file failed validation (bad checksum, bad magic,
+    /// truncated payload, ...).
+    Corruption {
+        /// Description of the corruption that was detected.
+        message: String,
+        /// The file in which the corruption was found, when known.
+        path: Option<PathBuf>,
+    },
+    /// The caller supplied an invalid argument (empty key, zero-sized memtable, ...).
+    InvalidArgument(String),
+    /// The requested key was not found.
+    ///
+    /// Most read APIs return `Ok(None)` instead; this variant exists for the few
+    /// internal call sites where absence is exceptional.
+    NotFound(String),
+    /// The database is shutting down and can no longer accept work.
+    ShuttingDown,
+    /// A background task panicked or was lost.
+    Background(String),
+    /// An injected failure from the [`failpoint`](crate::failpoint) facility.
+    Injected(String),
+}
+
+impl Error {
+    /// Wraps an [`io::Error`] with a short description of the operation.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        Error::Io { context: context.into(), source }
+    }
+
+    /// Creates a [`Error::Corruption`] without an associated path.
+    pub fn corruption(message: impl Into<String>) -> Self {
+        Error::Corruption { message: message.into(), path: None }
+    }
+
+    /// Creates a [`Error::Corruption`] tied to a specific file.
+    pub fn corruption_at(message: impl Into<String>, path: impl Into<PathBuf>) -> Self {
+        Error::Corruption { message: message.into(), path: Some(path.into()) }
+    }
+
+    /// Returns `true` if this error denotes on-disk corruption.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption { .. })
+    }
+
+    /// Returns `true` if this error denotes a missing key.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, Error::NotFound(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            Error::Corruption { message, path } => match path {
+                Some(p) => write!(f, "corruption in {}: {message}", p.display()),
+                None => write!(f, "corruption: {message}"),
+            },
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::ShuttingDown => write!(f, "database is shutting down"),
+            Error::Background(msg) => write!(f, "background task failure: {msg}"),
+            Error::Injected(msg) => write!(f, "injected failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(source: io::Error) -> Self {
+        Error::Io { context: "performing file I/O".to_string(), source }
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io_error_includes_context() {
+        let err = Error::io("appending to commit log", io::Error::new(io::ErrorKind::Other, "disk full"));
+        let text = err.to_string();
+        assert!(text.contains("appending to commit log"));
+        assert!(text.contains("disk full"));
+    }
+
+    #[test]
+    fn display_corruption_with_path() {
+        let err = Error::corruption_at("bad magic", "/tmp/000001.sst");
+        let text = err.to_string();
+        assert!(text.contains("000001.sst"));
+        assert!(text.contains("bad magic"));
+        assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn not_found_predicate() {
+        assert!(Error::NotFound("key".into()).is_not_found());
+        assert!(!Error::ShuttingDown.is_not_found());
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let err = Error::io("reading", io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        let source = std::error::Error::source(&err).expect("source");
+        assert!(source.to_string().contains("eof"));
+    }
+
+    #[test]
+    fn from_io_error_conversion() {
+        fn fails() -> Result<()> {
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "nope"))?;
+            Ok(())
+        }
+        let err = fails().unwrap_err();
+        assert!(matches!(err, Error::Io { .. }));
+    }
+}

@@ -1,0 +1,153 @@
+//! A minimal failure-injection facility.
+//!
+//! Recovery-oriented tests need to interrupt the engine at interesting moments —
+//! after the commit log append but before the memtable insert, halfway through a
+//! flush, between writing an SSTable and logging it in the manifest, and so on.
+//! Components call [`check`] with a well-known failpoint name at those moments; in
+//! production the call is a single relaxed atomic load, while tests arm specific
+//! failpoints with [`FailpointRegistry::arm`] to make the call site return an error.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{Error, Result};
+
+/// How an armed failpoint behaves when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailpointAction {
+    /// Return an [`Error::Injected`] from the call site.
+    ReturnError,
+    /// Return an error only for the first `n` hits, then behave normally.
+    ErrorTimes(u32),
+}
+
+#[derive(Debug)]
+struct Armed {
+    action: FailpointAction,
+    hits: u32,
+}
+
+/// A registry of named failpoints.
+///
+/// Cloning the registry is cheap; clones share the same underlying state.
+#[derive(Debug, Clone, Default)]
+pub struct FailpointRegistry {
+    // Fast path: when `false` no failpoint is armed and `check` avoids the mutex.
+    any_armed: Arc<AtomicBool>,
+    armed: Arc<Mutex<HashMap<String, Armed>>>,
+}
+
+impl FailpointRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `name` with the given action.
+    pub fn arm(&self, name: &str, action: FailpointAction) {
+        let mut armed = self.armed.lock().expect("failpoint lock poisoned");
+        armed.insert(name.to_string(), Armed { action, hits: 0 });
+        self.any_armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms `name`; does nothing if it was not armed.
+    pub fn disarm(&self, name: &str) {
+        let mut armed = self.armed.lock().expect("failpoint lock poisoned");
+        armed.remove(name);
+        if armed.is_empty() {
+            self.any_armed.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Disarms every failpoint.
+    pub fn clear(&self) {
+        let mut armed = self.armed.lock().expect("failpoint lock poisoned");
+        armed.clear();
+        self.any_armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Number of times `name` has been hit since it was armed.
+    pub fn hits(&self, name: &str) -> u32 {
+        let armed = self.armed.lock().expect("failpoint lock poisoned");
+        armed.get(name).map(|a| a.hits).unwrap_or(0)
+    }
+
+    /// Checks whether `name` should fail at this call site.
+    ///
+    /// Returns `Ok(())` when the failpoint is not armed (the common case) or when an
+    /// `ErrorTimes` budget has been exhausted.
+    pub fn check(&self, name: &str) -> Result<()> {
+        if !self.any_armed.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let mut armed = self.armed.lock().expect("failpoint lock poisoned");
+        let Some(entry) = armed.get_mut(name) else {
+            return Ok(());
+        };
+        entry.hits += 1;
+        match entry.action {
+            FailpointAction::ReturnError => Err(Error::Injected(name.to_string())),
+            FailpointAction::ErrorTimes(n) => {
+                if entry.hits <= n {
+                    Err(Error::Injected(name.to_string()))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_failpoints_do_nothing() {
+        let registry = FailpointRegistry::new();
+        assert!(registry.check("flush.before_table_write").is_ok());
+        assert_eq!(registry.hits("flush.before_table_write"), 0);
+    }
+
+    #[test]
+    fn armed_failpoint_returns_injected_error() {
+        let registry = FailpointRegistry::new();
+        registry.arm("wal.append", FailpointAction::ReturnError);
+        let err = registry.check("wal.append").unwrap_err();
+        assert!(matches!(err, Error::Injected(name) if name == "wal.append"));
+        assert_eq!(registry.hits("wal.append"), 1);
+        // Other failpoints are unaffected.
+        assert!(registry.check("flush.before_table_write").is_ok());
+    }
+
+    #[test]
+    fn error_times_budget_is_respected() {
+        let registry = FailpointRegistry::new();
+        registry.arm("compaction.pick", FailpointAction::ErrorTimes(2));
+        assert!(registry.check("compaction.pick").is_err());
+        assert!(registry.check("compaction.pick").is_err());
+        assert!(registry.check("compaction.pick").is_ok());
+        assert_eq!(registry.hits("compaction.pick"), 3);
+    }
+
+    #[test]
+    fn disarm_and_clear() {
+        let registry = FailpointRegistry::new();
+        registry.arm("a", FailpointAction::ReturnError);
+        registry.arm("b", FailpointAction::ReturnError);
+        registry.disarm("a");
+        assert!(registry.check("a").is_ok());
+        assert!(registry.check("b").is_err());
+        registry.clear();
+        assert!(registry.check("b").is_ok());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let registry = FailpointRegistry::new();
+        let clone = registry.clone();
+        registry.arm("shared", FailpointAction::ReturnError);
+        assert!(clone.check("shared").is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared building blocks for the TRIAD log-structured key-value store.
+//!
+//! This crate holds the pieces that every other crate in the workspace needs:
+//!
+//! * [`error`] — the common [`Error`](error::Error) / [`Result`](error::Result) types.
+//! * [`types`] — user keys, sequence numbers, value kinds and the internal key
+//!   encoding used by SSTables and the commit log.
+//! * [`varint`] — LEB128-style variable-length integer encoding.
+//! * [`checksum`] — a software CRC32C implementation used to frame on-disk records.
+//! * [`stats`] — the atomic statistics registry from which write amplification,
+//!   read amplification and background-I/O time are derived.
+//! * [`failpoint`] — a tiny failure-injection facility used by recovery tests.
+//!
+//! Nothing in this crate performs I/O or spawns threads; it is deliberately the
+//! leaf of the dependency graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod error;
+pub mod failpoint;
+pub mod stats;
+pub mod types;
+pub mod varint;
+
+pub use error::{Error, Result};
+pub use stats::{StatSnapshot, Stats};
+pub use types::{InternalKey, SeqNo, ValueKind};

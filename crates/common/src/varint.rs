@@ -1,0 +1,174 @@
+//! Variable-length integer encoding (unsigned LEB128).
+//!
+//! Used throughout the on-disk formats (commit log records, SSTable blocks,
+//! manifest edits) to keep small lengths small.
+
+use crate::error::{Error, Result};
+
+/// Maximum number of bytes a varint-encoded `u64` can occupy.
+pub const MAX_VARINT64_LEN: usize = 10;
+
+/// Appends `value` to `out` using unsigned LEB128 encoding.
+pub fn encode_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a `u32` to `out` using unsigned LEB128 encoding.
+pub fn encode_u32(out: &mut Vec<u8>, value: u32) {
+    encode_u64(out, u64::from(value));
+}
+
+/// Decodes a varint `u64` from the front of `input`.
+///
+/// Returns the decoded value and the number of bytes consumed.
+pub fn decode_u64(input: &[u8]) -> Result<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (idx, byte) in input.iter().enumerate() {
+        if idx >= MAX_VARINT64_LEN {
+            return Err(Error::corruption("varint longer than 10 bytes"));
+        }
+        let part = u64::from(byte & 0x7f);
+        value |= part
+            .checked_shl(shift)
+            .ok_or_else(|| Error::corruption("varint overflows u64"))?;
+        if byte & 0x80 == 0 {
+            return Ok((value, idx + 1));
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(Error::corruption("varint shift overflows u64"));
+        }
+    }
+    Err(Error::corruption("truncated varint"))
+}
+
+/// Decodes a varint `u32` from the front of `input`.
+pub fn decode_u32(input: &[u8]) -> Result<(u32, usize)> {
+    let (value, read) = decode_u64(input)?;
+    let value = u32::try_from(value).map_err(|_| Error::corruption("varint does not fit in u32"))?;
+    Ok((value, read))
+}
+
+/// Appends a length-prefixed byte slice to `out`.
+pub fn encode_length_prefixed(out: &mut Vec<u8>, bytes: &[u8]) {
+    encode_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Decodes a length-prefixed byte slice from the front of `input`.
+///
+/// Returns the slice and the total number of bytes consumed (prefix + payload).
+pub fn decode_length_prefixed(input: &[u8]) -> Result<(&[u8], usize)> {
+    let (len, prefix) = decode_u64(input)?;
+    let len = usize::try_from(len).map_err(|_| Error::corruption("length prefix overflows usize"))?;
+    let end = prefix
+        .checked_add(len)
+        .ok_or_else(|| Error::corruption("length prefix overflows usize"))?;
+    if input.len() < end {
+        return Err(Error::corruption("length-prefixed slice is truncated"));
+    }
+    Ok((&input[prefix..end], end))
+}
+
+/// Returns the number of bytes [`encode_u64`] would emit for `value`.
+pub fn encoded_len_u64(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize + 6) / 7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_small_values() {
+        for value in 0u64..1000 {
+            let mut buf = Vec::new();
+            encode_u64(&mut buf, value);
+            assert_eq!(buf.len(), encoded_len_u64(value));
+            let (decoded, read) = decode_u64(&buf).expect("decodes");
+            assert_eq!(decoded, value);
+            assert_eq!(read, buf.len());
+        }
+    }
+
+    #[test]
+    fn round_trip_boundary_values() {
+        for value in [
+            0,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            encode_u64(&mut buf, value);
+            let (decoded, read) = decode_u64(&buf).expect("decodes");
+            assert_eq!(decoded, value);
+            assert_eq!(read, buf.len());
+            assert_eq!(buf.len(), encoded_len_u64(value));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(decode_u64(&buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_overlong_encoding() {
+        let overlong = [0x80u8; 11];
+        assert!(decode_u64(&overlong).is_err());
+    }
+
+    #[test]
+    fn u32_round_trip_and_range_check() {
+        let mut buf = Vec::new();
+        encode_u32(&mut buf, u32::MAX);
+        let (value, _) = decode_u32(&buf).expect("decodes");
+        assert_eq!(value, u32::MAX);
+
+        let mut too_big = Vec::new();
+        encode_u64(&mut too_big, u64::from(u32::MAX) + 1);
+        assert!(decode_u32(&too_big).is_err());
+    }
+
+    #[test]
+    fn length_prefixed_round_trip() {
+        let payloads: [&[u8]; 4] = [b"", b"x", b"hello world", &[0xffu8; 300]];
+        for payload in payloads {
+            let mut buf = Vec::new();
+            encode_length_prefixed(&mut buf, payload);
+            let (decoded, consumed) = decode_length_prefixed(&buf).expect("decodes");
+            assert_eq!(decoded, payload);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn length_prefixed_rejects_truncated_payload() {
+        let mut buf = Vec::new();
+        encode_length_prefixed(&mut buf, b"hello");
+        buf.truncate(buf.len() - 1);
+        assert!(decode_length_prefixed(&buf).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Write batches and per-write options.
+
+use triad_common::types::ValueKind;
+
+/// Options applied to an individual write.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteOptions {
+    /// Force an `fsync` of the commit log after this write, regardless of the
+    /// engine-wide [`SyncMode`](crate::SyncMode).
+    pub sync: bool,
+}
+
+/// A single operation inside a [`WriteBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BatchOp {
+    pub kind: ValueKind,
+    pub key: Vec<u8>,
+    pub value: Vec<u8>,
+}
+
+/// A group of writes applied together under one commit-log acquisition.
+///
+/// Batching amortises the per-write locking and log-framing overhead; all operations
+/// in the batch receive consecutive sequence numbers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    pub(crate) ops: Vec<BatchOp>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a put.
+    pub fn put(&mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> &mut Self {
+        self.ops.push(BatchOp { kind: ValueKind::Put, key: key.into(), value: value.into() });
+        self
+    }
+
+    /// Queues a delete.
+    pub fn delete(&mut self, key: impl Into<Vec<u8>>) -> &mut Self {
+        self.ops.push(BatchOp { kind: ValueKind::Delete, key: key.into(), value: Vec::new() });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Removes every queued operation.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Total bytes of keys and values queued.
+    pub fn approximate_size(&self) -> usize {
+        self.ops.iter().map(|op| op.key.len() + op.value.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_accumulates_operations_in_order() {
+        let mut batch = WriteBatch::new();
+        assert!(batch.is_empty());
+        batch.put(b"a".to_vec(), b"1".to_vec()).delete(b"b".to_vec()).put(b"c".to_vec(), b"3".to_vec());
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.ops[0].kind, ValueKind::Put);
+        assert_eq!(batch.ops[1].kind, ValueKind::Delete);
+        assert_eq!(batch.ops[2].key, b"c");
+        assert_eq!(batch.approximate_size(), 1 + 1 + 1 + 1 + 1);
+        batch.clear();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn write_options_default_to_no_sync() {
+        assert!(!WriteOptions::default().sync);
+    }
+}

@@ -1,0 +1,266 @@
+//! Leveled compaction, including TRIAD-DISK's deferred L0→L1 compaction.
+//!
+//! Compaction keeps the tree shaped: L0 is bounded by file count, deeper levels by
+//! total size. The baseline triggers an L0→L1 compaction as soon as
+//! `l0_compaction_trigger` files accumulate. TRIAD-DISK (paper §4.2) instead
+//! estimates, from the per-file HyperLogLog sketches, how many duplicate keys the
+//! candidate files share (the *overlap ratio*) and defers the compaction until the
+//! ratio reaches a threshold — unless L0 has hit its hard file cap.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use triad_common::{Error, Result};
+use triad_hll::overlap_ratio;
+use triad_sstable::{
+    sst_file_path, DedupIterator, EntryIter, MergingIterator, TableBuilder, TableBuilderOptions, TableKind,
+};
+
+use crate::db::DbInner;
+use crate::version::{FileMetadata, Version, VersionEdit};
+
+/// A picked compaction: the input files and the level they compact into.
+#[derive(Debug)]
+pub(crate) struct CompactionJob {
+    /// Level the compaction starts from.
+    pub source_level: usize,
+    /// Files taken from `source_level`.
+    pub inputs_lower: Vec<Arc<FileMetadata>>,
+    /// Overlapping files taken from `source_level + 1`.
+    pub inputs_upper: Vec<Arc<FileMetadata>>,
+}
+
+impl CompactionJob {
+    /// The level the outputs are written to.
+    pub fn target_level(&self) -> usize {
+        self.source_level + 1
+    }
+
+    /// Every input file, lower level first.
+    pub fn all_inputs(&self) -> impl Iterator<Item = &Arc<FileMetadata>> {
+        self.inputs_lower.iter().chain(self.inputs_upper.iter())
+    }
+}
+
+impl DbInner {
+    /// Returns `true` if the current version needs compaction work.
+    pub(crate) fn compaction_needed(&self) -> bool {
+        let version = self.current_version.read().clone();
+        if self.l0_should_compact(&version) {
+            return true;
+        }
+        for level in 1..version.num_levels().saturating_sub(1) {
+            if version.level_size(level) > self.options.level_target_size(level) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Decides whether L0 should be compacted right now, applying TRIAD-DISK's
+    /// deferral when enabled.
+    fn l0_should_compact(&self, version: &Version) -> bool {
+        let l0_count = version.num_files(0);
+        if l0_count == 0 {
+            return false;
+        }
+        let triad = &self.options.triad;
+        if !triad.disk_enabled {
+            return l0_count >= self.options.l0_compaction_trigger;
+        }
+        if l0_count < self.options.l0_compaction_trigger {
+            return false;
+        }
+        // Hard cap: never let L0 grow past max_l0_files.
+        if l0_count >= triad.max_l0_files {
+            return true;
+        }
+        match self.l0_overlap_ratio(version) {
+            Ok(estimate) => {
+                if estimate.ratio >= triad.overlap_ratio_threshold {
+                    true
+                } else {
+                    self.stats.add_compactions_deferred(1);
+                    false
+                }
+            }
+            // If the sketches are unusable for some reason, fall back to the baseline.
+            Err(_) => l0_count >= self.options.l0_compaction_trigger,
+        }
+    }
+
+    /// Computes the overlap ratio over all L0 files plus the L1 files their combined
+    /// key range overlaps (the configuration shown in the paper's Figure 5).
+    pub(crate) fn l0_overlap_ratio(&self, version: &Version) -> Result<triad_hll::OverlapEstimate> {
+        let l0 = &version.levels[0];
+        if l0.is_empty() {
+            return overlap_ratio(std::iter::empty());
+        }
+        let start = l0.iter().map(|f| f.smallest.user_key.clone()).min().unwrap_or_default();
+        let end = l0.iter().map(|f| f.largest.user_key.clone()).max().unwrap_or_default();
+        let l1 = version.overlapping_files(1, &start, &end);
+        let files: Vec<(&triad_hll::HyperLogLog, u64)> = l0
+            .iter()
+            .map(|f| (&f.hll, f.num_entries))
+            .chain(l1.iter().map(|f| (&f.hll, f.num_entries)))
+            .collect();
+        overlap_ratio(files)
+    }
+
+    /// Picks and runs at most one compaction. Returns `true` if one ran.
+    pub(crate) fn maybe_compact(&self) -> Result<bool> {
+        let version = self.current_version.read().clone();
+        let job = if self.l0_should_compact(&version) {
+            Some(self.pick_l0_compaction(&version))
+        } else {
+            self.pick_size_compaction(&version)
+        };
+        match job {
+            Some(job) => {
+                self.run_compaction(&version, job)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn pick_l0_compaction(&self, version: &Version) -> CompactionJob {
+        let inputs_lower: Vec<Arc<FileMetadata>> = version.levels[0].clone();
+        let start = inputs_lower.iter().map(|f| f.smallest.user_key.clone()).min().unwrap_or_default();
+        let end = inputs_lower.iter().map(|f| f.largest.user_key.clone()).max().unwrap_or_default();
+        let inputs_upper = version.overlapping_files(1, &start, &end);
+        CompactionJob { source_level: 0, inputs_lower, inputs_upper }
+    }
+
+    fn pick_size_compaction(&self, version: &Version) -> Option<CompactionJob> {
+        for level in 1..version.num_levels().saturating_sub(1) {
+            if version.level_size(level) <= self.options.level_target_size(level) {
+                continue;
+            }
+            // Pick the largest file on the level; a simple, deterministic heuristic.
+            let file = version.levels[level].iter().max_by_key(|f| f.size)?.clone();
+            let inputs_upper = version.overlapping_files(
+                level + 1,
+                &file.smallest.user_key,
+                &file.largest.user_key,
+            );
+            return Some(CompactionJob { source_level: level, inputs_lower: vec![file], inputs_upper });
+        }
+        None
+    }
+
+    /// Runs `job`: merges the inputs, writes the outputs, applies the version edit
+    /// and removes the obsolete files.
+    pub(crate) fn run_compaction(&self, version: &Version, job: CompactionJob) -> Result<()> {
+        let started = Instant::now();
+        self.failpoints.check("compaction.start")?;
+        let target_level = job.target_level();
+        if target_level >= version.num_levels() {
+            return Err(Error::InvalidArgument(format!(
+                "compaction target level {target_level} exceeds configured levels"
+            )));
+        }
+
+        // Sources must be ordered newest-first so the dedup keeps the latest version:
+        // L0 files are already newest-first; upper-level files hold strictly older
+        // data for any overlapping key.
+        let mut sources: Vec<EntryIter> = Vec::new();
+        let mut bytes_read = 0u64;
+        let mut input_entries = 0u64;
+        for file in job.all_inputs() {
+            let table = self.table_cache.get_or_open(file)?;
+            bytes_read += file.size;
+            input_entries += file.num_entries;
+            sources.push(table.entries()?);
+        }
+        let merged = MergingIterator::new(sources)?;
+        // Tombstones can be dropped only when nothing older can exist below the
+        // output level.
+        let drop_tombstones = ((target_level + 1)..version.num_levels()).all(|l| version.num_files(l) == 0);
+        let mut dedup = DedupIterator::new(Box::new(merged), drop_tombstones);
+
+        // Write the merged stream into new tables on the target level, splitting at
+        // the configured file size.
+        let table_options = TableBuilderOptions {
+            block_size: self.options.block_size,
+            bloom_bits_per_key: self.options.bloom_bits_per_key,
+        };
+        let mut outputs: Vec<FileMetadata> = Vec::new();
+        let mut bytes_written = 0u64;
+        let mut builder: Option<(u64, TableBuilder)> = None;
+        for entry in &mut dedup {
+            let entry = entry?;
+            if builder.is_none() {
+                let file_id = self.versions.lock().allocate_file_number();
+                let path = sst_file_path(&self.path, file_id);
+                builder = Some((file_id, TableBuilder::create(&path, table_options)?));
+            }
+            let (_, active) = builder.as_mut().expect("just created");
+            active.add_entry(&entry)?;
+            if active.estimated_size() >= self.options.target_file_size {
+                let (file_id, finished) = builder.take().expect("active builder");
+                let (props, size) = finished.finish()?;
+                bytes_written += size;
+                outputs.push(Self::output_metadata(file_id, target_level as u32, props, size));
+            }
+        }
+        if let Some((file_id, finished)) = builder.take() {
+            if finished.num_entries() > 0 {
+                let (props, size) = finished.finish()?;
+                bytes_written += size;
+                outputs.push(Self::output_metadata(file_id, target_level as u32, props, size));
+            } else {
+                finished.abandon()?;
+            }
+        }
+
+        // Warm the table cache so readers of the next version never race with the
+        // file system.
+        for output in &outputs {
+            self.table_cache.get_or_open(output)?;
+        }
+
+        self.failpoints.check("compaction.before_manifest")?;
+        let mut edit = VersionEdit::default();
+        for file in job.all_inputs() {
+            edit.deleted.push((file.level, file.id));
+        }
+        edit.added.extend(outputs.iter().cloned());
+        {
+            let mut versions = self.versions.lock();
+            let new_version = versions.log_and_apply(edit)?;
+            *self.current_version.write() = new_version;
+        }
+
+        // Remove the input files (and any commit logs they kept alive).
+        let inputs: Vec<FileMetadata> = job.all_inputs().map(|f| f.as_ref().clone()).collect();
+        self.delete_obsolete_files(&inputs);
+
+        self.stats.add_compaction_count(1);
+        self.stats.add_bytes_compacted_read(bytes_read);
+        self.stats.add_bytes_compacted_written(bytes_written);
+        self.stats.add_entries_compacted(input_entries);
+        self.stats.add_entries_dropped(dedup.dropped());
+        self.stats.add_compaction_duration(started.elapsed());
+        Ok(())
+    }
+
+    fn output_metadata(
+        file_id: u64,
+        level: u32,
+        props: triad_sstable::TableProperties,
+        size: u64,
+    ) -> FileMetadata {
+        FileMetadata {
+            id: file_id,
+            level,
+            kind: TableKind::Block,
+            size,
+            num_entries: props.num_entries,
+            smallest: props.smallest.clone().expect("non-empty output"),
+            largest: props.largest.clone().expect("non-empty output"),
+            hll: props.hll.clone(),
+            backing_log_id: None,
+        }
+    }
+}

@@ -1,0 +1,665 @@
+//! The database engine: write path, read path, recovery and background scheduling.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use triad_common::failpoint::FailpointRegistry;
+use triad_common::types::{Entry, SeqNo, ValueKind};
+use triad_common::{Error, Result, StatSnapshot, Stats};
+use triad_memtable::{LogPosition, Memtable};
+use triad_sstable::{sst_file_path, TableBuilder, TableBuilderOptions};
+use triad_wal::{log_file_path, parse_log_file_name, LogReader, LogRecord, LogWriter};
+
+use crate::batch::{BatchOp, WriteBatch, WriteOptions};
+use crate::iterator::DbIterator;
+use crate::manifest::VersionSet;
+use crate::options::{BackgroundIoMode, Options, SyncMode};
+use crate::table_cache::TableCache;
+use crate::version::{FileMetadata, Version, VersionEdit};
+
+/// The state protected by the write mutex: the active commit log.
+#[derive(Debug)]
+pub(crate) struct WalState {
+    pub(crate) writer: LogWriter,
+    pub(crate) id: u64,
+    pub(crate) writes_since_sync: u64,
+}
+
+/// A memory component that has been sealed and is waiting to be flushed.
+#[derive(Debug)]
+pub(crate) struct ImmutableMemtable {
+    pub(crate) memtable: Arc<Memtable>,
+    /// The commit log that was active while this memtable absorbed writes.
+    pub(crate) wal_id: u64,
+}
+
+/// Messages sent to the background worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkItem {
+    /// One or more immutable memtables are waiting to be flushed.
+    Flush,
+    /// Re-evaluate whether a compaction is needed.
+    Compact,
+    /// Stop the worker.
+    Shutdown,
+}
+
+/// Shared engine state.
+pub(crate) struct DbInner {
+    pub(crate) path: PathBuf,
+    pub(crate) options: Options,
+    pub(crate) stats: Arc<Stats>,
+    pub(crate) failpoints: FailpointRegistry,
+    /// Serialises writers and guards the active commit log.
+    pub(crate) wal: Mutex<WalState>,
+    /// The active memory component.
+    pub(crate) mem: RwLock<Arc<Memtable>>,
+    /// Sealed memory components awaiting flush, oldest first.
+    pub(crate) imm: RwLock<Vec<Arc<ImmutableMemtable>>>,
+    /// The version set (manifest); also the allocator of file numbers.
+    pub(crate) versions: Mutex<VersionSet>,
+    /// Cached copy of the current version for the read path.
+    pub(crate) current_version: RwLock<Arc<Version>>,
+    pub(crate) table_cache: TableCache,
+    /// Largest sequence number whose effects are visible to readers.
+    pub(crate) last_seqno: AtomicU64,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) work_tx: Sender<WorkItem>,
+}
+
+impl std::fmt::Debug for DbInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbInner").field("path", &self.path).finish()
+    }
+}
+
+/// A TRIAD (or baseline) LSM key-value store.
+///
+/// `Db` is cheap to clone-by-reference via [`Arc`]; all methods take `&self` and are
+/// safe to call from multiple threads.
+#[derive(Debug)]
+pub struct Db {
+    inner: Arc<DbInner>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Db {
+    /// Opens (creating or recovering) the database at `path`.
+    pub fn open(path: impl AsRef<Path>, options: Options) -> Result<Db> {
+        Self::open_with_failpoints(path, options, FailpointRegistry::new())
+    }
+
+    /// Opens the database with an explicit failpoint registry (used by recovery tests).
+    pub fn open_with_failpoints(
+        path: impl AsRef<Path>,
+        options: Options,
+        failpoints: FailpointRegistry,
+    ) -> Result<Db> {
+        options.validate()?;
+        let path = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&path)
+            .map_err(|e| Error::io(format!("creating database directory {}", path.display()), e))?;
+
+        let stats = Arc::new(Stats::new());
+        let mut versions = VersionSet::recover(&path, options.num_levels)?;
+        let mut last_seqno = versions.last_seqno();
+
+        // Replay commit logs that are not owned by a live CL-SSTable: each such log
+        // holds updates that never reached an SSTable. Each log becomes one L0 table,
+        // in log-id order, so newer logs shadow older ones.
+        let live_backing_logs = versions.current().live_backing_logs();
+        let mut stray_logs: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&path).map_err(|e| Error::io("listing database directory", e))? {
+            let entry = entry.map_err(|e| Error::io("listing database directory", e))?;
+            if let Some(id) = parse_log_file_name(&entry.file_name().to_string_lossy()) {
+                if !live_backing_logs.contains(&id) {
+                    stray_logs.push(id);
+                }
+            }
+        }
+        stray_logs.sort_unstable();
+        for log_id in &stray_logs {
+            last_seqno = last_seqno.max(Self::replay_log(&path, *log_id, &mut versions, &options)?);
+        }
+        for log_id in &stray_logs {
+            let _ = std::fs::remove_file(log_file_path(&path, *log_id));
+        }
+        versions.set_last_seqno(last_seqno);
+
+        // Fresh commit log and memtable for new writes.
+        let wal_id = versions.allocate_file_number();
+        let wal_writer = LogWriter::create(log_file_path(&path, wal_id), wal_id)?;
+        let current_version = versions.current();
+
+        let (work_tx, work_rx) = crossbeam_channel::unbounded();
+        let inner = Arc::new(DbInner {
+            table_cache: TableCache::new(path.clone(), Arc::clone(&stats)),
+            path,
+            options,
+            stats,
+            failpoints,
+            wal: Mutex::new(WalState { writer: wal_writer, id: wal_id, writes_since_sync: 0 }),
+            mem: RwLock::new(Arc::new(Memtable::new())),
+            imm: RwLock::new(Vec::new()),
+            versions: Mutex::new(versions),
+            current_version: RwLock::new(current_version),
+            last_seqno: AtomicU64::new(last_seqno),
+            shutdown: AtomicBool::new(false),
+            work_tx,
+        });
+
+        let worker = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("triad-background".to_string())
+                .spawn(move || background_worker(inner, work_rx))
+                .map_err(|e| Error::io("spawning background worker", e))?
+        };
+
+        Ok(Db { inner, worker: Mutex::new(Some(worker)) })
+    }
+
+    /// Rebuilds one stray commit log into an L0 SSTable during recovery.
+    ///
+    /// Returns the largest sequence number seen in the log.
+    fn replay_log(path: &Path, log_id: u64, versions: &mut VersionSet, options: &Options) -> Result<SeqNo> {
+        let log_path = log_file_path(path, log_id);
+        let reader = LogReader::open(&log_path)?;
+        let (records, _tail) = reader.recover()?;
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let mut latest: std::collections::BTreeMap<Vec<u8>, (SeqNo, ValueKind, Vec<u8>)> =
+            std::collections::BTreeMap::new();
+        let mut max_seqno = 0;
+        for recovered in records {
+            let record = recovered.record;
+            max_seqno = max_seqno.max(record.seqno);
+            match latest.get(&record.key) {
+                Some((existing_seqno, _, _)) if *existing_seqno >= record.seqno => {}
+                _ => {
+                    latest.insert(record.key, (record.seqno, record.kind, record.value));
+                }
+            }
+        }
+        let file_id = versions.allocate_file_number();
+        let sst_path = sst_file_path(path, file_id);
+        let table_options =
+            TableBuilderOptions { block_size: options.block_size, bloom_bits_per_key: options.bloom_bits_per_key };
+        let mut builder = TableBuilder::create(&sst_path, table_options)?;
+        for (key, (seqno, kind, value)) in &latest {
+            let ikey = triad_common::types::InternalKey::new(key.clone(), *seqno, *kind);
+            builder.add(&ikey, value)?;
+        }
+        let (props, size) = builder.finish()?;
+        let file = FileMetadata {
+            id: file_id,
+            level: 0,
+            kind: triad_sstable::TableKind::Block,
+            size,
+            num_entries: props.num_entries,
+            smallest: props.smallest.clone().expect("non-empty table"),
+            largest: props.largest.clone().expect("non-empty table"),
+            hll: props.hll.clone(),
+            backing_log_id: None,
+        };
+        versions.log_and_apply(VersionEdit {
+            added: vec![file],
+            last_seqno: Some(max_seqno),
+            ..Default::default()
+        })?;
+        Ok(max_seqno)
+    }
+
+    /// Inserts or updates `key`.
+    pub fn put(&self, key: impl AsRef<[u8]>, value: impl AsRef<[u8]>) -> Result<()> {
+        self.put_opt(key, value, WriteOptions::default())
+    }
+
+    /// Inserts or updates `key` with explicit write options.
+    pub fn put_opt(&self, key: impl AsRef<[u8]>, value: impl AsRef<[u8]>, opts: WriteOptions) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key.as_ref().to_vec(), value.as_ref().to_vec());
+        self.write(batch, opts)
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&self, key: impl AsRef<[u8]>) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key.as_ref().to_vec());
+        self.write(batch, WriteOptions::default())
+    }
+
+    /// Applies a [`WriteBatch`] atomically with respect to the commit log.
+    pub fn write(&self, batch: WriteBatch, opts: WriteOptions) -> Result<()> {
+        self.inner.write_batch(batch, opts)
+    }
+
+    /// Returns the current value of `key`, or `None` if it does not exist (or was
+    /// deleted).
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Vec<u8>>> {
+        self.inner.get(key.as_ref())
+    }
+
+    /// Returns an iterator over every live key/value pair in key order.
+    pub fn scan(&self) -> Result<DbIterator> {
+        self.scan_range(None, None)
+    }
+
+    /// Returns an iterator over the live key/value pairs with user keys in
+    /// `[start, end)`; either bound may be omitted.
+    pub fn scan_range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<DbIterator> {
+        // Building the iterator opens every table of the current version; retry if a
+        // concurrent compaction removed a file out from under a stale version.
+        let mut attempts = 0;
+        loop {
+            match DbIterator::with_bounds(
+                &self.inner,
+                start.map(|s| s.to_vec()),
+                end.map(|e| e.to_vec()),
+            ) {
+                Err(e) if DbInner::is_missing_file_error(&e) && attempts < 3 => {
+                    attempts += 1;
+                    continue;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Forces the active memtable to be sealed and flushed, then waits for every
+    /// pending flush to complete. Primarily useful in tests and benchmarks.
+    pub fn flush(&self) -> Result<()> {
+        self.inner.force_rotate()?;
+        self.inner.wait_for_pending_flushes()
+    }
+
+    /// Blocks until no compaction work is pending (used by benchmarks to measure
+    /// steady-state sizes).
+    pub fn wait_for_compactions(&self) -> Result<()> {
+        self.inner.wait_for_pending_flushes()?;
+        loop {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            if !self.inner.compaction_needed() {
+                return Ok(());
+            }
+            let _ = self.inner.work_tx.send(WorkItem::Compact);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
+    /// A snapshot of the engine statistics.
+    pub fn stats(&self) -> StatSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// The shared statistics registry (counters keep updating as the engine runs).
+    pub fn stats_handle(&self) -> Arc<Stats> {
+        Arc::clone(&self.inner.stats)
+    }
+
+    /// The engine options this database was opened with.
+    pub fn options(&self) -> &Options {
+        &self.inner.options
+    }
+
+    /// The database directory.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// Number of files per level in the current version (index = level).
+    pub fn files_per_level(&self) -> Vec<usize> {
+        let version = self.inner.current_version.read().clone();
+        (0..version.num_levels()).map(|l| version.num_files(l)).collect()
+    }
+
+    /// Total on-disk size of every level, in bytes.
+    pub fn disk_usage(&self) -> u64 {
+        let version = self.inner.current_version.read().clone();
+        (0..version.num_levels()).map(|l| version.level_size(l)).sum()
+    }
+
+    /// The failpoint registry used by this instance (for tests).
+    pub fn failpoints(&self) -> &FailpointRegistry {
+        &self.inner.failpoints
+    }
+
+    /// Closes the database, stopping background work and syncing the commit log.
+    ///
+    /// Dropping the handle performs the same shutdown.
+    pub fn close(&self) -> Result<()> {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        let _ = self.inner.work_tx.send(WorkItem::Shutdown);
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+        // Make sure everything appended so far survives a process exit.
+        let mut wal = self.inner.wal.lock();
+        wal.writer.sync()?;
+        Ok(())
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+impl DbInner {
+    /// Applies a batch: append every operation to the commit log, then insert into
+    /// the active memtable, then decide whether a rotation is needed.
+    pub(crate) fn write_batch(&self, batch: WriteBatch, opts: WriteOptions) -> Result<()> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(Error::ShuttingDown);
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.failpoints.check("write.before_wal_append")?;
+
+        let mut wal = self.wal.lock();
+        let mem = self.mem.read().clone();
+        let mut seqno = self.last_seqno.load(Ordering::Acquire);
+        for BatchOp { kind, key, value } in &batch.ops {
+            seqno += 1;
+            let record = LogRecord { seqno, kind: *kind, key: key.clone(), value: value.clone() };
+            let offset = wal.writer.append(&record)?;
+            let record_bytes = triad_wal::RECORD_HEADER_LEN as u64 + record.encoded_len() as u64;
+            self.stats.add_wal_appends(1);
+            self.stats.add_wal_bytes_written(record_bytes);
+            self.stats.add_user_bytes_written((key.len() + value.len()) as u64);
+            match kind {
+                ValueKind::Put => self.stats.add_user_writes(1),
+                ValueKind::Delete => self.stats.add_user_deletes(1),
+            }
+            mem.insert(key, value, seqno, *kind, LogPosition { log_id: wal.id, offset });
+        }
+        wal.writes_since_sync += batch.ops.len() as u64;
+        let force_sync = opts.sync;
+        match self.options.sync_mode {
+            SyncMode::SyncEveryWrite => {
+                wal.writer.sync()?;
+                self.stats.add_wal_syncs(1);
+                wal.writes_since_sync = 0;
+            }
+            SyncMode::SyncEvery(n) if wal.writes_since_sync >= n => {
+                wal.writer.sync()?;
+                self.stats.add_wal_syncs(1);
+                wal.writes_since_sync = 0;
+            }
+            _ => {
+                if force_sync {
+                    wal.writer.sync()?;
+                    self.stats.add_wal_syncs(1);
+                    wal.writes_since_sync = 0;
+                } else {
+                    wal.writer.flush()?;
+                }
+            }
+        }
+        self.last_seqno.store(seqno, Ordering::Release);
+
+        let mem_size = mem.approximate_size();
+        let wal_size = wal.writer.size();
+        if mem_size >= self.options.memtable_size || wal_size as usize >= self.options.max_log_size {
+            self.rotate_locked(&mut wal, mem_size)?;
+        }
+        Ok(())
+    }
+
+    /// Rotates the commit log and (usually) seals the memtable. Must be called with
+    /// the WAL lock held.
+    fn rotate_locked(&self, wal: &mut WalState, mem_size: usize) -> Result<()> {
+        let triad = &self.options.triad;
+        let mem = self.mem.read().clone();
+
+        // TRIAD-MEM's FLUSH_TH rule: the flush trigger fired (typically because the
+        // log filled up with updates to hot keys) but the memtable itself is small.
+        // Instead of flushing a tiny file, rewrite the fresh values into a new log
+        // and keep everything in memory (paper Algorithm 1, lines 14-20).
+        if triad.mem_enabled
+            && mem_size < triad.flush_skip_threshold_bytes
+            && self.options.background_io == BackgroundIoMode::Enabled
+        {
+            self.failpoints.check("rotate.small_flush_skip")?;
+            let new_id = self.versions.lock().allocate_file_number();
+            let mut new_writer = LogWriter::create(log_file_path(&self.path, new_id), new_id)?;
+            for (key, entry) in mem.snapshot_entries() {
+                let record = LogRecord { seqno: entry.seqno, kind: entry.kind, key: key.clone(), value: entry.value };
+                let offset = new_writer.append(&record)?;
+                self.stats.add_wal_appends(1);
+                self.stats
+                    .add_wal_bytes_written(triad_wal::RECORD_HEADER_LEN as u64 + record.encoded_len() as u64);
+                mem.update_log_position(&key, entry.seqno, LogPosition { log_id: new_id, offset });
+            }
+            new_writer.flush()?;
+            let old_id = wal.id;
+            let old_writer = std::mem::replace(&mut wal.writer, new_writer);
+            wal.id = new_id;
+            wal.writes_since_sync = 0;
+            drop(old_writer);
+            let _ = std::fs::remove_file(log_file_path(&self.path, old_id));
+            self.stats.add_small_flush_skips(1);
+            self.stats.add_wal_rotations(1);
+            return Ok(());
+        }
+
+        // Figure 2 mode: discard the full memtable instead of flushing it.
+        if self.options.background_io == BackgroundIoMode::Disabled {
+            let new_id = self.versions.lock().allocate_file_number();
+            let new_writer = LogWriter::create(log_file_path(&self.path, new_id), new_id)?;
+            let old_id = wal.id;
+            let old_writer = std::mem::replace(&mut wal.writer, new_writer);
+            wal.id = new_id;
+            wal.writes_since_sync = 0;
+            drop(old_writer);
+            let _ = std::fs::remove_file(log_file_path(&self.path, old_id));
+            *self.mem.write() = Arc::new(Memtable::new());
+            self.stats.add_wal_rotations(1);
+            return Ok(());
+        }
+
+        // Regular rotation: seal the log and the memtable, hand both to the flusher.
+        self.failpoints.check("rotate.seal")?;
+        let new_id = self.versions.lock().allocate_file_number();
+        let new_writer = LogWriter::create(log_file_path(&self.path, new_id), new_id)?;
+        let old_id = wal.id;
+        let old_writer = std::mem::replace(&mut wal.writer, new_writer);
+        wal.id = new_id;
+        wal.writes_since_sync = 0;
+        old_writer.seal()?;
+
+        let sealed = Arc::new(ImmutableMemtable { memtable: Arc::clone(&mem), wal_id: old_id });
+        self.imm.write().push(sealed);
+        *self.mem.write() = Arc::new(Memtable::new());
+        self.stats.add_wal_rotations(1);
+        let _ = self.work_tx.send(WorkItem::Flush);
+        Ok(())
+    }
+
+    /// Seals the current memtable even if it is not full (used by `Db::flush`).
+    pub(crate) fn force_rotate(&self) -> Result<()> {
+        let mut wal = self.wal.lock();
+        let mem = self.mem.read().clone();
+        if mem.is_empty() {
+            return Ok(());
+        }
+        // Bypass the small-flush rule: an explicit flush should always persist.
+        let new_id = self.versions.lock().allocate_file_number();
+        let new_writer = LogWriter::create(log_file_path(&self.path, new_id), new_id)?;
+        let old_id = wal.id;
+        let old_writer = std::mem::replace(&mut wal.writer, new_writer);
+        wal.id = new_id;
+        wal.writes_since_sync = 0;
+        old_writer.seal()?;
+        if self.options.background_io == BackgroundIoMode::Disabled {
+            let _ = std::fs::remove_file(log_file_path(&self.path, old_id));
+            *self.mem.write() = Arc::new(Memtable::new());
+            return Ok(());
+        }
+        let sealed = Arc::new(ImmutableMemtable { memtable: Arc::clone(&mem), wal_id: old_id });
+        self.imm.write().push(sealed);
+        *self.mem.write() = Arc::new(Memtable::new());
+        let _ = self.work_tx.send(WorkItem::Flush);
+        Ok(())
+    }
+
+    /// Blocks until the immutable-memtable queue is empty.
+    pub(crate) fn wait_for_pending_flushes(&self) -> Result<()> {
+        loop {
+            if self.imm.read().is_empty() {
+                return Ok(());
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let _ = self.work_tx.send(WorkItem::Flush);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    /// Returns `true` for errors caused by a table file disappearing underneath a
+    /// reader — the benign race where a compaction deleted an input file after the
+    /// reader grabbed its (now stale) version.
+    pub(crate) fn is_missing_file_error(error: &Error) -> bool {
+        matches!(error, Error::Io { source, .. } if source.kind() == std::io::ErrorKind::NotFound)
+    }
+
+    /// Point lookup. Retries with a refreshed version if a stale version pointed at a
+    /// file that a concurrent compaction has already removed.
+    pub(crate) fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.stats.add_user_reads(1);
+        let mut attempts = 0;
+        loop {
+            match self.get_once(key) {
+                Err(e) if Self::is_missing_file_error(&e) && attempts < 3 => {
+                    attempts += 1;
+                    continue;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn get_once(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let snapshot = self.last_seqno.load(Ordering::Acquire);
+
+        // 1. Active memtable.
+        let mem = self.mem.read().clone();
+        self.stats.add_memtable_probes(1);
+        if let Some(entry) = mem.get(key, snapshot) {
+            return Ok(self.resolve_entry(entry));
+        }
+        // 2. Immutable memtables, newest first.
+        {
+            let imm = self.imm.read();
+            for sealed in imm.iter().rev() {
+                self.stats.add_memtable_probes(1);
+                if let Some(entry) = sealed.memtable.get(key, snapshot) {
+                    return Ok(self.resolve_entry(entry));
+                }
+            }
+        }
+        // 3. The disk component, level by level.
+        let version = self.current_version.read().clone();
+        for level in 0..version.num_levels() {
+            for file in version.files_for_key(level, key) {
+                let table = self.table_cache.get_or_open(&file)?;
+                self.stats.add_table_probes(1);
+                if let Some(entry) = table.get(key, snapshot)? {
+                    return Ok(self.resolve_entry(entry));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn resolve_entry(&self, entry: Entry) -> Option<Vec<u8>> {
+        match entry.key.kind {
+            ValueKind::Put => {
+                self.stats.add_user_read_hits(1);
+                Some(entry.value)
+            }
+            ValueKind::Delete => None,
+        }
+    }
+
+    /// Removes table files and commit logs that are no longer referenced by the
+    /// current version, the active WAL or a pending immutable memtable.
+    pub(crate) fn delete_obsolete_files(&self, candidate_files: &[FileMetadata]) {
+        let version = self.current_version.read().clone();
+        let live_files = version.live_file_ids();
+        let live_logs = version.live_backing_logs();
+        let active_wal = self.wal.lock().id;
+        let pending_logs: std::collections::HashSet<u64> =
+            self.imm.read().iter().map(|imm| imm.wal_id).collect();
+        for file in candidate_files {
+            if live_files.contains(&file.id) {
+                continue;
+            }
+            self.table_cache.evict(file.id);
+            let path = match file.kind {
+                triad_sstable::TableKind::Block => sst_file_path(&self.path, file.id),
+                triad_sstable::TableKind::CommitLogIndex => {
+                    triad_sstable::cl_index_file_path(&self.path, file.id)
+                }
+            };
+            let _ = std::fs::remove_file(path);
+            if let Some(log_id) = file.backing_log_id {
+                if !live_logs.contains(&log_id) && log_id != active_wal && !pending_logs.contains(&log_id) {
+                    let _ = std::fs::remove_file(log_file_path(&self.path, log_id));
+                }
+            }
+        }
+    }
+}
+
+/// The background thread: drains flush requests, then runs compactions until the
+/// tree satisfies its shape invariants.
+fn background_worker(inner: Arc<DbInner>, rx: Receiver<WorkItem>) {
+    loop {
+        let item = match rx.recv() {
+            Ok(item) => item,
+            Err(_) => break,
+        };
+        match item {
+            WorkItem::Shutdown => break,
+            WorkItem::Flush | WorkItem::Compact => {
+                if let Err(e) = inner.flush_pending_memtables() {
+                    // Background errors are recorded but do not crash the process;
+                    // the next flush attempt will retry.
+                    eprintln!("triad: background flush error: {e}");
+                }
+                loop {
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match inner.maybe_compact() {
+                        Ok(true) => continue,
+                        Ok(false) => break,
+                        Err(e) => {
+                            eprintln!("triad: background compaction error: {e}");
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            // Drain any remaining flushes so close() does not lose sealed memtables.
+            let _ = inner.flush_pending_memtables();
+            break;
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Full-database scans.
+
+use std::sync::Arc;
+
+use triad_common::types::{Entry, ValueKind};
+use triad_common::Result;
+use triad_sstable::{DedupIterator, EntryIter, MergingIterator};
+
+use crate::db::DbInner;
+
+/// An iterator over every live key/value pair in the database, in key order.
+///
+/// The iterator observes a consistent snapshot of the tree taken at creation time:
+/// the active memtable, the sealed memtables and the current version. Later writes
+/// are not reflected.
+pub struct DbIterator {
+    inner: DedupIterator,
+    /// Inclusive lower bound on user keys, if any.
+    start: Option<Vec<u8>>,
+    /// Exclusive upper bound on user keys, if any.
+    end: Option<Vec<u8>>,
+}
+
+impl DbIterator {
+    pub(crate) fn new(db: &Arc<DbInner>) -> Result<DbIterator> {
+        Self::with_bounds(db, None, None)
+    }
+
+    /// Creates an iterator restricted to user keys in `[start, end)`.
+    pub(crate) fn with_bounds(
+        db: &Arc<DbInner>,
+        start: Option<Vec<u8>>,
+        end: Option<Vec<u8>>,
+    ) -> Result<DbIterator> {
+        let snapshot = db.last_seqno.load(std::sync::atomic::Ordering::Acquire);
+        let mut sources: Vec<EntryIter> = Vec::new();
+
+        // Newest sources first so the dedup iterator keeps the latest version.
+        let mem = db.mem.read().clone();
+        sources.push(Box::new(
+            mem.snapshot_as_entries()
+                .into_iter()
+                .filter(move |e| e.key.seqno <= snapshot)
+                .map(Ok),
+        ));
+        {
+            let imm = db.imm.read();
+            for sealed in imm.iter().rev() {
+                let entries = sealed.memtable.snapshot_as_entries();
+                sources.push(Box::new(
+                    entries.into_iter().filter(move |e| e.key.seqno <= snapshot).map(Ok),
+                ));
+            }
+        }
+        let version = db.current_version.read().clone();
+        for level in 0..version.num_levels() {
+            for file in &version.levels[level] {
+                let table = db.table_cache.get_or_open(file)?;
+                sources.push(table.entries()?);
+            }
+        }
+        let merged = MergingIterator::new(sources)?;
+        Ok(DbIterator { inner: DedupIterator::new(Box::new(merged), false), start, end })
+    }
+}
+
+impl Iterator for DbIterator {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let entry: Entry = match self.inner.next()? {
+                Ok(entry) => entry,
+                Err(e) => return Some(Err(e)),
+            };
+            if let Some(start) = &self.start {
+                if entry.key.user_key.as_slice() < start.as_slice() {
+                    continue;
+                }
+            }
+            if let Some(end) = &self.end {
+                if entry.key.user_key.as_slice() >= end.as_slice() {
+                    // Sources are sorted, so nothing after this point can qualify.
+                    return None;
+                }
+            }
+            match entry.key.kind {
+                ValueKind::Put => return Some(Ok((entry.key.user_key, entry.value))),
+                ValueKind::Delete => continue,
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Engine configuration.
+//!
+//! [`Options`] mirrors the knobs the paper's evaluation varies: the memtable size
+//! (4 MB in the synthetic experiments), the L0 file limits, and — through
+//! [`TriadConfig`] — which of the three TRIAD techniques are active. The baseline
+//! "RocksDB" configuration of the paper corresponds to [`TriadConfig::baseline`];
+//! the full system is [`TriadConfig::all_enabled`]. Each technique can be toggled
+//! individually to reproduce the per-technique breakdown of Figures 10 and 11.
+
+use triad_memtable::HotColdPolicy;
+
+/// Durability mode of the commit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Buffer appends in user space and flush to the OS on every write, but never
+    /// `fsync`. Fastest; a crash of the machine (not just the process) may lose the
+    /// most recent writes. This mirrors RocksDB's default (`sync = false`).
+    NoSync,
+    /// Flush and `fsync` the commit log on every write. Durable but slow.
+    SyncEveryWrite,
+    /// `fsync` the commit log every `n` writes.
+    SyncEvery(u64),
+}
+
+/// Whether background flushing and compaction run at all.
+///
+/// `Disabled` reproduces the paper's Figure 2 experiment ("RocksDB No BG I/O"): when
+/// the memory component fills up it is discarded instead of flushed, and compaction
+/// never runs, so the measured throughput is an upper bound unburdened by background
+/// I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackgroundIoMode {
+    /// Normal operation: flushes and compactions run in background threads.
+    Enabled,
+    /// Figure 2 mode: full memtables are discarded, compaction never runs.
+    Disabled,
+}
+
+/// Configuration of the three TRIAD techniques.
+#[derive(Debug, Clone)]
+pub struct TriadConfig {
+    /// TRIAD-MEM: keep hot keys in memory on flush (paper §4.1).
+    pub mem_enabled: bool,
+    /// TRIAD-DISK: defer L0→L1 compaction until the overlap ratio is large enough
+    /// (paper §4.2).
+    pub disk_enabled: bool,
+    /// TRIAD-LOG: turn sealed commit logs into CL-SSTables instead of rewriting
+    /// values at flush time (paper §4.3).
+    pub log_enabled: bool,
+    /// Hot-key selection policy for TRIAD-MEM. The paper's default treats the top 1%
+    /// of keys by update frequency as hot.
+    pub hot_key_policy: HotColdPolicy,
+    /// TRIAD-MEM's `FLUSH_TH`: if a flush is triggered (typically by the commit log
+    /// filling up) while the memtable holds fewer than this many bytes, skip the
+    /// flush, rotate the log and keep everything in memory.
+    pub flush_skip_threshold_bytes: usize,
+    /// TRIAD-DISK's overlap-ratio threshold below which L0→L1 compaction is deferred.
+    /// The paper uses 0.4.
+    pub overlap_ratio_threshold: f64,
+    /// TRIAD-DISK's hard cap on the number of L0 files; once reached, compaction
+    /// proceeds regardless of the overlap ratio. The paper uses 6.
+    pub max_l0_files: usize,
+}
+
+impl TriadConfig {
+    /// The baseline configuration: all three techniques off (plain leveled LSM,
+    /// playing the role of RocksDB in the evaluation).
+    pub fn baseline() -> Self {
+        TriadConfig {
+            mem_enabled: false,
+            disk_enabled: false,
+            log_enabled: false,
+            hot_key_policy: HotColdPolicy::default(),
+            flush_skip_threshold_bytes: 2 * 1024 * 1024,
+            overlap_ratio_threshold: 0.4,
+            max_l0_files: 6,
+        }
+    }
+
+    /// The full TRIAD configuration with the paper's defaults.
+    pub fn all_enabled() -> Self {
+        TriadConfig { mem_enabled: true, disk_enabled: true, log_enabled: true, ..Self::baseline() }
+    }
+
+    /// Only TRIAD-MEM ("Skew Awareness Only" in Figure 10).
+    pub fn mem_only() -> Self {
+        TriadConfig { mem_enabled: true, ..Self::baseline() }
+    }
+
+    /// Only TRIAD-DISK ("Deferred Compaction Only" in Figure 10).
+    pub fn disk_only() -> Self {
+        TriadConfig { disk_enabled: true, ..Self::baseline() }
+    }
+
+    /// Only TRIAD-LOG ("Commit Log Indexing Only" in Figure 10).
+    pub fn log_only() -> Self {
+        TriadConfig { log_enabled: true, ..Self::baseline() }
+    }
+
+    /// Enables all three techniques in place.
+    pub fn enable_all(&mut self) {
+        self.mem_enabled = true;
+        self.disk_enabled = true;
+        self.log_enabled = true;
+    }
+
+    /// Returns `true` if any technique is enabled.
+    pub fn any_enabled(&self) -> bool {
+        self.mem_enabled || self.disk_enabled || self.log_enabled
+    }
+
+    /// A short label such as `"TRIAD"`, `"RocksDB"` or `"TRIAD-MEM"`, used by the
+    /// benchmark harness when printing tables.
+    pub fn label(&self) -> String {
+        match (self.mem_enabled, self.disk_enabled, self.log_enabled) {
+            (false, false, false) => "RocksDB".to_string(),
+            (true, true, true) => "TRIAD".to_string(),
+            (true, false, false) => "TRIAD-MEM".to_string(),
+            (false, true, false) => "TRIAD-DISK".to_string(),
+            (false, false, true) => "TRIAD-LOG".to_string(),
+            (mem, disk, log) => {
+                let mut parts = Vec::new();
+                if mem {
+                    parts.push("MEM");
+                }
+                if disk {
+                    parts.push("DISK");
+                }
+                if log {
+                    parts.push("LOG");
+                }
+                format!("TRIAD-{}", parts.join("+"))
+            }
+        }
+    }
+}
+
+impl Default for TriadConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// Top-level engine options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Maximum size of the active memory component before a flush is triggered.
+    /// The paper's synthetic experiments use 4 MB.
+    pub memtable_size: usize,
+    /// Maximum size of the commit log before a flush (or, with TRIAD-MEM, a log
+    /// rotation) is triggered even if the memtable still has room.
+    pub max_log_size: usize,
+    /// Number of L0 files that triggers an L0→L1 compaction in the baseline.
+    pub l0_compaction_trigger: usize,
+    /// Target size of L1; level `i` targets `l1_target_size * level_size_multiplier^(i-1)`.
+    pub l1_target_size: u64,
+    /// Ratio between the target sizes of consecutive levels.
+    pub level_size_multiplier: u64,
+    /// Number of levels in the disk component (including L0).
+    pub num_levels: usize,
+    /// Target size of an individual SSTable produced by compaction.
+    pub target_file_size: u64,
+    /// Data-block size inside SSTables.
+    pub block_size: usize,
+    /// Bloom filter bits per key.
+    pub bloom_bits_per_key: usize,
+    /// Commit-log durability mode.
+    pub sync_mode: SyncMode,
+    /// Whether background I/O runs (Figure 2 uses `Disabled`).
+    pub background_io: BackgroundIoMode,
+    /// Number of background compaction threads.
+    pub compaction_threads: usize,
+    /// TRIAD technique configuration.
+    pub triad: TriadConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            memtable_size: 4 * 1024 * 1024,
+            max_log_size: 8 * 1024 * 1024,
+            l0_compaction_trigger: 4,
+            l1_target_size: 16 * 1024 * 1024,
+            level_size_multiplier: 10,
+            num_levels: 7,
+            target_file_size: 4 * 1024 * 1024,
+            block_size: 4 * 1024,
+            bloom_bits_per_key: 10,
+            sync_mode: SyncMode::NoSync,
+            background_io: BackgroundIoMode::Enabled,
+            compaction_threads: 1,
+            triad: TriadConfig::baseline(),
+        }
+    }
+}
+
+impl Options {
+    /// The paper's baseline ("RocksDB") configuration.
+    pub fn baseline() -> Self {
+        Options::default()
+    }
+
+    /// The paper's full TRIAD configuration.
+    pub fn triad() -> Self {
+        Options { triad: TriadConfig::all_enabled(), ..Options::default() }
+    }
+
+    /// Small-footprint options for unit and integration tests: tiny memtable and log
+    /// so flushes and compactions happen after a handful of writes.
+    pub fn small_for_tests() -> Self {
+        Options {
+            memtable_size: 64 * 1024,
+            max_log_size: 128 * 1024,
+            l1_target_size: 256 * 1024,
+            target_file_size: 64 * 1024,
+            block_size: 1024,
+            ..Options::default()
+        }
+    }
+
+    /// The target size of level `level` (1-based levels; L0 is governed by file count).
+    pub fn level_target_size(&self, level: usize) -> u64 {
+        if level == 0 {
+            return u64::MAX;
+        }
+        let mut size = self.l1_target_size;
+        for _ in 1..level {
+            size = size.saturating_mul(self.level_size_multiplier);
+        }
+        size
+    }
+
+    /// Validates internal consistency of the options.
+    pub fn validate(&self) -> triad_common::Result<()> {
+        use triad_common::Error;
+        if self.memtable_size == 0 {
+            return Err(Error::InvalidArgument("memtable_size must be non-zero".into()));
+        }
+        if self.num_levels < 2 {
+            return Err(Error::InvalidArgument("num_levels must be at least 2".into()));
+        }
+        if self.triad.max_l0_files == 0 {
+            return Err(Error::InvalidArgument("max_l0_files must be non-zero".into()));
+        }
+        if !(0.0..=1.0).contains(&self.triad.overlap_ratio_threshold) {
+            return Err(Error::InvalidArgument("overlap_ratio_threshold must be in [0, 1]".into()));
+        }
+        if self.l0_compaction_trigger == 0 {
+            return Err(Error::InvalidArgument("l0_compaction_trigger must be non-zero".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let options = Options::default();
+        assert_eq!(options.memtable_size, 4 * 1024 * 1024, "paper's synthetic memtable is 4MB");
+        assert_eq!(options.triad.max_l0_files, 6, "paper uses at most 6 L0 files for TRIAD-DISK");
+        assert!((options.triad.overlap_ratio_threshold - 0.4).abs() < 1e-9, "paper uses 0.4");
+        assert!(!options.triad.any_enabled(), "default is the RocksDB baseline");
+        options.validate().unwrap();
+    }
+
+    #[test]
+    fn labels_for_breakdown_configs() {
+        assert_eq!(TriadConfig::baseline().label(), "RocksDB");
+        assert_eq!(TriadConfig::all_enabled().label(), "TRIAD");
+        assert_eq!(TriadConfig::mem_only().label(), "TRIAD-MEM");
+        assert_eq!(TriadConfig::disk_only().label(), "TRIAD-DISK");
+        assert_eq!(TriadConfig::log_only().label(), "TRIAD-LOG");
+        let mut two = TriadConfig::baseline();
+        two.mem_enabled = true;
+        two.log_enabled = true;
+        assert_eq!(two.label(), "TRIAD-MEM+LOG");
+    }
+
+    #[test]
+    fn enable_all_flips_every_flag() {
+        let mut config = TriadConfig::baseline();
+        assert!(!config.any_enabled());
+        config.enable_all();
+        assert!(config.mem_enabled && config.disk_enabled && config.log_enabled);
+    }
+
+    #[test]
+    fn level_target_sizes_grow_geometrically() {
+        let options = Options { l1_target_size: 100, level_size_multiplier: 10, ..Options::default() };
+        assert_eq!(options.level_target_size(1), 100);
+        assert_eq!(options.level_target_size(2), 1_000);
+        assert_eq!(options.level_target_size(3), 10_000);
+        assert_eq!(options.level_target_size(0), u64::MAX);
+    }
+
+    #[test]
+    fn validation_catches_bad_options() {
+        let mut options = Options::default();
+        options.memtable_size = 0;
+        assert!(options.validate().is_err());
+
+        let mut options = Options::default();
+        options.num_levels = 1;
+        assert!(options.validate().is_err());
+
+        let mut options = Options::default();
+        options.triad.overlap_ratio_threshold = 1.5;
+        assert!(options.validate().is_err());
+
+        let mut options = Options::default();
+        options.triad.max_l0_files = 0;
+        assert!(options.validate().is_err());
+
+        let mut options = Options::default();
+        options.l0_compaction_trigger = 0;
+        assert!(options.validate().is_err());
+    }
+
+    #[test]
+    fn test_options_are_small() {
+        let options = Options::small_for_tests();
+        assert!(options.memtable_size <= 64 * 1024);
+        options.validate().unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! Caching of open table handles.
+//!
+//! Opening a table (reading its footer, index block, bloom filter and properties) is
+//! far more expensive than a point lookup, so the engine keeps every live table open
+//! in a cache keyed by file id. Entries are evicted when compaction deletes the
+//! underlying file.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use triad_common::{Error, Result, Stats};
+use triad_sstable::{cl_index_file_path, sst_file_path, ClTable, Table, TableKind, TableRef};
+use triad_wal::log_file_path;
+
+use crate::version::FileMetadata;
+
+/// A cache of open [`TableRef`]s.
+pub struct TableCache {
+    dir: PathBuf,
+    stats: Arc<Stats>,
+    tables: Mutex<HashMap<u64, TableRef>>,
+}
+
+impl std::fmt::Debug for TableCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableCache")
+            .field("dir", &self.dir)
+            .field("open_tables", &self.tables.lock().len())
+            .finish()
+    }
+}
+
+impl TableCache {
+    /// Creates an empty cache for tables living in `dir`.
+    pub fn new(dir: PathBuf, stats: Arc<Stats>) -> Self {
+        TableCache { dir, stats, tables: Mutex::new(HashMap::new()) }
+    }
+
+    /// Returns an open handle for `file`, opening it if necessary.
+    pub fn get_or_open(&self, file: &FileMetadata) -> Result<TableRef> {
+        if let Some(table) = self.tables.lock().get(&file.id) {
+            return Ok(Arc::clone(table));
+        }
+        let table: TableRef = match file.kind {
+            TableKind::Block => {
+                let path = sst_file_path(&self.dir, file.id);
+                Arc::new(Table::open(path, Some(Arc::clone(&self.stats)))?)
+            }
+            TableKind::CommitLogIndex => {
+                let log_id = file.backing_log_id.ok_or_else(|| {
+                    Error::corruption(format!("CL-SSTable {} has no backing log id", file.id))
+                })?;
+                let index_path = cl_index_file_path(&self.dir, file.id);
+                let log_path = log_file_path(&self.dir, log_id);
+                Arc::new(ClTable::open(index_path, log_path, Some(Arc::clone(&self.stats)))?)
+            }
+        };
+        let mut tables = self.tables.lock();
+        let entry = tables.entry(file.id).or_insert_with(|| Arc::clone(&table));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Drops the cached handle for `file_id` (called when the file is deleted).
+    pub fn evict(&self, file_id: u64) {
+        self.tables.lock().remove(&file_id);
+    }
+
+    /// Number of cached handles (exposed for tests).
+    pub fn len(&self) -> usize {
+        self.tables.lock().len()
+    }
+
+    /// Returns `true` when no handles are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_common::types::{InternalKey, ValueKind};
+    use triad_hll::HyperLogLog;
+    use triad_sstable::{TableBuilder, TableBuilderOptions};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("triad-table-cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn build_sst(dir: &std::path::Path, id: u64) -> FileMetadata {
+        let path = sst_file_path(dir, id);
+        let mut builder = TableBuilder::create(&path, TableBuilderOptions::default()).unwrap();
+        let key = InternalKey::new(b"key".to_vec(), 1, ValueKind::Put);
+        builder.add(&key, b"value").unwrap();
+        let (props, size) = builder.finish().unwrap();
+        FileMetadata {
+            id,
+            level: 0,
+            kind: TableKind::Block,
+            size,
+            num_entries: props.num_entries,
+            smallest: props.smallest.clone().unwrap(),
+            largest: props.largest.clone().unwrap(),
+            hll: HyperLogLog::new(),
+            backing_log_id: None,
+        }
+    }
+
+    #[test]
+    fn caches_open_handles() {
+        let dir = temp_dir("cache");
+        let stats = Arc::new(Stats::new());
+        let cache = TableCache::new(dir.clone(), stats);
+        let meta = build_sst(&dir, 1);
+        assert!(cache.is_empty());
+        let a = cache.get_or_open(&meta).unwrap();
+        let b = cache.get_or_open(&meta).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&a, &b), "second open must return the cached handle");
+        assert_eq!(a.get(b"key", u64::MAX).unwrap().unwrap().value, b"value");
+    }
+
+    #[test]
+    fn evict_drops_the_handle() {
+        let dir = temp_dir("evict");
+        let cache = TableCache::new(dir.clone(), Arc::new(Stats::new()));
+        let meta = build_sst(&dir, 2);
+        cache.get_or_open(&meta).unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.evict(2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn missing_backing_log_is_an_error() {
+        let dir = temp_dir("missing-log");
+        let cache = TableCache::new(dir.clone(), Arc::new(Stats::new()));
+        let mut meta = build_sst(&dir, 3);
+        meta.kind = TableKind::CommitLogIndex;
+        meta.backing_log_id = None;
+        assert!(cache.get_or_open(&meta).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let dir = temp_dir("missing-file");
+        let cache = TableCache::new(dir.clone(), Arc::new(Stats::new()));
+        let mut meta = build_sst(&dir, 4);
+        meta.id = 999;
+        assert!(cache.get_or_open(&meta).is_err());
+    }
+}

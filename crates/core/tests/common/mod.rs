@@ -1,0 +1,43 @@
+//! Shared helpers for the engine integration tests.
+//!
+//! Each integration-test binary uses a different subset of these helpers, so the
+//! unused-code lint is silenced for the module as a whole.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use triad_core::{Db, Options};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// Creates a fresh, empty directory for one test database.
+pub fn temp_dir(name: &str) -> PathBuf {
+    let unique = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "triad-core-test-{name}-{}-{unique}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Opens a database with small test options in a fresh directory.
+pub fn open_small(name: &str, mutate: impl FnOnce(&mut Options)) -> (Db, PathBuf) {
+    let dir = temp_dir(name);
+    let mut options = Options::small_for_tests();
+    mutate(&mut options);
+    let db = Db::open(&dir, options).unwrap();
+    (db, dir)
+}
+
+/// A deterministic value for `(key, version)` used to verify read-your-writes.
+pub fn value_for(key: u64, version: u64) -> Vec<u8> {
+    format!("value-{key}-{version}-{}", "x".repeat(100)).into_bytes()
+}
+
+/// A fixed-width key.
+pub fn key_for(key: u64) -> Vec<u8> {
+    format!("key-{key:08}").into_bytes()
+}

@@ -1,0 +1,154 @@
+//! Concurrent access: multiple writers and readers sharing one database.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use common::{key_for, open_small};
+use triad_core::{Db, TriadConfig};
+
+fn concurrent_workload(db: Arc<Db>, threads: u64, ops_per_thread: u64) {
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let db = Arc::clone(&db);
+        handles.push(thread::spawn(move || {
+            // Each thread owns a disjoint slice of the key space so the final value of
+            // every key is deterministic.
+            for i in 0..ops_per_thread {
+                let key_index = t * 1_000_000 + (i % 200);
+                let key = key_for(key_index);
+                let value = format!("t{t}-v{i}-{}", "p".repeat(64));
+                db.put(&key, value.as_bytes()).unwrap();
+                if i % 7 == 0 {
+                    // Read-your-writes within a thread.
+                    let got = db.get(&key).unwrap().expect("just-written key must exist");
+                    assert!(got.starts_with(format!("t{t}-").as_bytes()));
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_writers_with_baseline_config() {
+    let (db, _dir) = open_small("concurrent-baseline", |options| {
+        options.l0_compaction_trigger = 2;
+    });
+    let db = Arc::new(db);
+    concurrent_workload(Arc::clone(&db), 4, 2_000);
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    // Every key's final value is the last write of its owning thread.
+    for t in 0..4u64 {
+        for k in 0..200u64 {
+            let key = key_for(t * 1_000_000 + k);
+            let value = db.get(&key).unwrap().expect("key must exist");
+            assert!(value.starts_with(format!("t{t}-").as_bytes()));
+        }
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn concurrent_writers_with_full_triad_config() {
+    let (db, _dir) = open_small("concurrent-triad", |options| {
+        options.l0_compaction_trigger = 2;
+        options.triad = TriadConfig::all_enabled();
+    });
+    let db = Arc::new(db);
+    concurrent_workload(Arc::clone(&db), 4, 2_000);
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    let total_keys = db.scan().unwrap().count();
+    assert_eq!(total_keys, 4 * 200, "each thread owns 200 distinct keys");
+    db.close().unwrap();
+}
+
+#[test]
+fn readers_run_concurrently_with_writers_and_background_work() {
+    let (db, _dir) = open_small("readers-vs-writers", |options| {
+        options.l0_compaction_trigger = 2;
+        options.triad = TriadConfig::all_enabled();
+    });
+    let db = Arc::new(db);
+    // Seed the key space so readers always find something.
+    for i in 0..500u64 {
+        db.put(key_for(i), b"seed-value".to_vec()).unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for t in 0..2u64 {
+        let db = Arc::clone(&db);
+        handles.push(thread::spawn(move || {
+            for i in 0..5_000u64 {
+                let key = key_for((t * 7 + i * 13) % 500);
+                db.put(&key, format!("writer-{t}-{i}").into_bytes()).unwrap();
+            }
+        }));
+    }
+    let mut reader_handles = Vec::new();
+    for _ in 0..3 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        reader_handles.push(thread::spawn(move || {
+            let mut hits = 0u64;
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = key_for(i % 500);
+                if let Some(value) = db.get(&key).unwrap() {
+                    // Values are always one of the formats writers produce.
+                    assert!(value.starts_with(b"seed-value") || value.starts_with(b"writer-"));
+                    hits += 1;
+                }
+                i += 1;
+            }
+            hits
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total_hits = 0;
+    for handle in reader_handles {
+        total_hits += handle.join().unwrap();
+    }
+    assert!(total_hits > 0, "readers should observe live data");
+    // All 500 keys exist and carry a valid value.
+    for i in 0..500u64 {
+        assert!(db.get(key_for(i)).unwrap().is_some());
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn close_during_heavy_write_traffic_is_clean() {
+    let (db, _dir) = open_small("close-race", |options| {
+        options.triad = TriadConfig::all_enabled();
+        options.l0_compaction_trigger = 2;
+    });
+    let db = Arc::new(db);
+    let writer = {
+        let db = Arc::clone(&db);
+        thread::spawn(move || {
+            let mut completed = 0u64;
+            for i in 0..100_000u64 {
+                if db.put(key_for(i % 300), format!("v{i}").into_bytes()).is_err() {
+                    break;
+                }
+                completed += 1;
+            }
+            completed
+        })
+    };
+    thread::sleep(std::time::Duration::from_millis(100));
+    db.close().unwrap();
+    let completed = writer.join().unwrap();
+    assert!(completed > 0, "some writes must have completed before shutdown");
+}

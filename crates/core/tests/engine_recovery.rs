@@ -1,0 +1,284 @@
+//! Durability and recovery: every acknowledged write must survive a reopen.
+
+mod common;
+
+use common::{key_for, temp_dir, value_for};
+use triad_common::failpoint::{FailpointAction, FailpointRegistry};
+use triad_core::{Db, Options, TriadConfig};
+
+fn reopen(dir: &std::path::Path, options: &Options) -> Db {
+    Db::open(dir, options.clone()).unwrap()
+}
+
+#[test]
+fn unflushed_writes_are_recovered_from_the_commit_log() {
+    let dir = temp_dir("wal-recovery");
+    let options = Options::small_for_tests();
+    {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        for i in 0..50u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        // No flush: everything lives in the memtable + commit log.
+        assert_eq!(db.stats().flush_count, 0);
+        db.close().unwrap();
+    }
+    let db = reopen(&dir, &options);
+    for i in 0..50u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)), "key {i} lost across restart");
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn flushed_and_compacted_state_is_recovered_from_the_manifest() {
+    let dir = temp_dir("manifest-recovery");
+    let mut options = Options::small_for_tests();
+    options.l0_compaction_trigger = 2;
+    {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        for version in 1..=3u64 {
+            for i in 0..500u64 {
+                db.put(key_for(i), value_for(i, version)).unwrap();
+            }
+        }
+        for i in (0..500u64).step_by(5) {
+            db.delete(key_for(i)).unwrap();
+        }
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        assert!(db.stats().compaction_count >= 1);
+        db.close().unwrap();
+    }
+    let db = reopen(&dir, &options);
+    for i in 0..500u64 {
+        let got = db.get(key_for(i)).unwrap();
+        if i % 5 == 0 {
+            assert_eq!(got, None, "deleted key {i} reappeared after restart");
+        } else {
+            assert_eq!(got, Some(value_for(i, 3)), "key {i} lost its latest version");
+        }
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn mixed_flushed_and_unflushed_state_is_recovered() {
+    let dir = temp_dir("mixed-recovery");
+    let options = Options::small_for_tests();
+    {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        for i in 0..300u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        db.flush().unwrap();
+        // Updates after the flush stay in the memtable/commit log only.
+        for i in 0..100u64 {
+            db.put(key_for(i), value_for(i, 2)).unwrap();
+        }
+        db.delete(key_for(299)).unwrap();
+        db.close().unwrap();
+    }
+    let db = reopen(&dir, &options);
+    for i in 0..100u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 2)));
+    }
+    for i in 100..299u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)));
+    }
+    assert_eq!(db.get(key_for(299)).unwrap(), None);
+    db.close().unwrap();
+}
+
+#[test]
+fn triad_log_cl_sstables_survive_restart() {
+    let dir = temp_dir("cl-recovery");
+    let mut options = Options::small_for_tests();
+    options.triad = TriadConfig::log_only();
+    // Keep compaction away so CL-SSTables stay on L0 across the restart.
+    options.l0_compaction_trigger = 1_000;
+    options.triad.max_l0_files = 1_000;
+    {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        for i in 0..2_000u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        db.flush().unwrap();
+        db.close().unwrap();
+    }
+    // The directory must contain CL index files and their backing logs.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(names.iter().any(|n| n.ends_with(".clidx")), "expected CL index files, got {names:?}");
+    assert!(names.iter().any(|n| n.ends_with(".log")), "expected backing commit logs, got {names:?}");
+
+    let db = reopen(&dir, &options);
+    for i in (0..2_000u64).step_by(41) {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)), "key {i} lost after CL restart");
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn full_triad_configuration_recovers_a_skewed_workload() {
+    let dir = temp_dir("triad-recovery");
+    let mut options = Options::small_for_tests();
+    options.triad = TriadConfig::all_enabled();
+    options.l0_compaction_trigger = 2;
+    let mut expected = std::collections::BTreeMap::new();
+    {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        for version in 0..6_000u64 {
+            let key_index = if version % 10 < 9 { version % 20 } else { 20 + version % 400 };
+            let key = key_for(key_index);
+            let value = value_for(key_index, version);
+            db.put(&key, &value).unwrap();
+            expected.insert(key, value);
+        }
+        db.close().unwrap();
+    }
+    let db = reopen(&dir, &options);
+    for (key, value) in &expected {
+        assert_eq!(db.get(key).unwrap().as_ref(), Some(value));
+    }
+    let scanned: Vec<(Vec<u8>, Vec<u8>)> = db.scan().unwrap().map(|r| r.unwrap()).collect();
+    assert_eq!(scanned.len(), expected.len());
+    db.close().unwrap();
+}
+
+#[test]
+fn repeated_restarts_preserve_state() {
+    let dir = temp_dir("repeated-restarts");
+    let mut options = Options::small_for_tests();
+    options.triad = TriadConfig::all_enabled();
+    options.l0_compaction_trigger = 2;
+    let mut expected = std::collections::BTreeMap::new();
+    for round in 0..5u64 {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        // Everything written in previous rounds must still be there.
+        for (key, value) in &expected {
+            assert_eq!(db.get(key).unwrap().as_ref(), Some(value), "round {round}");
+        }
+        for i in 0..300u64 {
+            let key_index = round * 1_000 + i;
+            let key = key_for(key_index);
+            let value = value_for(key_index, round);
+            db.put(&key, &value).unwrap();
+            expected.insert(key, value);
+        }
+        // Overwrite some old keys too.
+        for i in 0..50u64 {
+            let key = key_for(i);
+            let value = value_for(i, 100 + round);
+            db.put(&key, &value).unwrap();
+            expected.insert(key, value);
+        }
+        db.close().unwrap();
+    }
+    let db = Db::open(&dir, options).unwrap();
+    for (key, value) in &expected {
+        assert_eq!(db.get(key).unwrap().as_ref(), Some(value));
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn injected_flush_failures_do_not_lose_acknowledged_writes() {
+    let dir = temp_dir("flush-failpoint");
+    let options = Options::small_for_tests();
+    let failpoints = FailpointRegistry::new();
+    // Every flush attempt fails while the failpoint is armed; data must stay safe in
+    // the memtable + commit log.
+    failpoints.arm("flush.start", FailpointAction::ReturnError);
+    {
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        for i in 0..2_000u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        // Reads still served correctly from memory even though flushing is broken.
+        for i in (0..2_000u64).step_by(191) {
+            assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)));
+        }
+        assert!(failpoints.hits("flush.start") > 0, "the failpoint should have been exercised");
+        assert_eq!(db.stats().flush_count, 0);
+        db.close().unwrap();
+    }
+    // After a restart without the failpoint, everything is recovered from the logs.
+    let db = Db::open(&dir, options).unwrap();
+    for i in 0..2_000u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)), "key {i} lost after failed flushes");
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn injected_compaction_failures_do_not_corrupt_data() {
+    let dir = temp_dir("compaction-failpoint");
+    let mut options = Options::small_for_tests();
+    options.l0_compaction_trigger = 2;
+    let failpoints = FailpointRegistry::new();
+    failpoints.arm("compaction.start", FailpointAction::ErrorTimes(3));
+    {
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        for version in 1..=3u64 {
+            for i in 0..500u64 {
+                db.put(key_for(i), value_for(i, version)).unwrap();
+            }
+        }
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        for i in (0..500u64).step_by(17) {
+            assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 3)));
+        }
+        db.close().unwrap();
+    }
+    let db = Db::open(&dir, options).unwrap();
+    for i in 0..500u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 3)));
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn recovery_tolerates_a_torn_commit_log_tail() {
+    let dir = temp_dir("torn-log");
+    let options = Options::small_for_tests();
+    {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        for i in 0..100u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        db.close().unwrap();
+    }
+    // Simulate a crash mid-append by chopping bytes off the newest commit log.
+    let mut logs: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().map(|e| e == "log").unwrap_or(false))
+        .collect();
+    logs.sort();
+    let newest = logs.last().expect("at least one commit log");
+    let len = std::fs::metadata(newest).unwrap().len();
+    assert!(len > 10);
+    std::fs::OpenOptions::new().write(true).open(newest).unwrap().set_len(len - 7).unwrap();
+
+    let db = Db::open(&dir, options).unwrap();
+    // All but possibly the very last record must be intact.
+    for i in 0..99u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)), "key {i} lost after torn tail");
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn reopening_an_empty_directory_is_fine() {
+    let dir = temp_dir("empty-reopen");
+    let options = Options::small_for_tests();
+    for _ in 0..3 {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        assert_eq!(db.get(b"anything").unwrap(), None);
+        db.close().unwrap();
+    }
+}

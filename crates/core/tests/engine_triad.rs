@@ -1,0 +1,292 @@
+//! Behaviour of the three TRIAD techniques, individually and combined.
+
+mod common;
+
+use common::{key_for, open_small, temp_dir, value_for};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use triad_core::{Db, Options, TriadConfig};
+
+/// Applies a deterministic skewed update stream to `db`: 10% of the keys receive 90%
+/// of the updates. Returns the logically expected final state.
+fn apply_skewed_workload(db: &Db, keys: u64, ops: u64, seed: u64) -> std::collections::BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = std::collections::BTreeMap::new();
+    let hot_keys = (keys / 10).max(1);
+    for version in 0..ops {
+        let key_index = if rng.gen::<f64>() < 0.9 { rng.gen_range(0..hot_keys) } else { rng.gen_range(hot_keys..keys) };
+        let key = key_for(key_index);
+        if rng.gen::<f64>() < 0.05 {
+            db.delete(&key).unwrap();
+            model.remove(&key);
+        } else {
+            let value = value_for(key_index, version);
+            db.put(&key, &value).unwrap();
+            model.insert(key, value);
+        }
+    }
+    model
+}
+
+fn verify_against_model(db: &Db, model: &std::collections::BTreeMap<Vec<u8>, Vec<u8>>, keys: u64) {
+    for i in 0..keys {
+        let key = key_for(i);
+        assert_eq!(db.get(&key).unwrap(), model.get(&key).cloned(), "mismatch for key {i}");
+    }
+    let scanned: Vec<(Vec<u8>, Vec<u8>)> = db.scan().unwrap().map(|r| r.unwrap()).collect();
+    assert_eq!(scanned.len(), model.len(), "scan length mismatch");
+    for ((scan_key, scan_value), (model_key, model_value)) in scanned.iter().zip(model.iter()) {
+        assert_eq!(scan_key, model_key);
+        assert_eq!(scan_value, model_value);
+    }
+}
+
+#[test]
+fn every_triad_configuration_is_logically_equivalent_to_the_baseline() {
+    let configs = [
+        ("baseline", TriadConfig::baseline()),
+        ("mem", TriadConfig::mem_only()),
+        ("disk", TriadConfig::disk_only()),
+        ("log", TriadConfig::log_only()),
+        ("all", TriadConfig::all_enabled()),
+    ];
+    for (name, triad) in configs {
+        let (db, _dir) = open_small(&format!("equiv-{name}"), |options| {
+            options.triad = triad.clone();
+            options.l0_compaction_trigger = 2;
+        });
+        let model = apply_skewed_workload(&db, 400, 4_000, 42);
+        verify_against_model(&db, &model, 400);
+        // Force all background work and re-verify: flushing and compaction must not
+        // change the logical contents.
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        verify_against_model(&db, &model, 400);
+        db.close().unwrap();
+    }
+}
+
+#[test]
+fn triad_mem_retains_hot_entries_in_memory() {
+    let (db, _dir) = open_small("triad-mem", |options| {
+        options.triad = TriadConfig::mem_only();
+        options.triad.flush_skip_threshold_bytes = 0; // isolate the hot/cold split
+    });
+    apply_skewed_workload(&db, 500, 8_000, 7);
+    db.flush().unwrap();
+    let stats = db.stats();
+    assert!(stats.hot_entries_retained > 0, "TRIAD-MEM must keep some hot entries in memory");
+    db.close().unwrap();
+}
+
+#[test]
+fn triad_mem_skips_small_flushes_when_the_log_fills_up() {
+    // A tiny log limit with a large memtable: only updates to a handful of keys, so
+    // the memtable stays small while the log keeps growing. The paper's FLUSH_TH rule
+    // should rotate the log without flushing.
+    let (db, _dir) = open_small("flush-skip", |options| {
+        options.memtable_size = 1024 * 1024;
+        options.max_log_size = 32 * 1024;
+        options.triad = TriadConfig::mem_only();
+        options.triad.flush_skip_threshold_bytes = 512 * 1024;
+    });
+    for version in 0..2_000u64 {
+        let key = key_for(version % 10);
+        db.put(&key, value_for(version % 10, version)).unwrap();
+    }
+    let stats = db.stats();
+    assert!(stats.small_flush_skips > 0, "expected small-flush skips, got {stats:?}");
+    assert_eq!(stats.flush_count, 0, "no real flush should have happened");
+    assert_eq!(db.files_per_level()[0], 0, "no L0 files should exist");
+    // The data is still correct.
+    for i in 0..10u64 {
+        assert!(db.get(key_for(i)).unwrap().is_some());
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn baseline_flushes_even_when_memtable_is_small() {
+    let (db, _dir) = open_small("baseline-no-skip", |options| {
+        options.memtable_size = 1024 * 1024;
+        options.max_log_size = 32 * 1024;
+        options.triad = TriadConfig::baseline();
+    });
+    for version in 0..2_000u64 {
+        let key = key_for(version % 10);
+        db.put(&key, value_for(version % 10, version)).unwrap();
+    }
+    db.flush().unwrap();
+    let stats = db.stats();
+    assert_eq!(stats.small_flush_skips, 0);
+    assert!(stats.flush_count > 0, "the baseline flushes whenever the log fills up");
+    db.close().unwrap();
+}
+
+#[test]
+fn triad_log_writes_cl_sstables_and_flushes_fewer_bytes() {
+    let run = |triad: TriadConfig, name: &str| -> (u64, u64, bool) {
+        let (db, dir) = open_small(name, |options| {
+            options.triad = triad;
+            // Disable compaction so we only measure flush I/O.
+            options.l0_compaction_trigger = 1_000;
+            options.triad.max_l0_files = 1_000;
+        });
+        for i in 0..3_000u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        db.flush().unwrap();
+        let stats = db.stats();
+        for i in (0..3_000u64).step_by(97) {
+            assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)));
+        }
+        let has_clidx = std::fs::read_dir(&dir)
+            .unwrap()
+            .any(|e| e.unwrap().file_name().to_string_lossy().ends_with(".clidx"));
+        db.close().unwrap();
+        (stats.bytes_flushed, stats.flush_count, has_clidx)
+    };
+
+    let (baseline_bytes, baseline_flushes, baseline_clidx) = run(TriadConfig::baseline(), "log-baseline");
+    let (triad_bytes, triad_flushes, triad_clidx) = run(TriadConfig::log_only(), "log-triad");
+    assert!(!baseline_clidx, "baseline must not produce CL-SSTables");
+    assert!(triad_clidx, "TRIAD-LOG must produce CL-SSTable index files");
+    assert!(baseline_flushes > 0 && triad_flushes > 0);
+    assert!(
+        triad_bytes * 3 < baseline_bytes,
+        "TRIAD-LOG flush bytes ({triad_bytes}) should be far below the baseline ({baseline_bytes})"
+    );
+}
+
+#[test]
+fn triad_disk_defers_compactions_and_tolerates_more_l0_files() {
+    let run = |triad: TriadConfig, name: &str| -> (u64, u64) {
+        let (db, _dir) = open_small(name, |options| {
+            options.l0_compaction_trigger = 2;
+            options.triad = triad;
+            options.triad.max_l0_files = 8;
+            options.triad.overlap_ratio_threshold = 0.4;
+        });
+        // Disjoint key ranges per flush: very low overlap, so TRIAD-DISK should defer.
+        for batch in 0..6u64 {
+            for i in 0..400u64 {
+                let key = key_for(batch * 10_000 + i);
+                db.put(&key, value_for(i, batch)).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        db.wait_for_compactions().unwrap();
+        let stats = db.stats();
+        db.close().unwrap();
+        (stats.compaction_count, stats.compactions_deferred)
+    };
+    let (baseline_compactions, baseline_deferred) = run(TriadConfig::baseline(), "disk-baseline");
+    let (triad_compactions, triad_deferred) = run(TriadConfig::disk_only(), "disk-triad");
+    assert_eq!(baseline_deferred, 0);
+    assert!(baseline_compactions >= 1);
+    assert!(triad_deferred > 0, "TRIAD-DISK should defer low-overlap compactions");
+    assert!(
+        triad_compactions <= baseline_compactions,
+        "deferral must not increase compaction count ({triad_compactions} vs {baseline_compactions})"
+    );
+}
+
+#[test]
+fn triad_disk_still_compacts_when_overlap_is_high() {
+    let (db, _dir) = open_small("disk-overlap", |options| {
+        options.l0_compaction_trigger = 2;
+        options.triad = TriadConfig::disk_only();
+        options.triad.max_l0_files = 20;
+        options.triad.overlap_ratio_threshold = 0.4;
+    });
+    // Every flush rewrites the same keys: overlap close to 1, so compaction proceeds.
+    for round in 0..4u64 {
+        for i in 0..400u64 {
+            db.put(key_for(i), value_for(i, round)).unwrap();
+        }
+        db.flush().unwrap();
+    }
+    db.wait_for_compactions().unwrap();
+    let stats = db.stats();
+    assert!(stats.compaction_count >= 1, "high-overlap L0 files must be compacted");
+    // Data still correct, at its newest version.
+    for i in (0..400u64).step_by(37) {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 3)));
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn triad_disk_hard_cap_forces_compaction_regardless_of_overlap() {
+    let (db, _dir) = open_small("disk-cap", |options| {
+        options.l0_compaction_trigger = 2;
+        options.triad = TriadConfig::disk_only();
+        options.triad.max_l0_files = 3;
+        options.triad.overlap_ratio_threshold = 0.99; // effectively never by ratio
+    });
+    for batch in 0..5u64 {
+        for i in 0..300u64 {
+            db.put(key_for(batch * 10_000 + i), value_for(i, batch)).unwrap();
+        }
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+    }
+    let files = db.files_per_level();
+    assert!(files[0] < 5, "the hard cap must bound L0 growth, got {files:?}");
+    assert!(db.stats().compaction_count >= 1);
+    db.close().unwrap();
+}
+
+#[test]
+fn full_triad_reduces_flush_bytes_under_skew() {
+    let run = |triad: TriadConfig, name: &str| -> triad_core::StatSnapshot {
+        let (db, _dir) = open_small(name, |options| {
+            options.triad = triad;
+            options.l0_compaction_trigger = 2;
+        });
+        apply_skewed_workload(&db, 600, 12_000, 99);
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        let stats = db.stats();
+        db.close().unwrap();
+        stats
+    };
+    let baseline = run(TriadConfig::baseline(), "full-baseline");
+    let triad = run(TriadConfig::all_enabled(), "full-triad");
+    let baseline_bg = baseline.bytes_flushed + baseline.bytes_compacted_written;
+    let triad_bg = triad.bytes_flushed + triad.bytes_compacted_written;
+    assert!(
+        triad_bg < baseline_bg,
+        "TRIAD should write fewer background bytes ({triad_bg}) than the baseline ({baseline_bg})"
+    );
+    assert!(triad.bytes_flushed < baseline.bytes_flushed);
+}
+
+#[test]
+fn background_io_disabled_mode_never_flushes() {
+    let dir = temp_dir("no-bg-io");
+    let mut options = Options::small_for_tests();
+    options.background_io = triad_core::BackgroundIoMode::Disabled;
+    let db = Db::open(&dir, options).unwrap();
+    for i in 0..3_000u64 {
+        db.put(key_for(i), value_for(i, 1)).unwrap();
+    }
+    let stats = db.stats();
+    assert_eq!(stats.flush_count, 0);
+    assert_eq!(stats.bytes_flushed, 0);
+    assert_eq!(stats.compaction_count, 0);
+    assert_eq!(db.files_per_level().iter().sum::<usize>(), 0);
+    // Recently written keys (still in the current memtable) remain readable.
+    db.put(b"recent", b"value").unwrap();
+    assert_eq!(db.get(b"recent").unwrap().as_deref(), Some(&b"value"[..]));
+    db.close().unwrap();
+}
+
+#[test]
+fn config_labels_cover_the_breakdown_matrix() {
+    assert_eq!(TriadConfig::baseline().label(), "RocksDB");
+    assert_eq!(TriadConfig::all_enabled().label(), "TRIAD");
+    assert_eq!(TriadConfig::mem_only().label(), "TRIAD-MEM");
+    assert_eq!(TriadConfig::disk_only().label(), "TRIAD-DISK");
+    assert_eq!(TriadConfig::log_only().label(), "TRIAD-LOG");
+}

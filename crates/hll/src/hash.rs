@@ -1,0 +1,91 @@
+//! A fast, dependency-free 64-bit hash for HyperLogLog and bloom filters.
+//!
+//! The construction is the public-domain FNV-1a mix followed by a SplitMix64-style
+//! finalizer. HyperLogLog only needs a hash whose bits are individually well mixed;
+//! the finalizer ensures high bits (used for register selection) are as well
+//! distributed as low bits.
+
+/// Hashes `data` to 64 bits.
+pub fn hash64(data: &[u8]) -> u64 {
+    hash64_seeded(data, 0x9e37_79b9_7f4a_7c15)
+}
+
+/// Hashes `data` with an explicit seed; different seeds yield independent hash
+/// functions, which the bloom filter uses for double hashing.
+pub fn hash64_seeded(data: &[u8], seed: u64) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut state = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    // FNV-1a over 8-byte chunks for throughput, then the tail byte-by-byte.
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        state ^= word;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    for &byte in chunks.remainder() {
+        state ^= u64::from(byte);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state ^= data.len() as u64;
+    finalize(state)
+}
+
+/// SplitMix64 finalizer: guarantees avalanche of every input bit.
+fn finalize(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash64(b"triad"), hash64(b"triad"));
+        assert_eq!(hash64_seeded(b"triad", 7), hash64_seeded(b"triad", 7));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(hash64(b"triad"), hash64(b"triad!"));
+        assert_ne!(hash64(b""), hash64(b"\x00"));
+        assert_ne!(hash64(b"\x00"), hash64(b"\x00\x00"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(hash64_seeded(b"key", 1), hash64_seeded(b"key", 2));
+    }
+
+    #[test]
+    fn no_collisions_over_small_dense_keyspace() {
+        let mut seen = HashSet::new();
+        for i in 0..200_000u64 {
+            seen.insert(hash64(&i.to_le_bytes()));
+        }
+        // A handful of collisions would be astronomically unlikely for a good hash.
+        assert_eq!(seen.len(), 200_000);
+    }
+
+    #[test]
+    fn high_bits_are_well_distributed() {
+        // HyperLogLog uses the top `p` bits to select a register; make sure sequential
+        // keys spread across registers rather than clumping.
+        let mut buckets = [0u32; 64];
+        for i in 0..64_000u64 {
+            let h = hash64(&i.to_le_bytes());
+            buckets[(h >> 58) as usize] += 1;
+        }
+        let expected = 1000.0;
+        for (bucket, &count) in buckets.iter().enumerate() {
+            let deviation = (f64::from(count) - expected).abs() / expected;
+            assert!(deviation < 0.25, "bucket {bucket} has {count} items, deviates {deviation}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Hill-climbing tuner for the TRIAD-MEM hot-key budget.
+//!
+//! The paper fixes the number of hot keys K to a constant (the top 1% of keys by
+//! update frequency) and notes (§4.1) that the authors are "investigating techniques
+//! to automatically set K depending on the runtime workload, for example by means of
+//! hill climbing". This module implements that extension as a standalone component:
+//! after every flush the engine (or an application supervising it) reports what the
+//! flush looked like, and the tuner nudges the hot fraction up or down, keeping the
+//! change only when it improved a combined cost of flush I/O and wasted memory.
+//!
+//! The tuner is deliberately policy-only: it owns no engine state, so it can be unit
+//! tested exhaustively and reused by embedders that drive flushes themselves.
+
+use crate::hotcold::HotColdPolicy;
+
+/// What a single flush looked like, from the tuner's point of view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlushObservation {
+    /// Bytes written to disk by the flush (index-only for CL-SSTables).
+    pub bytes_flushed: u64,
+    /// Logical bytes the application wrote since the previous flush.
+    pub user_bytes_since_last_flush: u64,
+    /// Entries retained in memory as hot by this flush.
+    pub hot_entries_retained: u64,
+    /// Entries that the *previous* flush retained as hot but that were never updated
+    /// again before this flush — retained memory that bought nothing.
+    pub stale_hot_entries: u64,
+}
+
+impl FlushObservation {
+    /// The flush-I/O component of the cost: disk bytes per logical byte.
+    pub fn io_cost(&self) -> f64 {
+        if self.user_bytes_since_last_flush == 0 {
+            return 0.0;
+        }
+        self.bytes_flushed as f64 / self.user_bytes_since_last_flush as f64
+    }
+
+    /// The memory-waste component of the cost: fraction of retained entries that
+    /// were never touched again.
+    pub fn waste_cost(&self) -> f64 {
+        let retained = self.hot_entries_retained + self.stale_hot_entries;
+        if retained == 0 {
+            return 0.0;
+        }
+        self.stale_hot_entries as f64 / retained as f64
+    }
+}
+
+/// Hill-climbing controller for the TRIAD-MEM hot fraction.
+#[derive(Debug, Clone)]
+pub struct HotKeyTuner {
+    fraction: f64,
+    min_fraction: f64,
+    max_fraction: f64,
+    step: f64,
+    direction: f64,
+    waste_weight: f64,
+    last_cost: Option<f64>,
+}
+
+impl HotKeyTuner {
+    /// Creates a tuner starting from `initial_fraction`, constrained to
+    /// `[min_fraction, max_fraction]` and moving by `step` per observation.
+    ///
+    /// # Panics
+    /// Panics if the bounds are not ordered or `step` is not positive.
+    pub fn new(initial_fraction: f64, min_fraction: f64, max_fraction: f64, step: f64) -> Self {
+        assert!(min_fraction >= 0.0 && max_fraction <= 1.0 && min_fraction < max_fraction, "invalid bounds");
+        assert!(step > 0.0, "step must be positive");
+        HotKeyTuner {
+            fraction: initial_fraction.clamp(min_fraction, max_fraction),
+            min_fraction,
+            max_fraction,
+            step,
+            direction: 1.0,
+            waste_weight: 0.5,
+            last_cost: None,
+        }
+    }
+
+    /// A tuner matching the paper's default (1% hot keys), free to move between
+    /// 0.1% and 10%.
+    pub fn with_paper_defaults() -> Self {
+        HotKeyTuner::new(0.01, 0.001, 0.10, 0.005)
+    }
+
+    /// Sets the weight of the memory-waste term relative to the flush-I/O term.
+    pub fn set_waste_weight(&mut self, weight: f64) {
+        self.waste_weight = weight.max(0.0);
+    }
+
+    /// The current hot fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// The current fraction expressed as a [`HotColdPolicy`] ready to hand to
+    /// [`separate_keys`](crate::separate_keys).
+    pub fn policy(&self) -> HotColdPolicy {
+        HotColdPolicy::TopFraction(self.fraction)
+    }
+
+    /// The combined cost of an observation under the tuner's weighting.
+    pub fn cost(&self, observation: &FlushObservation) -> f64 {
+        observation.io_cost() + self.waste_weight * observation.waste_cost()
+    }
+
+    /// Feeds one flush observation and returns the hot fraction to use next.
+    ///
+    /// Classic hill climbing: keep moving in the current direction while the cost
+    /// keeps improving; reverse direction when it degrades.
+    pub fn observe(&mut self, observation: &FlushObservation) -> f64 {
+        let cost = self.cost(observation);
+        match self.last_cost {
+            None => {
+                // First observation: establish the baseline and take a first step.
+            }
+            Some(previous) if cost <= previous => {
+                // The last move helped (or was neutral); keep going the same way.
+            }
+            Some(_) => {
+                // The last move hurt; turn around.
+                self.direction = -self.direction;
+            }
+        }
+        self.last_cost = Some(cost);
+        self.fraction = (self.fraction + self.direction * self.step)
+            .clamp(self.min_fraction, self.max_fraction);
+        self.fraction
+    }
+}
+
+impl Default for HotKeyTuner {
+    fn default() -> Self {
+        Self::with_paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observation(bytes_flushed: u64, user_bytes: u64, retained: u64, stale: u64) -> FlushObservation {
+        FlushObservation {
+            bytes_flushed,
+            user_bytes_since_last_flush: user_bytes,
+            hot_entries_retained: retained,
+            stale_hot_entries: stale,
+        }
+    }
+
+    #[test]
+    fn cost_components() {
+        let obs = observation(500, 1_000, 75, 25);
+        assert!((obs.io_cost() - 0.5).abs() < 1e-9);
+        assert!((obs.waste_cost() - 0.25).abs() < 1e-9);
+        let zero = observation(0, 0, 0, 0);
+        assert_eq!(zero.io_cost(), 0.0);
+        assert_eq!(zero.waste_cost(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bounds_are_rejected() {
+        HotKeyTuner::new(0.01, 0.5, 0.1, 0.01);
+    }
+
+    #[test]
+    fn paper_defaults_start_at_one_percent() {
+        let tuner = HotKeyTuner::with_paper_defaults();
+        assert!((tuner.fraction() - 0.01).abs() < 1e-9);
+        assert_eq!(tuner.policy(), HotColdPolicy::TopFraction(tuner.fraction()));
+    }
+
+    #[test]
+    fn improving_cost_keeps_the_direction() {
+        let mut tuner = HotKeyTuner::new(0.02, 0.001, 0.2, 0.01);
+        let f0 = tuner.fraction();
+        // Costs keep going down: the tuner should keep increasing the fraction.
+        tuner.observe(&observation(900, 1_000, 10, 0));
+        let f1 = tuner.fraction();
+        tuner.observe(&observation(800, 1_000, 10, 0));
+        let f2 = tuner.fraction();
+        tuner.observe(&observation(700, 1_000, 10, 0));
+        let f3 = tuner.fraction();
+        assert!(f1 > f0 && f2 > f1 && f3 > f2, "fractions should keep rising: {f0} {f1} {f2} {f3}");
+    }
+
+    #[test]
+    fn degrading_cost_reverses_the_direction() {
+        let mut tuner = HotKeyTuner::new(0.05, 0.001, 0.2, 0.01);
+        tuner.observe(&observation(500, 1_000, 10, 0));
+        let after_first = tuner.fraction();
+        // Much worse cost: the next move must go the other way.
+        tuner.observe(&observation(900, 1_000, 10, 10));
+        let after_reverse = tuner.fraction();
+        assert!(after_reverse < after_first, "{after_reverse} should be below {after_first}");
+    }
+
+    #[test]
+    fn fraction_stays_within_bounds() {
+        let mut tuner = HotKeyTuner::new(0.01, 0.005, 0.03, 0.01);
+        // Ever-improving costs push the fraction up, but never past the maximum.
+        for i in 0..20u64 {
+            tuner.observe(&observation(1_000 - i * 10, 1_000, 10, 0));
+            assert!(tuner.fraction() >= 0.005 && tuner.fraction() <= 0.03);
+        }
+        assert!((tuner.fraction() - 0.03).abs() < 1e-9, "should have hit the upper bound");
+    }
+
+    #[test]
+    fn converges_near_a_synthetic_optimum() {
+        // Synthetic cost landscape: minimal cost when the fraction is 0.04. The I/O
+        // cost falls as the fraction approaches the true hot-set size and the waste
+        // cost rises past it.
+        let synthetic_observation = |fraction: f64| -> FlushObservation {
+            let io = (fraction - 0.04).abs() * 10_000.0 + 100.0;
+            observation(io as u64, 1_000, 100, 0)
+        };
+        let mut tuner = HotKeyTuner::new(0.01, 0.001, 0.1, 0.005);
+        for _ in 0..60 {
+            let obs = synthetic_observation(tuner.fraction());
+            tuner.observe(&obs);
+        }
+        // Hill climbing oscillates around the optimum; it must end up close to it.
+        assert!(
+            (tuner.fraction() - 0.04).abs() <= 0.015,
+            "fraction {} should settle near 0.04",
+            tuner.fraction()
+        );
+    }
+
+    #[test]
+    fn waste_weight_changes_the_tradeoff() {
+        let obs = observation(100, 1_000, 50, 50);
+        let mut cheap_memory = HotKeyTuner::with_paper_defaults();
+        cheap_memory.set_waste_weight(0.0);
+        let mut expensive_memory = HotKeyTuner::with_paper_defaults();
+        expensive_memory.set_waste_weight(2.0);
+        assert!(expensive_memory.cost(&obs) > cheap_memory.cost(&obs));
+    }
+}

@@ -1,0 +1,498 @@
+//! The memory component (`Cm`) of the TRIAD LSM tree.
+//!
+//! The memtable absorbs updates in place: a key overwritten ten times occupies one
+//! slot whose value is the latest version, whose `updates` counter is 10, and whose
+//! commit-log position points at the newest record for that key (TRIAD's Algorithm 1
+//! `CLUpdateOffset`). That per-entry metadata is exactly what the three TRIAD
+//! techniques consume:
+//!
+//! * TRIAD-MEM ranks entries by `updates` to split hot from cold keys at flush time
+//!   (see [`hotcold`]).
+//! * TRIAD-LOG uses the `(log id, offset)` pair to build CL-SSTable indexes without
+//!   rewriting values.
+//!
+//! The table is sharded internally; point operations lock a single shard while
+//! snapshots for flushing lock all shards briefly and merge their sorted contents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod hotcold;
+
+pub use adaptive::{FlushObservation, HotKeyTuner};
+pub use hotcold::{separate_keys, HotColdPolicy, HotColdSplit};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+
+use triad_common::types::{Entry, InternalKey, SeqNo, ValueKind};
+
+/// Where the newest update of a key lives in the commit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogPosition {
+    /// The id of the commit log file.
+    pub log_id: u64,
+    /// Byte offset of the record within that file.
+    pub offset: u64,
+}
+
+/// The in-memory state kept for one user key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemEntry {
+    /// The latest value; empty for tombstones.
+    pub value: Vec<u8>,
+    /// Sequence number of the latest update.
+    pub seqno: SeqNo,
+    /// Whether the latest update was a put or a delete.
+    pub kind: ValueKind,
+    /// Number of updates absorbed by this entry since it entered the memtable
+    /// (TRIAD-MEM's hotness signal).
+    pub updates: u32,
+    /// Commit-log position of the latest update (TRIAD-LOG's flush-avoidance handle).
+    pub log_position: LogPosition,
+}
+
+impl MemEntry {
+    /// Converts the entry into the engine-wide [`Entry`] representation.
+    pub fn to_entry(&self, user_key: &[u8]) -> Entry {
+        Entry::new(InternalKey::new(user_key.to_vec(), self.seqno, self.kind), self.value.clone())
+    }
+
+    /// Approximate heap footprint of this entry (key accounted separately).
+    fn approximate_size(&self, key_len: usize) -> usize {
+        key_len + self.value.len() + std::mem::size_of::<MemEntry>()
+    }
+}
+
+/// Number of shards; a power of two so shard selection is a mask.
+const SHARD_COUNT: usize = 16;
+
+/// The memory component: a sorted, sharded map from user key to [`MemEntry`].
+#[derive(Debug)]
+pub struct Memtable {
+    shards: Vec<RwLock<BTreeMap<Vec<u8>, MemEntry>>>,
+    approximate_size: AtomicUsize,
+    entry_count: AtomicUsize,
+    /// Total updates absorbed (including overwrites); used to compute the mean
+    /// update frequency for the hot/cold policy.
+    total_updates: AtomicU64,
+}
+
+impl Default for Memtable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Memtable {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            approximate_size: AtomicUsize::new(0),
+            entry_count: AtomicUsize::new(0),
+            total_updates: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &[u8]) -> usize {
+        (triad_hll::hash64(key) as usize) & (SHARD_COUNT - 1)
+    }
+
+    /// Inserts or overwrites `key`, absorbing the update in place.
+    ///
+    /// Returns the new approximate size of the memtable in bytes.
+    pub fn insert(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        seqno: SeqNo,
+        kind: ValueKind,
+        log_position: LogPosition,
+    ) -> usize {
+        let shard = &self.shards[self.shard_for(key)];
+        let mut map = shard.write();
+        self.total_updates.fetch_add(1, Ordering::Relaxed);
+        match map.get_mut(key) {
+            Some(existing) => {
+                let old_size = existing.approximate_size(key.len());
+                existing.value = value.to_vec();
+                existing.seqno = seqno;
+                existing.kind = kind;
+                existing.updates = existing.updates.saturating_add(1);
+                existing.log_position = log_position;
+                let new_size = existing.approximate_size(key.len());
+                if new_size >= old_size {
+                    self.approximate_size.fetch_add(new_size - old_size, Ordering::Relaxed);
+                } else {
+                    self.approximate_size.fetch_sub(old_size - new_size, Ordering::Relaxed);
+                }
+            }
+            None => {
+                let entry = MemEntry {
+                    value: value.to_vec(),
+                    seqno,
+                    kind,
+                    updates: 1,
+                    log_position,
+                };
+                let size = entry.approximate_size(key.len());
+                map.insert(key.to_vec(), entry);
+                self.approximate_size.fetch_add(size, Ordering::Relaxed);
+                self.entry_count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.approximate_size.load(Ordering::Relaxed)
+    }
+
+    /// Re-inserts a complete [`MemEntry`] (used when TRIAD-MEM retains hot keys in
+    /// the new memtable after a flush), preserving its update counter.
+    pub fn insert_entry(&self, key: &[u8], entry: MemEntry) {
+        let shard = &self.shards[self.shard_for(key)];
+        let mut map = shard.write();
+        let size = entry.approximate_size(key.len());
+        self.total_updates.fetch_add(u64::from(entry.updates), Ordering::Relaxed);
+        if let Some(old) = map.insert(key.to_vec(), entry) {
+            let old_size = old.approximate_size(key.len());
+            if size >= old_size {
+                self.approximate_size.fetch_add(size - old_size, Ordering::Relaxed);
+            } else {
+                self.approximate_size.fetch_sub(old_size - size, Ordering::Relaxed);
+            }
+        } else {
+            self.approximate_size.fetch_add(size, Ordering::Relaxed);
+            self.entry_count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Inserts `entry` only if the memtable holds no newer version of `key`.
+    ///
+    /// This is the write-back path of TRIAD-MEM: hot entries from the memtable being
+    /// flushed are re-inserted into the new active memtable, but they must never
+    /// overwrite an update the application performed in the meantime. Returns `true`
+    /// if the entry was installed.
+    pub fn insert_entry_if_older(&self, key: &[u8], entry: MemEntry) -> bool {
+        let shard = &self.shards[self.shard_for(key)];
+        let mut map = shard.write();
+        match map.get_mut(key) {
+            Some(existing) if existing.seqno >= entry.seqno => false,
+            Some(existing) => {
+                let old_size = existing.approximate_size(key.len());
+                let new_size = entry.approximate_size(key.len());
+                // Preserve the update counter the newer writes accumulated plus the
+                // hotness the entry carried over.
+                let combined_updates = existing.updates.saturating_add(entry.updates);
+                *existing = entry;
+                existing.updates = combined_updates;
+                if new_size >= old_size {
+                    self.approximate_size.fetch_add(new_size - old_size, Ordering::Relaxed);
+                } else {
+                    self.approximate_size.fetch_sub(old_size - new_size, Ordering::Relaxed);
+                }
+                true
+            }
+            None => {
+                let size = entry.approximate_size(key.len());
+                self.total_updates.fetch_add(u64::from(entry.updates), Ordering::Relaxed);
+                map.insert(key.to_vec(), entry);
+                self.approximate_size.fetch_add(size, Ordering::Relaxed);
+                self.entry_count.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Updates the commit-log position of `key` if its current version still has
+    /// sequence number `expected_seqno` (TRIAD's `CLUpdateOffset` during log
+    /// rotation). Returns `true` if the position was updated.
+    pub fn update_log_position(&self, key: &[u8], expected_seqno: SeqNo, position: LogPosition) -> bool {
+        let shard = &self.shards[self.shard_for(key)];
+        let mut map = shard.write();
+        match map.get_mut(key) {
+            Some(entry) if entry.seqno == expected_seqno => {
+                entry.log_position = position;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns the freshest version of `key` visible at `snapshot`, if present.
+    pub fn get(&self, key: &[u8], snapshot: SeqNo) -> Option<Entry> {
+        let shard = &self.shards[self.shard_for(key)];
+        let map = shard.read();
+        map.get(key).and_then(|entry| {
+            if entry.seqno <= snapshot {
+                Some(entry.to_entry(key))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Returns the raw [`MemEntry`] for `key`, regardless of snapshot.
+    pub fn get_raw(&self, key: &[u8]) -> Option<MemEntry> {
+        let shard = &self.shards[self.shard_for(key)];
+        shard.read().get(key).cloned()
+    }
+
+    /// Number of distinct keys currently held.
+    pub fn len(&self) -> usize {
+        self.entry_count.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` when no keys are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approximate_size(&self) -> usize {
+        self.approximate_size.load(Ordering::Relaxed)
+    }
+
+    /// Total number of updates absorbed (including in-place overwrites).
+    pub fn total_updates(&self) -> u64 {
+        self.total_updates.load(Ordering::Relaxed)
+    }
+
+    /// Takes a sorted snapshot of every `(key, entry)` pair.
+    ///
+    /// Used by flushes; the memtable keeps serving reads while the snapshot is
+    /// processed because the caller holds the snapshot by value.
+    pub fn snapshot_entries(&self) -> Vec<(Vec<u8>, MemEntry)> {
+        let mut all: Vec<(Vec<u8>, MemEntry)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let map = shard.read();
+            all.extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Returns the entries as the engine-wide [`Entry`] type, sorted by internal key.
+    pub fn snapshot_as_entries(&self) -> Vec<Entry> {
+        self.snapshot_entries()
+            .into_iter()
+            .map(|(key, entry)| entry.to_entry(&key))
+            .collect()
+    }
+
+    /// Largest sequence number stored, if any.
+    pub fn max_seqno(&self) -> Option<SeqNo> {
+        let mut max = None;
+        for shard in &self.shards {
+            let map = shard.read();
+            for entry in map.values() {
+                max = Some(max.map_or(entry.seqno, |m: SeqNo| m.max(entry.seqno)));
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn pos(log_id: u64, offset: u64) -> LogPosition {
+        LogPosition { log_id, offset }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let memtable = Memtable::new();
+        assert!(memtable.is_empty());
+        memtable.insert(b"k1", b"v1", 1, ValueKind::Put, pos(1, 0));
+        memtable.insert(b"k2", b"v2", 2, ValueKind::Put, pos(1, 32));
+        assert_eq!(memtable.len(), 2);
+        assert!(!memtable.is_empty());
+        let entry = memtable.get(b"k1", u64::MAX).unwrap();
+        assert_eq!(entry.value, b"v1");
+        assert_eq!(entry.key.seqno, 1);
+        assert!(memtable.get(b"missing", u64::MAX).is_none());
+    }
+
+    #[test]
+    fn updates_are_absorbed_in_place() {
+        let memtable = Memtable::new();
+        for i in 0..10u64 {
+            memtable.insert(b"hot", format!("v{i}").as_bytes(), i + 1, ValueKind::Put, pos(1, i * 40));
+        }
+        assert_eq!(memtable.len(), 1, "in-place absorption keeps one slot per key");
+        let raw = memtable.get_raw(b"hot").unwrap();
+        assert_eq!(raw.updates, 10);
+        assert_eq!(raw.value, b"v9");
+        assert_eq!(raw.seqno, 10);
+        assert_eq!(raw.log_position, pos(1, 9 * 40), "log position tracks the newest record");
+        assert_eq!(memtable.total_updates(), 10);
+    }
+
+    #[test]
+    fn snapshot_visibility_respects_seqno() {
+        let memtable = Memtable::new();
+        memtable.insert(b"k", b"v", 10, ValueKind::Put, pos(1, 0));
+        assert!(memtable.get(b"k", 9).is_none());
+        assert!(memtable.get(b"k", 10).is_some());
+        assert!(memtable.get(b"k", 11).is_some());
+    }
+
+    #[test]
+    fn deletes_are_recorded_as_tombstones() {
+        let memtable = Memtable::new();
+        memtable.insert(b"k", b"v", 1, ValueKind::Put, pos(1, 0));
+        memtable.insert(b"k", b"", 2, ValueKind::Delete, pos(1, 40));
+        let entry = memtable.get(b"k", u64::MAX).unwrap();
+        assert_eq!(entry.key.kind, ValueKind::Delete);
+        assert!(entry.value.is_empty());
+        assert_eq!(memtable.len(), 1);
+    }
+
+    #[test]
+    fn approximate_size_grows_and_tracks_value_sizes() {
+        let memtable = Memtable::new();
+        let initial = memtable.approximate_size();
+        memtable.insert(b"key", &[0u8; 1000], 1, ValueKind::Put, pos(1, 0));
+        let after_large = memtable.approximate_size();
+        assert!(after_large > initial + 1000);
+        // Overwriting with a smaller value shrinks the accounted size.
+        memtable.insert(b"key", &[0u8; 10], 2, ValueKind::Put, pos(1, 40));
+        let after_small = memtable.approximate_size();
+        assert!(after_small < after_large);
+        assert!(after_small > 0);
+    }
+
+    #[test]
+    fn snapshot_entries_are_sorted_and_complete() {
+        let memtable = Memtable::new();
+        let mut keys: Vec<String> = (0..500).map(|i| format!("key-{:04}", (i * 7919) % 1000)).collect();
+        for (i, key) in keys.iter().enumerate() {
+            memtable.insert(key.as_bytes(), b"v", i as u64 + 1, ValueKind::Put, pos(1, 0));
+        }
+        keys.sort();
+        keys.dedup();
+        let snapshot = memtable.snapshot_entries();
+        assert_eq!(snapshot.len(), keys.len());
+        for (got, want) in snapshot.iter().zip(keys.iter()) {
+            assert_eq!(got.0, want.as_bytes());
+        }
+        for window in snapshot.windows(2) {
+            assert!(window[0].0 < window[1].0);
+        }
+        let as_entries = memtable.snapshot_as_entries();
+        assert_eq!(as_entries.len(), keys.len());
+        for window in as_entries.windows(2) {
+            assert!(window[0].key < window[1].key);
+        }
+    }
+
+    #[test]
+    fn insert_entry_preserves_update_counter() {
+        let memtable = Memtable::new();
+        let entry = MemEntry {
+            value: b"hot-value".to_vec(),
+            seqno: 77,
+            kind: ValueKind::Put,
+            updates: 42,
+            log_position: pos(3, 160),
+        };
+        memtable.insert_entry(b"hot", entry.clone());
+        let raw = memtable.get_raw(b"hot").unwrap();
+        assert_eq!(raw, entry);
+        assert_eq!(memtable.total_updates(), 42);
+        // Overwriting via insert_entry replaces the whole record.
+        let replacement = MemEntry { updates: 1, ..entry };
+        memtable.insert_entry(b"hot", replacement.clone());
+        assert_eq!(memtable.get_raw(b"hot").unwrap(), replacement);
+        assert_eq!(memtable.len(), 1);
+    }
+
+    #[test]
+    fn max_seqno_tracks_newest_update() {
+        let memtable = Memtable::new();
+        assert_eq!(memtable.max_seqno(), None);
+        memtable.insert(b"a", b"1", 5, ValueKind::Put, pos(1, 0));
+        memtable.insert(b"b", b"2", 17, ValueKind::Put, pos(1, 40));
+        memtable.insert(b"a", b"3", 20, ValueKind::Put, pos(1, 80));
+        assert_eq!(memtable.max_seqno(), Some(20));
+    }
+
+    #[test]
+    fn insert_if_older_respects_newer_writes() {
+        let memtable = Memtable::new();
+        memtable.insert(b"k", b"newer", 10, ValueKind::Put, pos(2, 0));
+        let stale = MemEntry {
+            value: b"stale".to_vec(),
+            seqno: 5,
+            kind: ValueKind::Put,
+            updates: 30,
+            log_position: pos(1, 0),
+        };
+        assert!(!memtable.insert_entry_if_older(b"k", stale), "older entry must not overwrite");
+        assert_eq!(memtable.get(b"k", u64::MAX).unwrap().value, b"newer");
+
+        let fresher = MemEntry {
+            value: b"fresher".to_vec(),
+            seqno: 20,
+            kind: ValueKind::Put,
+            updates: 3,
+            log_position: pos(2, 80),
+        };
+        assert!(memtable.insert_entry_if_older(b"k", fresher));
+        let raw = memtable.get_raw(b"k").unwrap();
+        assert_eq!(raw.value, b"fresher");
+        assert_eq!(raw.updates, 4, "hotness carried over is combined with newer activity");
+
+        // Inserting into an empty slot works too.
+        let new_key = MemEntry {
+            value: b"x".to_vec(),
+            seqno: 1,
+            kind: ValueKind::Put,
+            updates: 7,
+            log_position: pos(2, 120),
+        };
+        assert!(memtable.insert_entry_if_older(b"other", new_key));
+        assert_eq!(memtable.len(), 2);
+    }
+
+    #[test]
+    fn update_log_position_only_applies_to_matching_seqno() {
+        let memtable = Memtable::new();
+        memtable.insert(b"k", b"v", 7, ValueKind::Put, pos(1, 100));
+        assert!(memtable.update_log_position(b"k", 7, pos(2, 0)));
+        assert_eq!(memtable.get_raw(b"k").unwrap().log_position, pos(2, 0));
+        // A stale expectation does nothing.
+        assert!(!memtable.update_log_position(b"k", 6, pos(3, 0)));
+        assert_eq!(memtable.get_raw(b"k").unwrap().log_position, pos(2, 0));
+        // Unknown keys do nothing.
+        assert!(!memtable.update_log_position(b"missing", 1, pos(3, 0)));
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let memtable = Arc::new(Memtable::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let memtable = Arc::clone(&memtable);
+            handles.push(thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    let key = format!("key-{:03}", i % 100);
+                    memtable.insert(key.as_bytes(), b"value", t * 1_000 + i + 1, ValueKind::Put, pos(1, i));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(memtable.len(), 100);
+        assert_eq!(memtable.total_updates(), 8_000);
+        let snapshot = memtable.snapshot_entries();
+        let total_updates: u64 = snapshot.iter().map(|(_, e)| u64::from(e.updates)).sum();
+        assert_eq!(total_updates, 8_000, "every insert bumps exactly one entry's counter");
+    }
+}

@@ -1,0 +1,203 @@
+//! Bloom filter over user keys.
+//!
+//! Each SSTable (and CL-SSTable index) embeds a bloom filter built from the user
+//! keys it contains, so that point lookups can skip tables — in particular the many
+//! L0 tables TRIAD-DISK tolerates — without touching their data blocks. The filter
+//! uses the standard double-hashing construction: `k` probe positions derived from
+//! two independent 64-bit hashes.
+
+use triad_common::{Error, Result};
+use triad_hll::hash64;
+
+/// A space-efficient approximate set membership structure.
+///
+/// False positives are possible (tuned by `bits_per_key`); false negatives are not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    num_probes: u8,
+    num_keys: u64,
+}
+
+impl BloomFilter {
+    /// Builds a filter for `keys` using roughly `bits_per_key` bits per key.
+    ///
+    /// `bits_per_key` of 10 gives a ~1% false-positive rate, matching common LSM
+    /// store defaults.
+    pub fn build<'a, I>(keys: I, bits_per_key: usize) -> BloomFilter
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let hashes: Vec<u64> = keys.into_iter().map(hash64).collect();
+        Self::build_from_hashes(&hashes, bits_per_key)
+    }
+
+    /// Builds a filter from pre-computed 64-bit key hashes.
+    pub fn build_from_hashes(hashes: &[u64], bits_per_key: usize) -> BloomFilter {
+        let bits_per_key = bits_per_key.max(1);
+        // k = ln(2) * bits_per_key, clamped to a sensible range.
+        let num_probes = ((bits_per_key as f64 * 0.69) as u8).clamp(1, 30);
+        let nbits = (hashes.len() * bits_per_key).max(64);
+        let nbytes = nbits.div_ceil(8);
+        let mut bits = vec![0u8; nbytes];
+        let nbits = nbytes * 8;
+        for &hash in hashes {
+            Self::set_probes(&mut bits, nbits, hash, num_probes);
+        }
+        BloomFilter { bits, num_probes, num_keys: hashes.len() as u64 }
+    }
+
+    fn probe_positions(nbits: usize, hash: u64, num_probes: u8) -> impl Iterator<Item = usize> {
+        // Double hashing: h1 + i*h2, as used by LevelDB/RocksDB bloom filters.
+        let h1 = hash;
+        let h2 = hash.rotate_right(17) | 1;
+        (0..num_probes).map(move |i| {
+            let combined = h1.wrapping_add(u64::from(i).wrapping_mul(h2));
+            (combined % nbits as u64) as usize
+        })
+    }
+
+    fn set_probes(bits: &mut [u8], nbits: usize, hash: u64, num_probes: u8) {
+        for pos in Self::probe_positions(nbits, hash, num_probes) {
+            bits[pos / 8] |= 1 << (pos % 8);
+        }
+    }
+
+    /// Returns `false` only if `key` was definitely not added to the filter.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.may_contain_hash(hash64(key))
+    }
+
+    /// Hash-based variant of [`may_contain`](Self::may_contain).
+    pub fn may_contain_hash(&self, hash: u64) -> bool {
+        if self.num_keys == 0 {
+            return false;
+        }
+        let nbits = self.bits.len() * 8;
+        Self::probe_positions(nbits, hash, self.num_probes)
+            .all(|pos| self.bits[pos / 8] & (1 << (pos % 8)) != 0)
+    }
+
+    /// Number of keys the filter was built from.
+    pub fn num_keys(&self) -> u64 {
+        self.num_keys
+    }
+
+    /// Size of the filter's bit array in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Serializes the filter: `[num_probes][num_keys: u64 LE][bits...]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + self.bits.len());
+        out.push(self.num_probes);
+        out.extend_from_slice(&self.num_keys.to_le_bytes());
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    /// Deserializes a filter produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<BloomFilter> {
+        if bytes.len() < 9 {
+            return Err(Error::corruption("bloom filter payload too short"));
+        }
+        let num_probes = bytes[0];
+        if num_probes == 0 || num_probes > 30 {
+            return Err(Error::corruption(format!("invalid bloom probe count {num_probes}")));
+        }
+        let num_keys = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+        let bits = bytes[9..].to_vec();
+        if bits.is_empty() {
+            return Err(Error::corruption("bloom filter has no bit array"));
+        }
+        Ok(BloomFilter { bits, num_probes, num_keys })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("user-key-{i:08}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let keys = keys(10_000);
+        let filter = BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10);
+        for key in &keys {
+            assert!(filter.may_contain(key), "key {key:?} must be reported present");
+        }
+        assert_eq!(filter.num_keys(), 10_000);
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let present = keys(10_000);
+        let filter = BloomFilter::build(present.iter().map(|k| k.as_slice()), 10);
+        let mut false_positives = 0;
+        let trials = 20_000;
+        for i in 0..trials {
+            let absent = format!("absent-key-{i:08}");
+            if filter.may_contain(absent.as_bytes()) {
+                false_positives += 1;
+            }
+        }
+        let rate = f64::from(false_positives) / f64::from(trials);
+        assert!(rate < 0.03, "false positive rate {rate} too high for 10 bits/key");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let filter = BloomFilter::build(std::iter::empty(), 10);
+        assert!(!filter.may_contain(b"anything"));
+        assert_eq!(filter.num_keys(), 0);
+    }
+
+    #[test]
+    fn single_key_filter() {
+        let filter = BloomFilter::build([b"only".as_slice()], 10);
+        assert!(filter.may_contain(b"only"));
+        assert_eq!(filter.num_keys(), 1);
+    }
+
+    #[test]
+    fn more_bits_means_fewer_false_positives() {
+        let present = keys(5_000);
+        let small = BloomFilter::build(present.iter().map(|k| k.as_slice()), 4);
+        let large = BloomFilter::build(present.iter().map(|k| k.as_slice()), 16);
+        let count = |filter: &BloomFilter| {
+            (0..20_000)
+                .filter(|i| filter.may_contain(format!("missing-{i}").as_bytes()))
+                .count()
+        };
+        let small_fp = count(&small);
+        let large_fp = count(&large);
+        assert!(large_fp < small_fp, "16 bits/key ({large_fp}) should beat 4 bits/key ({small_fp})");
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let present = keys(1_000);
+        let filter = BloomFilter::build(present.iter().map(|k| k.as_slice()), 10);
+        let restored = BloomFilter::from_bytes(&filter.to_bytes()).expect("round trips");
+        assert_eq!(restored, filter);
+        for key in &present {
+            assert!(restored.may_contain(key));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let filter = BloomFilter::build([b"k".as_slice()], 10);
+        let bytes = filter.to_bytes();
+        assert!(BloomFilter::from_bytes(&bytes[..4]).is_err());
+        let mut zero_probes = bytes.clone();
+        zero_probes[0] = 0;
+        assert!(BloomFilter::from_bytes(&zero_probes).is_err());
+        assert!(BloomFilter::from_bytes(&bytes[..9]).is_err(), "missing bit array");
+    }
+}

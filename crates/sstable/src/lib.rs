@@ -1,0 +1,125 @@
+//! SSTables for the TRIAD engine.
+//!
+//! This crate implements the on-disk sorted-table formats used by the LSM tree:
+//!
+//! * [`bloom`] — a bloom filter over user keys, consulted before touching data blocks.
+//! * [`block`] — the sorted key/value block format shared by data and index blocks.
+//! * [`format`] — block handles, checksummed block I/O and the table footer.
+//! * [`properties`] — per-table metadata (entry counts, key range, HyperLogLog sketch).
+//! * [`builder`] / [`reader`] — the regular block-based SSTable, equivalent to the
+//!   tables RocksDB writes on flush and compaction.
+//! * [`cl_table`] — the TRIAD-LOG *CL-SSTable*: a sorted key→offset index over a
+//!   sealed commit log, so flushes write only the index instead of re-writing values.
+//! * [`iter`] — the k-way merging iterator and the version-resolving iterator used by
+//!   compaction and scans.
+//!
+//! All tables expose the same [`SortedTable`] interface so the engine's read path and
+//! compaction treat regular SSTables and CL-SSTables uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod bloom;
+pub mod builder;
+pub mod cl_table;
+pub mod format;
+pub mod iter;
+pub mod properties;
+pub mod reader;
+
+pub use bloom::BloomFilter;
+pub use builder::{TableBuilder, TableBuilderOptions};
+pub use cl_table::{ClTable, ClTableBuilder};
+pub use iter::{DedupIterator, EntryIter, MergingIterator};
+pub use properties::{TableKind, TableProperties};
+pub use reader::Table;
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use triad_common::types::Entry;
+use triad_common::Result;
+
+/// Returns the canonical file name for SSTable `id`, e.g. `000042.sst`.
+pub fn sst_file_name(id: u64) -> String {
+    format!("{id:06}.sst")
+}
+
+/// Returns the full path of SSTable `id` inside `dir`.
+pub fn sst_file_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(sst_file_name(id))
+}
+
+/// Returns the canonical file name for the CL-SSTable index of table `id`.
+pub fn cl_index_file_name(id: u64) -> String {
+    format!("{id:06}.clidx")
+}
+
+/// Returns the full path of CL-SSTable index `id` inside `dir`.
+pub fn cl_index_file_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(cl_index_file_name(id))
+}
+
+/// Parses a table id out of a `.sst` or `.clidx` file name.
+pub fn parse_table_file_name(name: &str) -> Option<(u64, TableKind)> {
+    if let Some(stem) = name.strip_suffix(".sst") {
+        if !stem.is_empty() && stem.bytes().all(|b| b.is_ascii_digit()) {
+            return Some((stem.parse().ok()?, TableKind::Block));
+        }
+    }
+    if let Some(stem) = name.strip_suffix(".clidx") {
+        if !stem.is_empty() && stem.bytes().all(|b| b.is_ascii_digit()) {
+            return Some((stem.parse().ok()?, TableKind::CommitLogIndex));
+        }
+    }
+    None
+}
+
+/// The uniform interface that the engine's read path and compaction use for any
+/// on-disk table, regardless of whether it is a regular SSTable or a CL-SSTable.
+pub trait SortedTable: Send + Sync {
+    /// Returns the freshest entry for `user_key` visible at `snapshot`, if the table
+    /// contains one. The returned entry may be a tombstone.
+    fn get(&self, user_key: &[u8], snapshot: u64) -> Result<Option<Entry>>;
+
+    /// Returns an iterator over every entry in internal-key order.
+    fn entries(&self) -> Result<EntryIter>;
+
+    /// The table's metadata.
+    fn properties(&self) -> &TableProperties;
+
+    /// The on-disk size of the table in bytes (index + data it owns).
+    fn size_bytes(&self) -> u64;
+}
+
+/// A reference-counted trait object over any sorted table.
+pub type TableRef = Arc<dyn SortedTable>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_name_round_trip() {
+        assert_eq!(sst_file_name(7), "000007.sst");
+        assert_eq!(parse_table_file_name("000007.sst"), Some((7, TableKind::Block)));
+        assert_eq!(cl_index_file_name(12), "000012.clidx");
+        assert_eq!(parse_table_file_name("000012.clidx"), Some((12, TableKind::CommitLogIndex)));
+    }
+
+    #[test]
+    fn parse_rejects_other_names() {
+        assert_eq!(parse_table_file_name("000001.log"), None);
+        assert_eq!(parse_table_file_name("x.sst"), None);
+        assert_eq!(parse_table_file_name(".clidx"), None);
+        assert_eq!(parse_table_file_name("MANIFEST"), None);
+    }
+
+    #[test]
+    fn paths_are_inside_dir() {
+        let dir = Path::new("/data/db");
+        assert_eq!(sst_file_path(dir, 3), PathBuf::from("/data/db/000003.sst"));
+        assert_eq!(cl_index_file_path(dir, 3), PathBuf::from("/data/db/000003.clidx"));
+    }
+}

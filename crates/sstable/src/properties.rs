@@ -1,0 +1,272 @@
+//! Per-table metadata stored in the properties block.
+//!
+//! Besides the usual entry counts and key range, every table carries the serialized
+//! HyperLogLog sketch of its user keys. TRIAD-DISK reads these sketches straight
+//! from the table metadata to compute the L0 overlap ratio without touching data
+//! blocks.
+
+use triad_common::types::InternalKey;
+use triad_common::varint;
+use triad_common::{Error, Result};
+use triad_hll::HyperLogLog;
+
+/// The physical layout of a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableKind {
+    /// A regular block-based SSTable holding keys and values.
+    Block,
+    /// A TRIAD-LOG CL-SSTable: an index of key → commit-log offset, with values
+    /// living in the sealed commit log file.
+    CommitLogIndex,
+}
+
+impl TableKind {
+    /// Encodes the kind as a byte tag.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            TableKind::Block => 0,
+            TableKind::CommitLogIndex => 1,
+        }
+    }
+
+    /// Decodes the kind from its byte tag.
+    pub fn from_u8(tag: u8) -> Option<TableKind> {
+        match tag {
+            0 => Some(TableKind::Block),
+            1 => Some(TableKind::CommitLogIndex),
+            _ => None,
+        }
+    }
+}
+
+/// Metadata describing the contents of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableProperties {
+    /// Physical layout of the table.
+    pub kind: TableKind,
+    /// Number of entries (puts and tombstones).
+    pub num_entries: u64,
+    /// Number of tombstone entries.
+    pub num_tombstones: u64,
+    /// Total bytes of user keys stored.
+    pub raw_key_bytes: u64,
+    /// Total bytes of values stored (or referenced, for CL-SSTables).
+    pub raw_value_bytes: u64,
+    /// Smallest internal key in the table, if the table is non-empty.
+    pub smallest: Option<InternalKey>,
+    /// Largest internal key in the table, if the table is non-empty.
+    pub largest: Option<InternalKey>,
+    /// Sketch of the user keys, used by TRIAD-DISK's overlap ratio.
+    pub hll: HyperLogLog,
+    /// For CL-SSTables, the id of the commit log file holding the values.
+    pub backing_log_id: Option<u64>,
+}
+
+impl TableProperties {
+    /// Creates empty properties for a table under construction.
+    pub fn new(kind: TableKind) -> Self {
+        TableProperties {
+            kind,
+            num_entries: 0,
+            num_tombstones: 0,
+            raw_key_bytes: 0,
+            raw_value_bytes: 0,
+            smallest: None,
+            largest: None,
+            hll: HyperLogLog::new(),
+            backing_log_id: None,
+        }
+    }
+
+    /// Returns the user-key range `(smallest, largest)` if the table is non-empty.
+    pub fn user_key_range(&self) -> Option<(&[u8], &[u8])> {
+        match (&self.smallest, &self.largest) {
+            (Some(s), Some(l)) => Some((s.user_key.as_slice(), l.user_key.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the table's user-key range overlaps `[start, end]`.
+    pub fn overlaps_user_range(&self, start: &[u8], end: &[u8]) -> bool {
+        match self.user_key_range() {
+            Some((smallest, largest)) => smallest <= end && start <= largest,
+            None => false,
+        }
+    }
+
+    /// Returns `true` if `user_key` falls inside the table's key range.
+    pub fn may_contain_user_key(&self, user_key: &[u8]) -> bool {
+        self.overlaps_user_range(user_key, user_key)
+    }
+
+    /// Serializes the properties into the block payload format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.kind.as_u8());
+        varint::encode_u64(&mut out, self.num_entries);
+        varint::encode_u64(&mut out, self.num_tombstones);
+        varint::encode_u64(&mut out, self.raw_key_bytes);
+        varint::encode_u64(&mut out, self.raw_value_bytes);
+        let smallest = self.smallest.as_ref().map(|k| k.encode()).unwrap_or_default();
+        let largest = self.largest.as_ref().map(|k| k.encode()).unwrap_or_default();
+        varint::encode_length_prefixed(&mut out, &smallest);
+        varint::encode_length_prefixed(&mut out, &largest);
+        varint::encode_length_prefixed(&mut out, &self.hll.to_bytes());
+        match self.backing_log_id {
+            Some(id) => {
+                out.push(1);
+                varint::encode_u64(&mut out, id);
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Parses properties from their encoded form.
+    pub fn decode(bytes: &[u8]) -> Result<TableProperties> {
+        let mut pos = 0usize;
+        let kind_tag = *bytes.get(pos).ok_or_else(|| Error::corruption("properties block empty"))?;
+        let kind = TableKind::from_u8(kind_tag)
+            .ok_or_else(|| Error::corruption(format!("invalid table kind {kind_tag}")))?;
+        pos += 1;
+        let (num_entries, read) = varint::decode_u64(&bytes[pos..])?;
+        pos += read;
+        let (num_tombstones, read) = varint::decode_u64(&bytes[pos..])?;
+        pos += read;
+        let (raw_key_bytes, read) = varint::decode_u64(&bytes[pos..])?;
+        pos += read;
+        let (raw_value_bytes, read) = varint::decode_u64(&bytes[pos..])?;
+        pos += read;
+        let (smallest_bytes, read) = varint::decode_length_prefixed(&bytes[pos..])?;
+        let smallest = if smallest_bytes.is_empty() {
+            None
+        } else {
+            Some(
+                InternalKey::decode(smallest_bytes)
+                    .ok_or_else(|| Error::corruption("invalid smallest key in properties"))?,
+            )
+        };
+        pos += read;
+        let (largest_bytes, read) = varint::decode_length_prefixed(&bytes[pos..])?;
+        let largest = if largest_bytes.is_empty() {
+            None
+        } else {
+            Some(
+                InternalKey::decode(largest_bytes)
+                    .ok_or_else(|| Error::corruption("invalid largest key in properties"))?,
+            )
+        };
+        pos += read;
+        let (hll_bytes, read) = varint::decode_length_prefixed(&bytes[pos..])?;
+        let hll = HyperLogLog::from_bytes(hll_bytes)?;
+        pos += read;
+        let log_tag = *bytes
+            .get(pos)
+            .ok_or_else(|| Error::corruption("properties block truncated before log id"))?;
+        pos += 1;
+        let backing_log_id = match log_tag {
+            0 => None,
+            1 => {
+                let (id, read) = varint::decode_u64(&bytes[pos..])?;
+                pos += read;
+                Some(id)
+            }
+            other => return Err(Error::corruption(format!("invalid backing-log tag {other}"))),
+        };
+        if pos != bytes.len() {
+            return Err(Error::corruption("properties block has trailing bytes"));
+        }
+        Ok(TableProperties {
+            kind,
+            num_entries,
+            num_tombstones,
+            raw_key_bytes,
+            raw_value_bytes,
+            smallest,
+            largest,
+            hll,
+            backing_log_id,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_common::types::ValueKind;
+
+    fn sample() -> TableProperties {
+        let mut props = TableProperties::new(TableKind::Block);
+        props.num_entries = 100;
+        props.num_tombstones = 3;
+        props.raw_key_bytes = 800;
+        props.raw_value_bytes = 25_500;
+        props.smallest = Some(InternalKey::new(b"aaa".to_vec(), 5, ValueKind::Put));
+        props.largest = Some(InternalKey::new(b"zzz".to_vec(), 90, ValueKind::Delete));
+        for i in 0..100u64 {
+            props.hll.add(&i.to_le_bytes());
+        }
+        props
+    }
+
+    #[test]
+    fn round_trip() {
+        let props = sample();
+        let decoded = TableProperties::decode(&props.encode()).unwrap();
+        assert_eq!(decoded, props);
+    }
+
+    #[test]
+    fn round_trip_with_backing_log() {
+        let mut props = sample();
+        props.kind = TableKind::CommitLogIndex;
+        props.backing_log_id = Some(42);
+        let decoded = TableProperties::decode(&props.encode()).unwrap();
+        assert_eq!(decoded.backing_log_id, Some(42));
+        assert_eq!(decoded.kind, TableKind::CommitLogIndex);
+    }
+
+    #[test]
+    fn round_trip_empty_table() {
+        let props = TableProperties::new(TableKind::Block);
+        let decoded = TableProperties::decode(&props.encode()).unwrap();
+        assert_eq!(decoded.smallest, None);
+        assert_eq!(decoded.largest, None);
+        assert_eq!(decoded.user_key_range(), None);
+    }
+
+    #[test]
+    fn key_range_queries() {
+        let props = sample();
+        assert!(props.may_contain_user_key(b"mmm"));
+        assert!(props.may_contain_user_key(b"aaa"));
+        assert!(props.may_contain_user_key(b"zzz"));
+        assert!(!props.may_contain_user_key(b"a"));
+        assert!(!props.may_contain_user_key(b"zzzz"));
+        assert!(props.overlaps_user_range(b"x", b"zzzz"));
+        assert!(!props.overlaps_user_range(b"zzzz", b"zzzzz"));
+        assert!(!TableProperties::new(TableKind::Block).may_contain_user_key(b"x"));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let props = sample();
+        let bytes = props.encode();
+        assert!(TableProperties::decode(&bytes[..bytes.len() / 2]).is_err());
+        let mut bad_kind = bytes.clone();
+        bad_kind[0] = 77;
+        assert!(TableProperties::decode(&bad_kind).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(TableProperties::decode(&trailing).is_err());
+        assert!(TableProperties::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn kind_round_trip() {
+        for kind in [TableKind::Block, TableKind::CommitLogIndex] {
+            assert_eq!(TableKind::from_u8(kind.as_u8()), Some(kind));
+        }
+        assert_eq!(TableKind::from_u8(9), None);
+    }
+}

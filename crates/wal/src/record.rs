@@ -1,0 +1,137 @@
+//! The logical payload stored in each commit-log record.
+
+use triad_common::types::{SeqNo, ValueKind};
+use triad_common::varint;
+use triad_common::{Error, Result};
+
+/// A single logical update recorded in the commit log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The sequence number assigned to the update.
+    pub seqno: SeqNo,
+    /// Whether the update is a put or a delete.
+    pub kind: ValueKind,
+    /// The user key.
+    pub key: Vec<u8>,
+    /// The value; empty for deletes.
+    pub value: Vec<u8>,
+}
+
+impl LogRecord {
+    /// Creates a put record.
+    pub fn put(seqno: SeqNo, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> Self {
+        LogRecord { seqno, kind: ValueKind::Put, key: key.into(), value: value.into() }
+    }
+
+    /// Creates a delete record.
+    pub fn delete(seqno: SeqNo, key: impl Into<Vec<u8>>) -> Self {
+        LogRecord { seqno, kind: ValueKind::Delete, key: key.into(), value: Vec::new() }
+    }
+
+    /// Serializes the record payload (excluding the CRC/length framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        varint::encode_u64(&mut out, self.seqno);
+        out.push(self.kind.as_u8());
+        varint::encode_length_prefixed(&mut out, &self.key);
+        varint::encode_length_prefixed(&mut out, &self.value);
+        out
+    }
+
+    /// Upper bound on the encoded payload length.
+    pub fn encoded_len(&self) -> usize {
+        varint::encoded_len_u64(self.seqno)
+            + 1
+            + varint::encoded_len_u64(self.key.len() as u64)
+            + self.key.len()
+            + varint::encoded_len_u64(self.value.len() as u64)
+            + self.value.len()
+    }
+
+    /// Parses a record payload produced by [`encode`](Self::encode).
+    pub fn decode(payload: &[u8]) -> Result<LogRecord> {
+        let (seqno, mut pos) = varint::decode_u64(payload)?;
+        let kind_byte = *payload
+            .get(pos)
+            .ok_or_else(|| Error::corruption("log record truncated before kind byte"))?;
+        let kind = ValueKind::from_u8(kind_byte)
+            .ok_or_else(|| Error::corruption(format!("invalid log record kind {kind_byte}")))?;
+        pos += 1;
+        let (key, consumed) = varint::decode_length_prefixed(&payload[pos..])?;
+        pos += consumed;
+        let (value, consumed) = varint::decode_length_prefixed(&payload[pos..])?;
+        pos += consumed;
+        if pos != payload.len() {
+            return Err(Error::corruption("log record has trailing bytes"));
+        }
+        Ok(LogRecord { seqno, kind, key: key.to_vec(), value: value.to_vec() })
+    }
+
+    /// Logical size of the update as seen by the application (key + value bytes).
+    pub fn user_bytes(&self) -> u64 {
+        (self.key.len() + self.value.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_round_trip() {
+        let record = LogRecord::put(42, b"key".to_vec(), b"value".to_vec());
+        let payload = record.encode();
+        assert!(payload.len() <= record.encoded_len());
+        let decoded = LogRecord::decode(&payload).expect("decodes");
+        assert_eq!(decoded, record);
+        assert_eq!(decoded.user_bytes(), 8);
+    }
+
+    #[test]
+    fn delete_round_trip() {
+        let record = LogRecord::delete(7, b"gone".to_vec());
+        let decoded = LogRecord::decode(&record.encode()).expect("decodes");
+        assert_eq!(decoded.kind, ValueKind::Delete);
+        assert!(decoded.value.is_empty());
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn empty_key_and_value_round_trip() {
+        let record = LogRecord::put(0, Vec::new(), Vec::new());
+        let decoded = LogRecord::decode(&record.encode()).expect("decodes");
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn large_values_round_trip() {
+        let record = LogRecord::put(u64::from(u32::MAX), vec![7u8; 300], vec![9u8; 70_000]);
+        let decoded = LogRecord::decode(&record.encode()).expect("decodes");
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_point() {
+        let record = LogRecord::put(123_456, b"some-key".to_vec(), b"some-value".to_vec());
+        let payload = record.encode();
+        for cut in 0..payload.len() {
+            assert!(LogRecord::decode(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut payload = LogRecord::put(1, b"k".to_vec(), b"v".to_vec()).encode();
+        payload.push(0xff);
+        assert!(LogRecord::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_kind() {
+        let record = LogRecord::put(1, b"k".to_vec(), b"v".to_vec());
+        let mut payload = record.encode();
+        // The kind byte follows the 1-byte varint seqno.
+        payload[1] = 9;
+        assert!(LogRecord::decode(&payload).is_err());
+    }
+}

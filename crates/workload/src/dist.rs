@@ -1,0 +1,248 @@
+//! Key-popularity distributions.
+//!
+//! The synthetic workloads of the paper are described as "x% of the data is accessed
+//! and updated y% of the time" (hot-set distributions) or as uniform. The production
+//! profiles are modelled as Zipfian. [`KeyDistribution`] unifies the three so the
+//! generator and benchmark harness can switch between them with one enum.
+
+use rand::Rng;
+
+use crate::zipf::Zipfian;
+
+/// A distribution over key indexes `0..num_keys`.
+#[derive(Debug, Clone)]
+pub enum KeyDistribution {
+    /// Every key is equally likely (the paper's WS3 / "No Skew").
+    Uniform {
+        /// Number of keys in the key space.
+        num_keys: u64,
+    },
+    /// A fraction of the key space ("hot keys") receives a fixed share of accesses.
+    ///
+    /// WS1 is `hot_fraction = 0.01, hot_access_share = 0.99`; WS2 is `0.20 / 0.80`.
+    HotCold {
+        /// Number of keys in the key space.
+        num_keys: u64,
+        /// Fraction of the key space that is hot, in `(0, 1]`.
+        hot_fraction: f64,
+        /// Probability that an access targets the hot set, in `[0, 1]`.
+        hot_access_share: f64,
+    },
+    /// Zipf-distributed popularity with exponent `theta`.
+    Zipfian {
+        /// Number of keys in the key space.
+        num_keys: u64,
+        /// Skew exponent in `(0, 1)`.
+        theta: f64,
+        /// Pre-built sampler.
+        sampler: Zipfian,
+    },
+}
+
+impl KeyDistribution {
+    /// Creates a uniform distribution over `num_keys` keys.
+    pub fn uniform(num_keys: u64) -> Self {
+        assert!(num_keys > 0, "key space must be non-empty");
+        KeyDistribution::Uniform { num_keys }
+    }
+
+    /// Creates a hot/cold distribution: `hot_fraction` of the keys receive
+    /// `hot_access_share` of the accesses.
+    pub fn hot_cold(num_keys: u64, hot_fraction: f64, hot_access_share: f64) -> Self {
+        assert!(num_keys > 0, "key space must be non-empty");
+        assert!(hot_fraction > 0.0 && hot_fraction <= 1.0, "hot fraction must be in (0, 1]");
+        assert!((0.0..=1.0).contains(&hot_access_share), "hot access share must be in [0, 1]");
+        KeyDistribution::HotCold { num_keys, hot_fraction, hot_access_share }
+    }
+
+    /// Creates a Zipfian distribution with exponent `theta`.
+    pub fn zipfian(num_keys: u64, theta: f64) -> Self {
+        KeyDistribution::Zipfian { num_keys, theta, sampler: Zipfian::new(num_keys, theta) }
+    }
+
+    /// The paper's WS1: 1% of the data receives 99% of the accesses.
+    pub fn ws1_high_skew(num_keys: u64) -> Self {
+        Self::hot_cold(num_keys, 0.01, 0.99)
+    }
+
+    /// The paper's WS2: 20% of the data receives 80% of the accesses.
+    pub fn ws2_medium_skew(num_keys: u64) -> Self {
+        Self::hot_cold(num_keys, 0.20, 0.80)
+    }
+
+    /// The paper's WS3: uniform popularity.
+    pub fn ws3_uniform(num_keys: u64) -> Self {
+        Self::uniform(num_keys)
+    }
+
+    /// Number of keys in the key space.
+    pub fn num_keys(&self) -> u64 {
+        match self {
+            KeyDistribution::Uniform { num_keys } => *num_keys,
+            KeyDistribution::HotCold { num_keys, .. } => *num_keys,
+            KeyDistribution::Zipfian { num_keys, .. } => *num_keys,
+        }
+    }
+
+    /// Samples a key index.
+    ///
+    /// Key indexes are *scrambled* relative to popularity rank (multiplicative
+    /// hashing), so that hot keys are spread across the key space instead of being
+    /// clustered at the low end — matching real workloads where popular keys are not
+    /// lexicographically adjacent.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            KeyDistribution::Uniform { num_keys } => rng.gen_range(0..*num_keys),
+            KeyDistribution::HotCold { num_keys, hot_fraction, hot_access_share } => {
+                let hot_keys = ((*num_keys as f64) * hot_fraction).ceil().max(1.0) as u64;
+                let hot_keys = hot_keys.min(*num_keys);
+                let rank = if rng.gen::<f64>() < *hot_access_share {
+                    rng.gen_range(0..hot_keys)
+                } else if hot_keys < *num_keys {
+                    rng.gen_range(hot_keys..*num_keys)
+                } else {
+                    rng.gen_range(0..*num_keys)
+                };
+                scramble(rank, *num_keys)
+            }
+            KeyDistribution::Zipfian { num_keys, sampler, .. } => {
+                scramble(sampler.sample(rng), *num_keys)
+            }
+        }
+    }
+
+    /// Returns the set of popularity ranks considered "hot" for analysis purposes
+    /// (`None` for uniform distributions).
+    pub fn hot_key_count(&self) -> Option<u64> {
+        match self {
+            KeyDistribution::Uniform { .. } => None,
+            KeyDistribution::HotCold { num_keys, hot_fraction, .. } => {
+                Some((((*num_keys as f64) * hot_fraction).ceil() as u64).min(*num_keys).max(1))
+            }
+            KeyDistribution::Zipfian { num_keys, .. } => Some((num_keys / 100).max(1)),
+        }
+    }
+}
+
+/// Maps a popularity rank to a stable, spread-out key index in `0..num_keys`.
+///
+/// The mapping is a *bijection* on `0..num_keys` (multiplication by a constant
+/// coprime with `num_keys`), so the popularity mass assigned to each rank lands on
+/// exactly one key — hot keys are spread across the key space without collisions
+/// that would distort the configured skew.
+fn scramble(rank: u64, num_keys: u64) -> u64 {
+    // A large prime; coprime with any num_keys that is not a multiple of it.
+    const MULTIPLIER: u64 = 2_147_483_647;
+    const FALLBACK: u64 = 1_000_003;
+    let multiplier = if num_keys % MULTIPLIER == 0 { FALLBACK } else { MULTIPLIER };
+    ((u128::from(rank) * u128::from(multiplier)) % u128::from(num_keys)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn frequency(dist: &KeyDistribution, samples: usize, seed: u64) -> HashMap<u64, u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = HashMap::new();
+        for _ in 0..samples {
+            *counts.entry(dist.sample(&mut rng)).or_insert(0u64) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_spreads_accesses_evenly() {
+        let dist = KeyDistribution::ws3_uniform(1_000);
+        let counts = frequency(&dist, 200_000, 1);
+        assert!(counts.len() > 990, "virtually every key should be touched");
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap();
+        assert!(max < min * 3, "uniform counts should be within a small factor (min {min}, max {max})");
+        assert_eq!(dist.hot_key_count(), None);
+    }
+
+    #[test]
+    fn ws1_concentrates_99_percent_on_1_percent_of_keys() {
+        let num_keys = 10_000;
+        let dist = KeyDistribution::ws1_high_skew(num_keys);
+        let counts = frequency(&dist, 300_000, 2);
+        let mut sorted: Vec<u64> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let hot_count = dist.hot_key_count().unwrap() as usize;
+        assert_eq!(hot_count, 100);
+        let hot_share: u64 = sorted.iter().take(hot_count).sum();
+        let share = hot_share as f64 / 300_000.0;
+        assert!((share - 0.99).abs() < 0.02, "hot share {share} should be ~0.99");
+    }
+
+    #[test]
+    fn ws2_concentrates_80_percent_on_20_percent_of_keys() {
+        let num_keys = 10_000;
+        let dist = KeyDistribution::ws2_medium_skew(num_keys);
+        let counts = frequency(&dist, 300_000, 3);
+        let mut sorted: Vec<u64> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let hot_count = dist.hot_key_count().unwrap() as usize;
+        assert_eq!(hot_count, 2_000);
+        let hot_share: u64 = sorted.iter().take(hot_count).sum();
+        let share = hot_share as f64 / 300_000.0;
+        assert!((share - 0.80).abs() < 0.03, "hot share {share} should be ~0.80");
+    }
+
+    #[test]
+    fn zipfian_distribution_is_skewed_and_in_range() {
+        let dist = KeyDistribution::zipfian(5_000, 0.99);
+        let counts = frequency(&dist, 100_000, 4);
+        for &key in counts.keys() {
+            assert!(key < 5_000);
+        }
+        let mut sorted: Vec<u64> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: u64 = sorted.iter().take(50).sum();
+        assert!(top_share as f64 / 100_000.0 > 0.3, "top 1% of keys should take a large share");
+    }
+
+    #[test]
+    fn hot_keys_are_scattered_across_the_key_space() {
+        // The scramble step must prevent all hot keys from being lexicographically
+        // adjacent, otherwise flushes would produce unrealistically narrow SSTables.
+        let dist = KeyDistribution::ws1_high_skew(10_000);
+        let counts = frequency(&dist, 100_000, 5);
+        let mut hot: Vec<u64> = counts
+            .iter()
+            .filter(|(_, &count)| count > 500)
+            .map(|(&key, _)| key)
+            .collect();
+        hot.sort_unstable();
+        assert!(hot.len() > 20, "expect a recognisable hot set");
+        let span = hot.last().unwrap() - hot.first().unwrap();
+        assert!(span > 5_000, "hot keys should span most of the key space, span {span}");
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let dist = KeyDistribution::ws2_medium_skew(1_000);
+        let a = frequency(&dist, 1_000, 9);
+        let b = frequency(&dist, 1_000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hot_cold_rejects_zero_fraction() {
+        KeyDistribution::hot_cold(100, 0.0, 0.5);
+    }
+
+    #[test]
+    fn degenerate_full_hot_set_still_works() {
+        let dist = KeyDistribution::hot_cold(100, 1.0, 0.5);
+        let counts = frequency(&dist, 10_000, 10);
+        for &key in counts.keys() {
+            assert!(key < 100);
+        }
+    }
+}

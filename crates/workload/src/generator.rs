@@ -1,0 +1,252 @@
+//! The operation generator driving the benchmark harness and the examples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::KeyDistribution;
+use crate::mix::{OperationKind, OperationMix};
+use crate::{encode_key, encode_value};
+
+/// A single operation to execute against the KV store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// Read the current value of a key.
+    Get {
+        /// The encoded key.
+        key: Vec<u8>,
+    },
+    /// Insert or update a key.
+    Put {
+        /// The encoded key.
+        key: Vec<u8>,
+        /// The value to write.
+        value: Vec<u8>,
+    },
+    /// Delete a key.
+    Delete {
+        /// The encoded key.
+        key: Vec<u8>,
+    },
+}
+
+impl Operation {
+    /// The key targeted by the operation.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Operation::Get { key } | Operation::Put { key, .. } | Operation::Delete { key } => key,
+        }
+    }
+
+    /// Returns `true` for operations that modify the store.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Operation::Get { .. })
+    }
+}
+
+/// The full description of a synthetic workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of distinct keys in the key space.
+    pub num_keys: u64,
+    /// Encoded key size in bytes (8 in the paper's synthetic experiments).
+    pub key_size: usize,
+    /// Value size in bytes (255 in the paper's synthetic experiments).
+    pub value_size: usize,
+    /// Read/write/delete mix.
+    pub mix: OperationMix,
+    /// Key popularity distribution.
+    pub distribution: KeyDistribution,
+}
+
+impl WorkloadSpec {
+    /// The paper's synthetic workload template: 1M keys, 8-byte keys, 255-byte values.
+    pub fn synthetic(distribution: KeyDistribution, mix: OperationMix) -> Self {
+        WorkloadSpec {
+            num_keys: distribution.num_keys(),
+            key_size: 8,
+            value_size: 255,
+            mix,
+            distribution,
+        }
+    }
+
+    /// Scales the key space down (or up) while preserving skew and sizes; used by the
+    /// `--quick` mode of the figure binaries.
+    pub fn with_num_keys(mut self, num_keys: u64) -> Self {
+        self.num_keys = num_keys;
+        self.distribution = match self.distribution {
+            KeyDistribution::Uniform { .. } => KeyDistribution::uniform(num_keys),
+            KeyDistribution::HotCold { hot_fraction, hot_access_share, .. } => {
+                KeyDistribution::hot_cold(num_keys, hot_fraction, hot_access_share)
+            }
+            KeyDistribution::Zipfian { theta, .. } => KeyDistribution::zipfian(num_keys, theta),
+        };
+        self
+    }
+
+    /// Logical bytes written per put (key + value).
+    pub fn bytes_per_write(&self) -> u64 {
+        (self.key_size + self.value_size) as u64
+    }
+}
+
+/// A deterministic stream of operations for one worker thread.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    /// Monotonically increasing per-generator version used to build distinct values.
+    next_version: u64,
+    ops_issued: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for `spec`. Give each worker thread a distinct `seed` so
+    /// that threads issue independent streams while the run as a whole stays
+    /// reproducible.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        WorkloadGenerator { spec, rng: StdRng::seed_from_u64(seed), next_version: 0, ops_issued: 0 }
+    }
+
+    /// The workload specification backing this generator.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Number of operations issued so far.
+    pub fn ops_issued(&self) -> u64 {
+        self.ops_issued
+    }
+
+    /// Produces the next operation.
+    pub fn next_op(&mut self) -> Operation {
+        self.ops_issued += 1;
+        let key_index = self.spec.distribution.sample(&mut self.rng);
+        let key = encode_key(key_index, self.spec.key_size);
+        match self.spec.mix.sample(&mut self.rng) {
+            OperationKind::Read => Operation::Get { key },
+            OperationKind::Write => {
+                self.next_version += 1;
+                let value = encode_value(key_index, self.next_version, self.spec.value_size);
+                Operation::Put { key, value }
+            }
+            OperationKind::Delete => Operation::Delete { key },
+        }
+    }
+
+    /// Produces the keys and values used to pre-populate the store before a run.
+    ///
+    /// The paper initialises the LSM tree with "roughly half of the keys in the key
+    /// range" before each synthetic experiment; `fraction` controls that share.
+    pub fn prepopulation(&self, fraction: f64) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let count = ((self.spec.num_keys as f64) * fraction.clamp(0.0, 1.0)) as u64;
+        // Deterministic subset: every other key for fraction 0.5, etc.
+        let step = if count == 0 { self.spec.num_keys } else { (self.spec.num_keys / count.max(1)).max(1) };
+        let mut pairs = Vec::with_capacity(count as usize);
+        let mut index = 0u64;
+        while index < self.spec.num_keys && (pairs.len() as u64) < count {
+            pairs.push((
+                encode_key(index, self.spec.key_size),
+                encode_value(index, 0, self.spec.value_size),
+            ));
+            index += step;
+        }
+        pairs
+    }
+
+    /// Samples a random existing key; useful for read-only phases.
+    pub fn random_key(&mut self) -> Vec<u8> {
+        let key_index = self.rng.gen_range(0..self.spec.num_keys);
+        encode_key(key_index, self.spec.key_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::synthetic(KeyDistribution::ws1_high_skew(10_000), OperationMix::write_intensive())
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let mut a = WorkloadGenerator::new(spec(), 7);
+        let mut b = WorkloadGenerator::new(spec(), 7);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = WorkloadGenerator::new(spec(), 8);
+        let ops_a: Vec<Operation> = (0..100).map(|_| a.next_op()).collect();
+        let ops_c: Vec<Operation> = (0..100).map(|_| c.next_op()).collect();
+        assert_ne!(ops_a, ops_c, "different seeds must differ");
+        assert_eq!(a.ops_issued(), 1_100);
+    }
+
+    #[test]
+    fn operations_respect_the_mix() {
+        let mut generator = WorkloadGenerator::new(spec(), 1);
+        let mut writes = 0u32;
+        let total = 20_000;
+        for _ in 0..total {
+            if generator.next_op().is_write() {
+                writes += 1;
+            }
+        }
+        let share = f64::from(writes) / f64::from(total);
+        assert!((share - 0.9).abs() < 0.02, "write share {share} should be ~0.9");
+    }
+
+    #[test]
+    fn keys_have_the_configured_size_and_range() {
+        let mut generator = WorkloadGenerator::new(spec(), 2);
+        for _ in 0..1_000 {
+            let op = generator.next_op();
+            assert_eq!(op.key().len(), 8);
+            let index = crate::decode_key(op.key()).unwrap();
+            assert!(index < 10_000);
+            if let Operation::Put { value, .. } = op {
+                assert_eq!(value.len(), 255);
+            }
+        }
+    }
+
+    #[test]
+    fn prepopulation_covers_the_requested_fraction() {
+        let generator = WorkloadGenerator::new(spec(), 3);
+        let pairs = generator.prepopulation(0.5);
+        assert!((pairs.len() as i64 - 5_000).abs() <= 1, "got {} pairs", pairs.len());
+        // Keys are distinct and sorted ascending by construction.
+        for window in pairs.windows(2) {
+            assert!(window[0].0 < window[1].0);
+        }
+        let none = generator.prepopulation(0.0);
+        assert!(none.is_empty());
+        let all = generator.prepopulation(1.0);
+        assert_eq!(all.len(), 10_000);
+    }
+
+    #[test]
+    fn with_num_keys_rescales_the_distribution() {
+        let scaled = spec().with_num_keys(500);
+        assert_eq!(scaled.num_keys, 500);
+        assert_eq!(scaled.distribution.num_keys(), 500);
+        let mut generator = WorkloadGenerator::new(scaled, 4);
+        for _ in 0..1_000 {
+            assert!(crate::decode_key(generator.next_op().key()).unwrap() < 500);
+        }
+    }
+
+    #[test]
+    fn bytes_per_write_matches_key_plus_value() {
+        assert_eq!(spec().bytes_per_write(), 263);
+    }
+
+    #[test]
+    fn random_key_stays_in_range() {
+        let mut generator = WorkloadGenerator::new(spec(), 5);
+        for _ in 0..100 {
+            assert!(crate::decode_key(&generator.random_key()).unwrap() < 10_000);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Read/write operation mixes.
+
+use rand::Rng;
+
+/// The kind of operation to issue next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperationKind {
+    /// A point lookup (`Get`).
+    Read,
+    /// An insert or update (`Update`).
+    Write,
+    /// A delete.
+    Delete,
+}
+
+/// A probability mix over operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperationMix {
+    /// Probability of issuing a read.
+    pub read: f64,
+    /// Probability of issuing a write.
+    pub write: f64,
+    /// Probability of issuing a delete.
+    pub delete: f64,
+}
+
+impl OperationMix {
+    /// Creates a mix, validating that the probabilities are non-negative and sum to 1.
+    pub fn new(read: f64, write: f64, delete: f64) -> Self {
+        assert!(read >= 0.0 && write >= 0.0 && delete >= 0.0, "probabilities must be non-negative");
+        let sum = read + write + delete;
+        assert!((sum - 1.0).abs() < 1e-9, "probabilities must sum to 1, got {sum}");
+        OperationMix { read, write, delete }
+    }
+
+    /// The paper's write-dominated mix: 10% reads, 90% writes.
+    pub fn write_intensive() -> Self {
+        OperationMix::new(0.10, 0.90, 0.0)
+    }
+
+    /// The paper's balanced mix: 50% reads, 50% writes.
+    pub fn balanced() -> Self {
+        OperationMix::new(0.50, 0.50, 0.0)
+    }
+
+    /// A read-mostly mix (not in the paper's main grid, used by extension benches).
+    pub fn read_mostly() -> Self {
+        OperationMix::new(0.90, 0.10, 0.0)
+    }
+
+    /// A mix that also exercises deletes.
+    pub fn with_deletes() -> Self {
+        OperationMix::new(0.30, 0.60, 0.10)
+    }
+
+    /// Samples an operation kind.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> OperationKind {
+        let x: f64 = rng.gen();
+        if x < self.read {
+            OperationKind::Read
+        } else if x < self.read + self.write {
+            OperationKind::Write
+        } else {
+            OperationKind::Delete
+        }
+    }
+
+    /// A short, human-readable label like `"10r-90w"`, matching the paper's figures.
+    pub fn label(&self) -> String {
+        let read = (self.read * 100.0).round() as u32;
+        let write = (self.write * 100.0).round() as u32;
+        let delete = (self.delete * 100.0).round() as u32;
+        if delete == 0 {
+            format!("{read}r-{write}w")
+        } else {
+            format!("{read}r-{write}w-{delete}d")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn observed_shares(mix: OperationMix, samples: u32) -> (f64, f64, f64) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (mut r, mut w, mut d) = (0u32, 0u32, 0u32);
+        for _ in 0..samples {
+            match mix.sample(&mut rng) {
+                OperationKind::Read => r += 1,
+                OperationKind::Write => w += 1,
+                OperationKind::Delete => d += 1,
+            }
+        }
+        let total = f64::from(samples);
+        (f64::from(r) / total, f64::from(w) / total, f64::from(d) / total)
+    }
+
+    #[test]
+    fn presets_match_the_paper() {
+        assert_eq!(OperationMix::write_intensive().label(), "10r-90w");
+        assert_eq!(OperationMix::balanced().label(), "50r-50w");
+        assert_eq!(OperationMix::with_deletes().label(), "30r-60w-10d");
+    }
+
+    #[test]
+    fn sampling_approximates_the_configured_probabilities() {
+        let (r, w, d) = observed_shares(OperationMix::write_intensive(), 100_000);
+        assert!((r - 0.10).abs() < 0.01, "read share {r}");
+        assert!((w - 0.90).abs() < 0.01, "write share {w}");
+        assert_eq!(d, 0.0);
+
+        let (r, w, d) = observed_shares(OperationMix::with_deletes(), 100_000);
+        assert!((r - 0.30).abs() < 0.01);
+        assert!((w - 0.60).abs() < 0.01);
+        assert!((d - 0.10).abs() < 0.01);
+    }
+
+    #[test]
+    fn pure_mixes_only_emit_one_kind() {
+        let (r, w, _) = observed_shares(OperationMix::new(1.0, 0.0, 0.0), 1_000);
+        assert_eq!(r, 1.0);
+        assert_eq!(w, 0.0);
+        let (r, w, _) = observed_shares(OperationMix::new(0.0, 1.0, 0.0), 1_000);
+        assert_eq!(w, 1.0);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn probabilities_must_sum_to_one() {
+        OperationMix::new(0.5, 0.4, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn probabilities_must_be_non_negative() {
+        OperationMix::new(1.2, -0.2, 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Production-like workload profiles (paper §5.2, Figures 7 and 8).
+//!
+//! The paper evaluates TRIAD on four internal Nutanix metadata workloads. The traces
+//! themselves are not public; what the paper does publish is:
+//!
+//! * the key-popularity distribution of each workload (Figure 7), which shows two
+//!   skew families — W2 and W4 are noticeably more skewed than W1 and W3;
+//! * the number of updates and distinct keys of each workload (Figure 8):
+//!   W1 = 250M updates / 40M keys, W2 = 75M / 9M, W3 = 200M / 30M, W4 = 75M / 8M.
+//!
+//! This module substitutes synthetic profiles with the same *shape*: Zipf-distributed
+//! popularity with a larger exponent for the "more skew" pair, and the published
+//! update/key ratios. Experiments scale the absolute sizes down by a configurable
+//! factor so they complete on a laptop; the relative comparisons the paper reports
+//! (TRIAD vs RocksDB per workload) are preserved.
+
+use crate::dist::KeyDistribution;
+use crate::generator::WorkloadSpec;
+use crate::mix::OperationMix;
+
+/// Identifies one of the four production workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProductionWorkload {
+    /// W1: 250M updates over 40M keys, less skew.
+    W1,
+    /// W2: 75M updates over 9M keys, more skew.
+    W2,
+    /// W3: 200M updates over 30M keys, less skew.
+    W3,
+    /// W4: 75M updates over 8M keys, more skew.
+    W4,
+}
+
+impl ProductionWorkload {
+    /// All four workloads, in paper order.
+    pub fn all() -> [ProductionWorkload; 4] {
+        [ProductionWorkload::W1, ProductionWorkload::W2, ProductionWorkload::W3, ProductionWorkload::W4]
+    }
+
+    /// The workload's label as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProductionWorkload::W1 => "Prod Wkld 1",
+            ProductionWorkload::W2 => "Prod Wkld 2",
+            ProductionWorkload::W3 => "Prod Wkld 3",
+            ProductionWorkload::W4 => "Prod Wkld 4",
+        }
+    }
+}
+
+/// A scaled, concrete instance of a production workload.
+#[derive(Debug, Clone)]
+pub struct ProductionProfile {
+    /// Which workload this profile models.
+    pub workload: ProductionWorkload,
+    /// Total updates to issue (after scaling).
+    pub num_updates: u64,
+    /// Number of distinct keys (after scaling).
+    pub num_keys: u64,
+    /// Zipf exponent modelling the Figure 7 popularity curve.
+    pub zipf_theta: f64,
+    /// Value size in bytes. The paper does not publish the metadata value sizes; we
+    /// use the same 255-byte values as the synthetic workloads.
+    pub value_size: usize,
+}
+
+/// Paper-reported sizes: (updates, keys), in millions.
+const PAPER_SIZES: [(u64, u64); 4] = [(250, 40), (75, 9), (200, 30), (75, 8)];
+
+/// Zipf exponents for the two skew families seen in Figure 7. W2/W4 ("more skew")
+/// concentrate accesses on fewer keys than W1/W3 ("less skew").
+const LESS_SKEW_THETA: f64 = 0.75;
+const MORE_SKEW_THETA: f64 = 0.95;
+
+impl ProductionProfile {
+    /// Builds the profile for `workload`, dividing the paper's sizes by `scale_down`.
+    ///
+    /// `scale_down = 1` reproduces the paper's full sizes (hundreds of millions of
+    /// updates); the figure binaries default to a few thousand× smaller.
+    pub fn new(workload: ProductionWorkload, scale_down: u64) -> Self {
+        let scale_down = scale_down.max(1);
+        let (updates_m, keys_m) = match workload {
+            ProductionWorkload::W1 => PAPER_SIZES[0],
+            ProductionWorkload::W2 => PAPER_SIZES[1],
+            ProductionWorkload::W3 => PAPER_SIZES[2],
+            ProductionWorkload::W4 => PAPER_SIZES[3],
+        };
+        let theta = match workload {
+            ProductionWorkload::W1 | ProductionWorkload::W3 => LESS_SKEW_THETA,
+            ProductionWorkload::W2 | ProductionWorkload::W4 => MORE_SKEW_THETA,
+        };
+        ProductionProfile {
+            workload,
+            num_updates: (updates_m * 1_000_000 / scale_down).max(1_000),
+            num_keys: (keys_m * 1_000_000 / scale_down).max(100),
+            zipf_theta: theta,
+            value_size: 255,
+        }
+    }
+
+    /// Ratio of updates to distinct keys; higher means more in-place overwrites and
+    /// therefore more benefit from skew-aware flushing.
+    pub fn update_to_key_ratio(&self) -> f64 {
+        self.num_updates as f64 / self.num_keys as f64
+    }
+
+    /// Returns `true` for the workloads the paper characterises as "more skew".
+    pub fn is_high_skew(&self) -> bool {
+        matches!(self.workload, ProductionWorkload::W2 | ProductionWorkload::W4)
+    }
+
+    /// Converts the profile into a [`WorkloadSpec`] with the given operation mix.
+    ///
+    /// The production workloads are update streams; the paper's throughput figures
+    /// are measured while applying them, so the default mix is write-only. Callers
+    /// may mix in reads to study read-path effects.
+    pub fn to_spec(&self, mix: OperationMix) -> WorkloadSpec {
+        WorkloadSpec {
+            num_keys: self.num_keys,
+            key_size: 16,
+            value_size: self.value_size,
+            mix,
+            distribution: KeyDistribution::zipfian(self.num_keys, self.zipf_theta),
+        }
+    }
+
+    /// Approximates the access probability of the key at popularity `rank`
+    /// (0-indexed), matching the shape plotted in Figure 7.
+    pub fn access_probability(&self, rank: u64) -> f64 {
+        let rank = rank.min(self.num_keys - 1) + 1;
+        let normaliser: f64 = harmonic_approx(self.num_keys, self.zipf_theta);
+        (1.0 / (rank as f64).powf(self.zipf_theta)) / normaliser
+    }
+}
+
+/// Approximation of the generalized harmonic number used to normalise
+/// [`ProductionProfile::access_probability`].
+fn harmonic_approx(n: u64, theta: f64) -> f64 {
+    let exact_terms = n.min(100_000);
+    let mut sum: f64 = (1..=exact_terms).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+    if n > exact_terms {
+        let a = 1.0 - theta;
+        sum += ((n as f64).powf(a) - (exact_terms as f64).powf(a)) / a;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_are_preserved_at_scale_one() {
+        let w1 = ProductionProfile::new(ProductionWorkload::W1, 1);
+        assert_eq!(w1.num_updates, 250_000_000);
+        assert_eq!(w1.num_keys, 40_000_000);
+        let w4 = ProductionProfile::new(ProductionWorkload::W4, 1);
+        assert_eq!(w4.num_updates, 75_000_000);
+        assert_eq!(w4.num_keys, 8_000_000);
+    }
+
+    #[test]
+    fn scaling_divides_sizes_but_keeps_minimums() {
+        let w2 = ProductionProfile::new(ProductionWorkload::W2, 1_000);
+        assert_eq!(w2.num_updates, 75_000);
+        assert_eq!(w2.num_keys, 9_000);
+        let tiny = ProductionProfile::new(ProductionWorkload::W2, u64::MAX);
+        assert!(tiny.num_updates >= 1_000);
+        assert!(tiny.num_keys >= 100);
+    }
+
+    #[test]
+    fn skew_families_match_the_paper() {
+        for workload in ProductionWorkload::all() {
+            let profile = ProductionProfile::new(workload, 1_000);
+            match workload {
+                ProductionWorkload::W2 | ProductionWorkload::W4 => {
+                    assert!(profile.is_high_skew());
+                    assert!(profile.zipf_theta > 0.9);
+                }
+                _ => {
+                    assert!(!profile.is_high_skew());
+                    assert!(profile.zipf_theta < 0.9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_to_key_ratio_orders_like_the_paper() {
+        // W2 and W4 rewrite each key more often than W1 and W3 on average.
+        let ratio = |w| ProductionProfile::new(w, 1).update_to_key_ratio();
+        assert!(ratio(ProductionWorkload::W2) > ratio(ProductionWorkload::W1));
+        assert!(ratio(ProductionWorkload::W4) > ratio(ProductionWorkload::W3));
+    }
+
+    #[test]
+    fn access_probability_is_decreasing_and_normalised() {
+        let profile = ProductionProfile::new(ProductionWorkload::W4, 1_000);
+        let p0 = profile.access_probability(0);
+        let p100 = profile.access_probability(100);
+        let p_last = profile.access_probability(profile.num_keys - 1);
+        assert!(p0 > p100 && p100 > p_last, "popularity must decrease with rank");
+        // The total probability over all ranks is approximately 1.
+        let total: f64 = (0..profile.num_keys).map(|r| profile.access_probability(r)).sum();
+        assert!((total - 1.0).abs() < 0.05, "probability mass {total} should be ~1");
+    }
+
+    #[test]
+    fn more_skewed_profiles_concentrate_more_mass_on_top_keys() {
+        let w1 = ProductionProfile::new(ProductionWorkload::W1, 1_000);
+        let w2 = ProductionProfile::new(ProductionWorkload::W2, 1_000);
+        let top_mass = |p: &ProductionProfile| -> f64 { (0..100).map(|r| p.access_probability(r)).sum() };
+        assert!(top_mass(&w2) > top_mass(&w1));
+    }
+
+    #[test]
+    fn to_spec_produces_a_matching_workload() {
+        let profile = ProductionProfile::new(ProductionWorkload::W3, 10_000);
+        let spec = profile.to_spec(OperationMix::write_intensive());
+        assert_eq!(spec.num_keys, profile.num_keys);
+        assert_eq!(spec.value_size, 255);
+        assert_eq!(spec.distribution.num_keys(), profile.num_keys);
+    }
+
+    #[test]
+    fn labels_match_figure_9a() {
+        assert_eq!(ProductionWorkload::W1.label(), "Prod Wkld 1");
+        assert_eq!(ProductionWorkload::all().len(), 4);
+    }
+}

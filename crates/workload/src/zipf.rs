@@ -1,0 +1,176 @@
+//! Zipfian key sampling.
+//!
+//! The production-like profiles model the Nutanix key-popularity curves (paper
+//! Figure 7) as Zipf distributions with different exponents. The implementation
+//! follows the classic Gray et al. "Quickly generating billion-record synthetic
+//! databases" construction, also used by YCSB: draw from the Zipf CDF using a
+//! precomputed zeta value, in O(1) per sample.
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n` with exponent `theta` (0 < theta < 1 for the
+/// YCSB-style construction; larger theta means more skew).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    num_items: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta_theta: f64,
+}
+
+impl Zipfian {
+    /// Creates a Zipfian distribution over `num_items` items with exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics if `num_items` is zero or `theta` is not in `(0, 1)`.
+    pub fn new(num_items: u64, theta: f64) -> Self {
+        assert!(num_items > 0, "Zipfian needs at least one item");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1), got {theta}");
+        let zeta_n = Self::zeta(num_items, theta);
+        let zeta_theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / num_items as f64).powf(1.0 - theta)) / (1.0 - zeta_theta / zeta_n);
+        Zipfian { num_items, theta, alpha, zeta_n, eta, zeta_theta }
+    }
+
+    /// The generalized harmonic number `H_{n,theta}`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact summation is fine for the sizes used in experiments (≤ tens of
+        // millions); for very large n we fall back to an integral approximation.
+        if n <= 10_000_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let exact: f64 = (1..=10_000_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // ∫ x^-theta dx from 10^7 to n.
+            let a = 1.0 - theta;
+            exact + ((n as f64).powf(a) - 10_000_000f64.powf(a)) / a
+        }
+    }
+
+    /// Number of items in the distribution.
+    pub fn num_items(&self) -> u64 {
+        self.num_items
+    }
+
+    /// The skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Samples a rank in `0..num_items`, where rank 0 is the most popular item.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank =
+            (self.num_items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.num_items - 1)
+    }
+
+    /// Exposes zeta(2, theta), used by tests to validate internals.
+    #[doc(hidden)]
+    pub fn zeta_theta(&self) -> f64 {
+        self.zeta_theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic]
+    fn zero_items_panics() {
+        Zipfian::new(0, 0.9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_theta_panics() {
+        Zipfian::new(10, 1.5);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipfian::new(1_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50_000 {
+            assert!(zipf.sample(&mut rng) < 1_000);
+        }
+        assert_eq!(zipf.num_items(), 1_000);
+        assert!((zipf.theta() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_ranks_are_much_more_popular() {
+        let zipf = Zipfian::new(100_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 100_000];
+        let samples = 200_000;
+        for _ in 0..samples {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let top_1_percent: u64 = counts[..1_000].iter().sum();
+        let share = top_1_percent as f64 / samples as f64;
+        assert!(share > 0.5, "with theta=0.99 the top 1% of keys should dominate, got {share}");
+        // Rank 0 should be the single most popular key.
+        let max = *counts.iter().max().unwrap();
+        assert_eq!(counts[0], max);
+    }
+
+    #[test]
+    fn lower_theta_is_less_skewed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let share_of_top = |theta: f64, rng: &mut StdRng| {
+            let zipf = Zipfian::new(10_000, theta);
+            let mut hits = 0u64;
+            let samples = 100_000;
+            for _ in 0..samples {
+                if zipf.sample(rng) < 100 {
+                    hits += 1;
+                }
+            }
+            hits as f64 / samples as f64
+        };
+        let skewed = share_of_top(0.99, &mut rng);
+        let mild = share_of_top(0.5, &mut rng);
+        assert!(skewed > mild, "theta 0.99 ({skewed}) must concentrate more than 0.5 ({mild})");
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let zipf = Zipfian::new(1_000, 0.8);
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn large_item_count_uses_integral_approximation() {
+        // 20M items exercises the approximation branch of zeta(); the distribution
+        // must still behave sanely.
+        let zipf = Zipfian::new(20_000_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut below_million = 0;
+        for _ in 0..10_000 {
+            if zipf.sample(&mut rng) < 1_000_000 {
+                below_million += 1;
+            }
+        }
+        // With heavy skew, far more than 5% (the uniform share) of samples land in the
+        // first 5% of the key space.
+        assert!(below_million > 3_000, "got {below_million}");
+    }
+}

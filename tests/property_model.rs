@@ -1,0 +1,136 @@
+//! Property-based tests: the engine behaves like a `BTreeMap` under arbitrary
+//! operation sequences, for every TRIAD configuration, including across a restart.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use triad::{Db, Options, TriadConfig};
+
+/// A single operation in a generated test program.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, Vec<u8>),
+    Delete(u16),
+    Get(u16),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u16..400, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => (0u16..400).prop_map(Op::Delete),
+        2 => (0u16..400).prop_map(Op::Get),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn key_bytes(key: u16) -> Vec<u8> {
+    format!("pkey-{key:05}").into_bytes()
+}
+
+fn config_strategy() -> impl Strategy<Value = TriadConfig> {
+    prop_oneof![
+        Just(TriadConfig::baseline()),
+        Just(TriadConfig::mem_only()),
+        Just(TriadConfig::disk_only()),
+        Just(TriadConfig::log_only()),
+        Just(TriadConfig::all_enabled()),
+    ]
+}
+
+fn tiny_options(triad: TriadConfig) -> Options {
+    let mut options = Options::default();
+    options.memtable_size = 8 * 1024;
+    options.max_log_size = 16 * 1024;
+    options.l1_target_size = 64 * 1024;
+    options.target_file_size = 16 * 1024;
+    options.block_size = 512;
+    options.l0_compaction_trigger = 2;
+    options.triad = triad;
+    options.triad.flush_skip_threshold_bytes = 4 * 1024;
+    options
+}
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "triad-prop-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn apply_ops(db: &Db, ops: &[Op], model: &mut BTreeMap<Vec<u8>, Vec<u8>>) {
+    for op in ops {
+        match op {
+            Op::Put(key, value) => {
+                let key = key_bytes(*key);
+                db.put(&key, value).unwrap();
+                model.insert(key, value.clone());
+            }
+            Op::Delete(key) => {
+                let key = key_bytes(*key);
+                db.delete(&key).unwrap();
+                model.remove(&key);
+            }
+            Op::Get(key) => {
+                let key = key_bytes(*key);
+                assert_eq!(db.get(&key).unwrap().as_ref(), model.get(&key));
+            }
+            Op::Flush => db.flush().unwrap(),
+        }
+    }
+}
+
+fn assert_matches_model(db: &Db, model: &BTreeMap<Vec<u8>, Vec<u8>>) {
+    for key in 0u16..400 {
+        let key = key_bytes(key);
+        assert_eq!(db.get(&key).unwrap().as_ref(), model.get(&key), "lookup mismatch for {key:?}");
+    }
+    let scanned: Vec<(Vec<u8>, Vec<u8>)> = db.scan().unwrap().map(|r| r.unwrap()).collect();
+    let expected: Vec<(Vec<u8>, Vec<u8>)> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    assert_eq!(scanned, expected, "scan mismatch");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, max_shrink_iters: 200, .. ProptestConfig::default() })]
+
+    /// Arbitrary operation sequences behave exactly like a sorted map.
+    #[test]
+    fn engine_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..250), triad in config_strategy()) {
+        let dir = unique_dir("model");
+        let db = Db::open(&dir, tiny_options(triad)).unwrap();
+        let mut model = BTreeMap::new();
+        apply_ops(&db, &ops, &mut model);
+        assert_matches_model(&db, &model);
+        db.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The same holds after closing and reopening the database.
+    #[test]
+    fn engine_matches_btreemap_across_restart(
+        before in proptest::collection::vec(op_strategy(), 1..150),
+        after in proptest::collection::vec(op_strategy(), 0..80),
+        triad in config_strategy(),
+    ) {
+        let dir = unique_dir("restart");
+        let options = tiny_options(triad);
+        let mut model = BTreeMap::new();
+        {
+            let db = Db::open(&dir, options.clone()).unwrap();
+            apply_ops(&db, &before, &mut model);
+            db.close().unwrap();
+        }
+        {
+            let db = Db::open(&dir, options).unwrap();
+            assert_matches_model(&db, &model);
+            apply_ops(&db, &after, &mut model);
+            assert_matches_model(&db, &model);
+            db.close().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
