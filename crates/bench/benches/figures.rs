@@ -14,8 +14,9 @@ fn figure_point(c: &mut Criterion, name: &str, skew: SkewProfile, triad: TriadCo
     c.bench_function(name, |b| {
         b.iter_batched(
             || {
-                let workload = synthetic_workload(Scale::Quick, skew, OperationMix::write_intensive())
-                    .with_num_keys(4_000);
+                let workload =
+                    synthetic_workload(Scale::Quick, skew, OperationMix::write_intensive())
+                        .with_num_keys(4_000);
                 ExperimentConfig::new(name, bench_options(Scale::Quick, triad.clone()), workload)
                     .with_threads(2)
                     .with_ops_per_thread(2_500)
@@ -39,6 +40,7 @@ fn bench_figures(c: &mut Criterion) {
     figure_point(c, "fig10/uniform/triad-log", SkewProfile::None, TriadConfig::log_only());
 }
 
+/// Shared Criterion configuration: small samples so `cargo bench` stays quick.
 fn configure() -> Criterion {
     Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
 }

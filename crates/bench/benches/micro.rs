@@ -103,7 +103,8 @@ fn bench_wal(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let record = LogRecord::put(i, format!("key-{:08}", i % 10_000).into_bytes(), value.clone());
+            let record =
+                LogRecord::put(i, format!("key-{:08}", i % 10_000).into_bytes(), value.clone());
             black_box(writer.append(&record).unwrap())
         });
         let _ = std::fs::remove_file(&path);
@@ -140,6 +141,7 @@ fn bench_sstable(c: &mut Criterion) {
     });
 }
 
+/// Shared Criterion configuration: small samples so `cargo bench` stays quick.
 fn configure() -> Criterion {
     Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800))
 }

@@ -26,8 +26,8 @@ pub fn run(scale: Scale) -> triad_common::Result<Table> {
     };
     let mut table = Table::new(&["config", "No Skew KOPS", "Skew 1%-99% KOPS"]);
     let skews = [SkewProfile::None, SkewProfile::High];
-    let mut results = vec![Vec::new(), Vec::new()];
-    for (i, skew) in skews.iter().enumerate() {
+    let mut results = [Vec::new(), Vec::new()];
+    for (per_skew, skew) in results.iter_mut().zip(skews.iter()) {
         for triad in configurations() {
             let workload = synthetic_workload(scale, *skew, OperationMix::write_intensive());
             let config = ExperimentConfig::new(
@@ -37,14 +37,15 @@ pub fn run(scale: Scale) -> triad_common::Result<Table> {
             )
             .with_threads(threads)
             .with_ops_per_thread(ops_per_thread(scale));
-            results[i].push((triad.label(), run_experiment(&config)?));
+            per_skew.push((triad.label(), run_experiment(&config)?));
         }
     }
-    for idx in 0..results[0].len() {
+    let [no_skew, high_skew] = results;
+    for ((label, uniform), (_, skewed)) in no_skew.iter().zip(high_skew.iter()) {
         table.add_row(vec![
-            results[0][idx].0.clone(),
-            format!("{:.1}", results[0][idx].1.kops),
-            format!("{:.1}", results[1][idx].1.kops),
+            label.clone(),
+            format!("{:.1}", uniform.kops),
+            format!("{:.1}", skewed.kops),
         ]);
     }
     print_table(

@@ -22,10 +22,20 @@ fn skew_points(scale: Scale) -> Vec<(String, KeyDistribution)> {
 
 /// Runs the normalized-WA breakdown (top three plots of Figure 11).
 pub fn run_write_amplification(scale: Scale) -> triad_common::Result<Table> {
-    let configs =
-        [TriadConfig::mem_only(), TriadConfig::disk_only(), TriadConfig::log_only(), TriadConfig::all_enabled()];
-    let mut table =
-        Table::new(&["skew", "RocksDB WA", "TRIAD-MEM (norm)", "TRIAD-DISK (norm)", "TRIAD-LOG (norm)", "TRIAD (norm)"]);
+    let configs = [
+        TriadConfig::mem_only(),
+        TriadConfig::disk_only(),
+        TriadConfig::log_only(),
+        TriadConfig::all_enabled(),
+    ];
+    let mut table = Table::new(&[
+        "skew",
+        "RocksDB WA",
+        "TRIAD-MEM (norm)",
+        "TRIAD-DISK (norm)",
+        "TRIAD-LOG (norm)",
+        "TRIAD (norm)",
+    ]);
     for (label, distribution) in skew_points(scale) {
         let workload = WorkloadSpec::synthetic(distribution, OperationMix::write_intensive());
         let run_one = |triad: TriadConfig| -> triad_common::Result<_> {
@@ -42,7 +52,10 @@ pub fn run_write_amplification(scale: Scale) -> triad_common::Result<Table> {
         let mut row = vec![label.clone(), format!("{:.2}", baseline.write_amplification)];
         for triad in configs.clone() {
             let result = run_one(triad)?;
-            row.push(format!("{:.2}", result.write_amplification / baseline.write_amplification.max(1e-9)));
+            row.push(format!(
+                "{:.2}",
+                result.write_amplification / baseline.write_amplification.max(1e-9)
+            ));
         }
         table.add_row(row);
     }

@@ -24,7 +24,8 @@ pub fn run(scale: Scale) -> triad_common::Result<(Table, Table)> {
     let profiles: Vec<ProductionProfile> =
         ProductionWorkload::all().iter().map(|w| ProductionProfile::new(*w, factor)).collect();
 
-    let mut fig7 = Table::new(&["key rank", "W1 p(access)", "W2 p(access)", "W3 p(access)", "W4 p(access)"]);
+    let mut fig7 =
+        Table::new(&["key rank", "W1 p(access)", "W2 p(access)", "W3 p(access)", "W4 p(access)"]);
     let max_keys = profiles.iter().map(|p| p.num_keys).max().unwrap_or(1);
     let mut rank = 1u64;
     while rank < max_keys {

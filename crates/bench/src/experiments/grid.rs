@@ -62,7 +62,8 @@ pub fn run_grid(scale: Scale) -> triad_common::Result<Vec<GridPoint>> {
 
 /// Prints the throughput view of the grid (Figure 9B).
 pub fn print_throughput(points: &[GridPoint]) -> Table {
-    let mut table = Table::new(&["skew", "mix", "threads", "RocksDB KOPS", "TRIAD KOPS", "speedup"]);
+    let mut table =
+        Table::new(&["skew", "mix", "threads", "RocksDB KOPS", "TRIAD KOPS", "speedup"]);
     for point in points {
         table.add_row(vec![
             point.skew.label().to_string(),

@@ -118,7 +118,8 @@ mod tests {
 
     #[test]
     fn synthetic_workload_matches_paper_sizes() {
-        let spec = synthetic_workload(Scale::Full, SkewProfile::High, OperationMix::write_intensive());
+        let spec =
+            synthetic_workload(Scale::Full, SkewProfile::High, OperationMix::write_intensive());
         assert_eq!(spec.num_keys, 1_000_000);
         assert_eq!(spec.key_size, 8);
         assert_eq!(spec.value_size, 255);

@@ -105,7 +105,7 @@ mod tests {
 
     #[test]
     fn format_row_controls_decimals() {
-        assert_eq!(format_row(3.14159, 2), "3.14");
+        assert_eq!(format_row(3.17159, 2), "3.17");
         assert_eq!(format_row(10.0, 0), "10");
     }
 

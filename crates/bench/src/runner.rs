@@ -237,9 +237,7 @@ mod tests {
             KeyDistribution::ws1_high_skew(2_000),
             OperationMix::write_intensive(),
         );
-        ExperimentConfig::new(label, options, workload)
-            .with_threads(2)
-            .with_ops_per_thread(2_000)
+        ExperimentConfig::new(label, options, workload).with_threads(2).with_ops_per_thread(2_000)
     }
 
     #[test]

@@ -105,7 +105,7 @@ mod tests {
 
     #[test]
     fn display_io_error_includes_context() {
-        let err = Error::io("appending to commit log", io::Error::new(io::ErrorKind::Other, "disk full"));
+        let err = Error::io("appending to commit log", io::Error::other("disk full"));
         let text = err.to_string();
         assert!(text.contains("appending to commit log"));
         assert!(text.contains("disk full"));

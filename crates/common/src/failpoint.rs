@@ -3,7 +3,7 @@
 //! Recovery-oriented tests need to interrupt the engine at interesting moments —
 //! after the commit log append but before the memtable insert, halfway through a
 //! flush, between writing an SSTable and logging it in the manifest, and so on.
-//! Components call [`check`] with a well-known failpoint name at those moments; in
+//! Components call [`FailpointRegistry::check`] with a well-known failpoint name at those moments; in
 //! production the call is a single relaxed atomic load, while tests arm specific
 //! failpoints with [`FailpointRegistry::arm`] to make the call site return an error.
 

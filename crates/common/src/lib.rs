@@ -2,7 +2,7 @@
 //!
 //! This crate holds the pieces that every other crate in the workspace needs:
 //!
-//! * [`error`] — the common [`Error`](error::Error) / [`Result`](error::Result) types.
+//! * [`error`] — the common [`error::Error`] / [`error::Result`] types.
 //! * [`types`] — user keys, sequence numbers, value kinds and the internal key
 //!   encoding used by SSTables and the commit log.
 //! * [`varint`] — LEB128-style variable-length integer encoding.

@@ -262,8 +262,11 @@ impl StatSnapshot {
     /// convention the paper uses when reporting TRIAD's WA. Returns 1.0 when nothing
     /// has been flushed yet (no amplification observed).
     pub fn write_amplification(&self) -> f64 {
-        let flushed =
-            if self.logical_bytes_flushed > 0 { self.logical_bytes_flushed } else { self.bytes_flushed };
+        let flushed = if self.logical_bytes_flushed > 0 {
+            self.logical_bytes_flushed
+        } else {
+            self.bytes_flushed
+        };
         if flushed == 0 {
             return 1.0;
         }
@@ -340,7 +343,8 @@ mod tests {
 
     #[test]
     fn write_amplification_matches_paper_definition() {
-        let snap = StatSnapshot { bytes_flushed: 10, bytes_compacted_written: 30, ..Default::default() };
+        let snap =
+            StatSnapshot { bytes_flushed: 10, bytes_compacted_written: 30, ..Default::default() };
         assert!((snap.write_amplification() - 4.0).abs() < 1e-9);
         let empty = StatSnapshot::default();
         assert_eq!(empty.write_amplification(), 1.0);
@@ -364,7 +368,11 @@ mod tests {
 
     #[test]
     fn background_time_fraction() {
-        let snap = StatSnapshot { flush_micros: 500_000, compaction_micros: 500_000, ..Default::default() };
+        let snap = StatSnapshot {
+            flush_micros: 500_000,
+            compaction_micros: 500_000,
+            ..Default::default()
+        };
         let frac = snap.background_time_fraction(Duration::from_secs(2));
         assert!((frac - 0.5).abs() < 1e-9);
         assert_eq!(snap.background_time(), Duration::from_secs(1));

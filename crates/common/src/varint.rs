@@ -37,9 +37,8 @@ pub fn decode_u64(input: &[u8]) -> Result<(u64, usize)> {
             return Err(Error::corruption("varint longer than 10 bytes"));
         }
         let part = u64::from(byte & 0x7f);
-        value |= part
-            .checked_shl(shift)
-            .ok_or_else(|| Error::corruption("varint overflows u64"))?;
+        value |=
+            part.checked_shl(shift).ok_or_else(|| Error::corruption("varint overflows u64"))?;
         if byte & 0x80 == 0 {
             return Ok((value, idx + 1));
         }
@@ -54,7 +53,8 @@ pub fn decode_u64(input: &[u8]) -> Result<(u64, usize)> {
 /// Decodes a varint `u32` from the front of `input`.
 pub fn decode_u32(input: &[u8]) -> Result<(u32, usize)> {
     let (value, read) = decode_u64(input)?;
-    let value = u32::try_from(value).map_err(|_| Error::corruption("varint does not fit in u32"))?;
+    let value =
+        u32::try_from(value).map_err(|_| Error::corruption("varint does not fit in u32"))?;
     Ok((value, read))
 }
 
@@ -69,7 +69,8 @@ pub fn encode_length_prefixed(out: &mut Vec<u8>, bytes: &[u8]) {
 /// Returns the slice and the total number of bytes consumed (prefix + payload).
 pub fn decode_length_prefixed(input: &[u8]) -> Result<(&[u8], usize)> {
     let (len, prefix) = decode_u64(input)?;
-    let len = usize::try_from(len).map_err(|_| Error::corruption("length prefix overflows usize"))?;
+    let len =
+        usize::try_from(len).map_err(|_| Error::corruption("length prefix overflows usize"))?;
     let end = prefix
         .checked_add(len)
         .ok_or_else(|| Error::corruption("length prefix overflows usize"))?;
@@ -84,7 +85,7 @@ pub fn encoded_len_u64(value: u64) -> usize {
     if value == 0 {
         1
     } else {
-        (64 - value.leading_zeros() as usize + 6) / 7
+        (64 - value.leading_zeros() as usize).div_ceil(7)
     }
 }
 
@@ -106,16 +107,7 @@ mod tests {
 
     #[test]
     fn round_trip_boundary_values() {
-        for value in [
-            0,
-            127,
-            128,
-            16_383,
-            16_384,
-            u32::MAX as u64,
-            u64::MAX - 1,
-            u64::MAX,
-        ] {
+        for value in [0, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
             let mut buf = Vec::new();
             encode_u64(&mut buf, value);
             let (decoded, read) = decode_u64(&buf).expect("decodes");

@@ -74,7 +74,10 @@ mod tests {
     fn batch_accumulates_operations_in_order() {
         let mut batch = WriteBatch::new();
         assert!(batch.is_empty());
-        batch.put(b"a".to_vec(), b"1".to_vec()).delete(b"b".to_vec()).put(b"c".to_vec(), b"3".to_vec());
+        batch
+            .put(b"a".to_vec(), b"1".to_vec())
+            .delete(b"b".to_vec())
+            .put(b"c".to_vec(), b"3".to_vec());
         assert_eq!(batch.len(), 3);
         assert_eq!(batch.ops[0].kind, ValueKind::Put);
         assert_eq!(batch.ops[1].kind, ValueKind::Delete);

@@ -13,7 +13,8 @@ use std::time::Instant;
 use triad_common::{Error, Result};
 use triad_hll::overlap_ratio;
 use triad_sstable::{
-    sst_file_path, DedupIterator, EntryIter, MergingIterator, TableBuilder, TableBuilderOptions, TableKind,
+    sst_file_path, DedupIterator, EntryIter, MergingIterator, TableBuilder, TableBuilderOptions,
+    TableKind,
 };
 
 use crate::db::DbInner;
@@ -126,7 +127,8 @@ impl DbInner {
 
     fn pick_l0_compaction(&self, version: &Version) -> CompactionJob {
         let inputs_lower: Vec<Arc<FileMetadata>> = version.levels[0].clone();
-        let start = inputs_lower.iter().map(|f| f.smallest.user_key.clone()).min().unwrap_or_default();
+        let start =
+            inputs_lower.iter().map(|f| f.smallest.user_key.clone()).min().unwrap_or_default();
         let end = inputs_lower.iter().map(|f| f.largest.user_key.clone()).max().unwrap_or_default();
         let inputs_upper = version.overlapping_files(1, &start, &end);
         CompactionJob { source_level: 0, inputs_lower, inputs_upper }
@@ -144,7 +146,11 @@ impl DbInner {
                 &file.smallest.user_key,
                 &file.largest.user_key,
             );
-            return Some(CompactionJob { source_level: level, inputs_lower: vec![file], inputs_upper });
+            return Some(CompactionJob {
+                source_level: level,
+                inputs_lower: vec![file],
+                inputs_upper,
+            });
         }
         None
     }
@@ -176,7 +182,8 @@ impl DbInner {
         let merged = MergingIterator::new(sources)?;
         // Tombstones can be dropped only when nothing older can exist below the
         // output level.
-        let drop_tombstones = ((target_level + 1)..version.num_levels()).all(|l| version.num_files(l) == 0);
+        let drop_tombstones =
+            ((target_level + 1)..version.num_levels()).all(|l| version.num_files(l) == 0);
         let mut dedup = DedupIterator::new(Box::new(merged), drop_tombstones);
 
         // Write the merged stream into new tables on the target level, splitting at

@@ -114,7 +114,9 @@ impl Db {
         // in log-id order, so newer logs shadow older ones.
         let live_backing_logs = versions.current().live_backing_logs();
         let mut stray_logs: Vec<u64> = Vec::new();
-        for entry in std::fs::read_dir(&path).map_err(|e| Error::io("listing database directory", e))? {
+        for entry in
+            std::fs::read_dir(&path).map_err(|e| Error::io("listing database directory", e))?
+        {
             let entry = entry.map_err(|e| Error::io("listing database directory", e))?;
             if let Some(id) = parse_log_file_name(&entry.file_name().to_string_lossy()) {
                 if !live_backing_logs.contains(&id) {
@@ -167,7 +169,12 @@ impl Db {
     /// Rebuilds one stray commit log into an L0 SSTable during recovery.
     ///
     /// Returns the largest sequence number seen in the log.
-    fn replay_log(path: &Path, log_id: u64, versions: &mut VersionSet, options: &Options) -> Result<SeqNo> {
+    fn replay_log(
+        path: &Path,
+        log_id: u64,
+        versions: &mut VersionSet,
+        options: &Options,
+    ) -> Result<SeqNo> {
         let log_path = log_file_path(path, log_id);
         let reader = LogReader::open(&log_path)?;
         let (records, _tail) = reader.recover()?;
@@ -189,8 +196,10 @@ impl Db {
         }
         let file_id = versions.allocate_file_number();
         let sst_path = sst_file_path(path, file_id);
-        let table_options =
-            TableBuilderOptions { block_size: options.block_size, bloom_bits_per_key: options.bloom_bits_per_key };
+        let table_options = TableBuilderOptions {
+            block_size: options.block_size,
+            bloom_bits_per_key: options.bloom_bits_per_key,
+        };
         let mut builder = TableBuilder::create(&sst_path, table_options)?;
         for (key, (seqno, kind, value)) in &latest {
             let ikey = triad_common::types::InternalKey::new(key.clone(), *seqno, *kind);
@@ -222,7 +231,12 @@ impl Db {
     }
 
     /// Inserts or updates `key` with explicit write options.
-    pub fn put_opt(&self, key: impl AsRef<[u8]>, value: impl AsRef<[u8]>, opts: WriteOptions) -> Result<()> {
+    pub fn put_opt(
+        &self,
+        key: impl AsRef<[u8]>,
+        value: impl AsRef<[u8]>,
+        opts: WriteOptions,
+    ) -> Result<()> {
         let mut batch = WriteBatch::new();
         batch.put(key.as_ref().to_vec(), value.as_ref().to_vec());
         self.write(batch, opts)
@@ -256,20 +270,9 @@ impl Db {
     pub fn scan_range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<DbIterator> {
         // Building the iterator opens every table of the current version; retry if a
         // concurrent compaction removed a file out from under a stale version.
-        let mut attempts = 0;
-        loop {
-            match DbIterator::with_bounds(
-                &self.inner,
-                start.map(|s| s.to_vec()),
-                end.map(|e| e.to_vec()),
-            ) {
-                Err(e) if DbInner::is_missing_file_error(&e) && attempts < 3 => {
-                    attempts += 1;
-                    continue;
-                }
-                other => return other,
-            }
-        }
+        DbInner::retry_stale_version(|| {
+            DbIterator::with_bounds(&self.inner, start.map(|s| s.to_vec()), end.map(|e| e.to_vec()))
+        })
     }
 
     /// Forces the active memtable to be sealed and flushed, then waits for every
@@ -412,7 +415,8 @@ impl DbInner {
 
         let mem_size = mem.approximate_size();
         let wal_size = wal.writer.size();
-        if mem_size >= self.options.memtable_size || wal_size as usize >= self.options.max_log_size {
+        if mem_size >= self.options.memtable_size || wal_size as usize >= self.options.max_log_size
+        {
             self.rotate_locked(&mut wal, mem_size)?;
         }
         Ok(())
@@ -436,11 +440,17 @@ impl DbInner {
             let new_id = self.versions.lock().allocate_file_number();
             let mut new_writer = LogWriter::create(log_file_path(&self.path, new_id), new_id)?;
             for (key, entry) in mem.snapshot_entries() {
-                let record = LogRecord { seqno: entry.seqno, kind: entry.kind, key: key.clone(), value: entry.value };
+                let record = LogRecord {
+                    seqno: entry.seqno,
+                    kind: entry.kind,
+                    key: key.clone(),
+                    value: entry.value,
+                };
                 let offset = new_writer.append(&record)?;
                 self.stats.add_wal_appends(1);
-                self.stats
-                    .add_wal_bytes_written(triad_wal::RECORD_HEADER_LEN as u64 + record.encoded_len() as u64);
+                self.stats.add_wal_bytes_written(
+                    triad_wal::RECORD_HEADER_LEN as u64 + record.encoded_len() as u64,
+                );
                 mem.update_log_position(&key, entry.seqno, LogPosition { log_id: new_id, offset });
             }
             new_writer.flush()?;
@@ -536,20 +546,33 @@ impl DbInner {
         matches!(error, Error::Io { source, .. } if source.kind() == std::io::ErrorKind::NotFound)
     }
 
-    /// Point lookup. Retries with a refreshed version if a stale version pointed at a
-    /// file that a concurrent compaction has already removed.
-    pub(crate) fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.stats.add_user_reads(1);
+    /// Runs `op`, retrying while it fails with a missing-file error.
+    ///
+    /// Readers grab the current version and then open its files; a compaction that
+    /// completes in between may have deleted a file the stale version still
+    /// references. Each retry of `op` re-reads the current version, and compactions
+    /// converge, so the staleness window closes after finitely many rounds; the
+    /// brief sleep lets the churn settle. The bound keeps a genuinely missing file
+    /// (true corruption) from retrying forever.
+    pub(crate) fn retry_stale_version<T>(mut op: impl FnMut() -> Result<T>) -> Result<T> {
         let mut attempts = 0;
         loop {
-            match self.get_once(key) {
-                Err(e) if Self::is_missing_file_error(&e) && attempts < 3 => {
+            match op() {
+                Err(e) if Self::is_missing_file_error(&e) && attempts < 20 => {
                     attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(1));
                     continue;
                 }
                 other => return other,
             }
         }
+    }
+
+    /// Point lookup. Retries with a refreshed version if a stale version pointed at a
+    /// file that a concurrent compaction has already removed.
+    pub(crate) fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.stats.add_user_reads(1);
+        Self::retry_stale_version(|| self.get_once(key))
     }
 
     fn get_once(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
@@ -617,7 +640,10 @@ impl DbInner {
             };
             let _ = std::fs::remove_file(path);
             if let Some(log_id) = file.backing_log_id {
-                if !live_logs.contains(&log_id) && log_id != active_wal && !pending_logs.contains(&log_id) {
+                if !live_logs.contains(&log_id)
+                    && log_id != active_wal
+                    && !pending_logs.contains(&log_id)
+                {
                     let _ = std::fs::remove_file(log_file_path(&self.path, log_id));
                 }
             }
@@ -628,11 +654,7 @@ impl DbInner {
 /// The background thread: drains flush requests, then runs compactions until the
 /// tree satisfies its shape invariants.
 fn background_worker(inner: Arc<DbInner>, rx: Receiver<WorkItem>) {
-    loop {
-        let item = match rx.recv() {
-            Ok(item) => item,
-            Err(_) => break,
-        };
+    while let Ok(item) = rx.recv() {
         match item {
             WorkItem::Shutdown => break,
             WorkItem::Flush | WorkItem::Compact => {

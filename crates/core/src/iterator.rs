@@ -22,10 +22,6 @@ pub struct DbIterator {
 }
 
 impl DbIterator {
-    pub(crate) fn new(db: &Arc<DbInner>) -> Result<DbIterator> {
-        Self::with_bounds(db, None, None)
-    }
-
     /// Creates an iterator restricted to user keys in `[start, end)`.
     pub(crate) fn with_bounds(
         db: &Arc<DbInner>,
@@ -38,10 +34,7 @@ impl DbIterator {
         // Newest sources first so the dedup iterator keeps the latest version.
         let mem = db.mem.read().clone();
         sources.push(Box::new(
-            mem.snapshot_as_entries()
-                .into_iter()
-                .filter(move |e| e.key.seqno <= snapshot)
-                .map(Ok),
+            mem.snapshot_as_entries().into_iter().filter(move |e| e.key.seqno <= snapshot).map(Ok),
         ));
         {
             let imm = db.imm.read();

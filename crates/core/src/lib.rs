@@ -6,12 +6,13 @@
 //! Balmau et al. (USENIX ATC '17):
 //!
 //! * **TRIAD-MEM** — skew-aware flushing: hot keys stay in memory, only cold keys go
-//!   to disk (implemented in [`flush`] using [`triad_memtable::separate_keys`]).
+//!   to disk (implemented in the private `flush` module using
+//!   [`triad_memtable::separate_keys`]).
 //! * **TRIAD-DISK** — deferred L0→L1 compaction gated on a HyperLogLog-estimated
-//!   key-overlap ratio (implemented in [`compaction`]).
+//!   key-overlap ratio (implemented in the private `compaction` module).
 //! * **TRIAD-LOG** — commit logs double as L0 "CL-SSTables", so flushes write only a
-//!   small index instead of re-writing every value (implemented in [`flush`] using
-//!   [`triad_sstable::ClTableBuilder`]).
+//!   small index instead of re-writing every value (implemented in the private
+//!   `flush` module using [`triad_sstable::ClTableBuilder`]).
 //!
 //! Each technique is individually switchable through [`TriadConfig`], which is how
 //! the benchmark harness reproduces the paper's baseline comparison (RocksDB ≈ all

@@ -114,7 +114,8 @@ impl VersionSet {
     }
 
     fn remove_stale_manifests(dir: &Path, keep_id: u64) -> Result<()> {
-        let entries = std::fs::read_dir(dir).map_err(|e| Error::io("listing database directory", e))?;
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| Error::io("listing database directory", e))?;
         for entry in entries {
             let entry = entry.map_err(|e| Error::io("listing database directory", e))?;
             let name = entry.file_name().to_string_lossy().into_owned();
@@ -207,7 +208,8 @@ mod tests {
     use triad_sstable::TableKind;
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("triad-manifest-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("triad-manifest-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -274,7 +276,10 @@ mod tests {
             let a = versions.allocate_file_number();
             let b = versions.allocate_file_number();
             versions
-                .log_and_apply(VersionEdit { added: vec![file(a, 0), file(b, 0)], ..Default::default() })
+                .log_and_apply(VersionEdit {
+                    added: vec![file(a, 0), file(b, 0)],
+                    ..Default::default()
+                })
                 .unwrap();
             versions
                 .log_and_apply(VersionEdit { deleted: vec![(0, a)], ..Default::default() })
@@ -286,7 +291,7 @@ mod tests {
     }
 
     #[test]
-    fn reopen_rotates_the_manifest_and_cleans_old_ones(){
+    fn reopen_rotates_the_manifest_and_cleans_old_ones() {
         let dir = temp_dir("rotate");
         let first_id = {
             let versions = VersionSet::recover(&dir, 7).unwrap();

@@ -289,7 +289,8 @@ mod tests {
 
     #[test]
     fn level_target_sizes_grow_geometrically() {
-        let options = Options { l1_target_size: 100, level_size_multiplier: 10, ..Options::default() };
+        let options =
+            Options { l1_target_size: 100, level_size_multiplier: 10, ..Options::default() };
         assert_eq!(options.level_target_size(1), 100);
         assert_eq!(options.level_target_size(2), 1_000);
         assert_eq!(options.level_target_size(3), 10_000);
@@ -298,12 +299,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_options() {
-        let mut options = Options::default();
-        options.memtable_size = 0;
+        let options = Options { memtable_size: 0, ..Options::default() };
         assert!(options.validate().is_err());
 
-        let mut options = Options::default();
-        options.num_levels = 1;
+        let options = Options { num_levels: 1, ..Options::default() };
         assert!(options.validate().is_err());
 
         let mut options = Options::default();
@@ -314,8 +313,7 @@ mod tests {
         options.triad.max_l0_files = 0;
         assert!(options.validate().is_err());
 
-        let mut options = Options::default();
-        options.l0_compaction_trigger = 0;
+        let options = Options { l0_compaction_trigger: 0, ..Options::default() };
         assert!(options.validate().is_err());
     }
 

@@ -87,7 +87,8 @@ mod tests {
     use triad_sstable::{TableBuilder, TableBuilderOptions};
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("triad-table-cache-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("triad-table-cache-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir

@@ -76,9 +76,11 @@ impl FileMetadata {
         pos += read;
         let (level, read) = varint::decode_u32(&bytes[pos..])?;
         pos += read;
-        let kind_tag = *bytes.get(pos).ok_or_else(|| Error::corruption("file metadata truncated at kind"))?;
-        let kind = TableKind::from_u8(kind_tag)
-            .ok_or_else(|| Error::corruption(format!("invalid table kind {kind_tag} in manifest")))?;
+        let kind_tag =
+            *bytes.get(pos).ok_or_else(|| Error::corruption("file metadata truncated at kind"))?;
+        let kind = TableKind::from_u8(kind_tag).ok_or_else(|| {
+            Error::corruption(format!("invalid table kind {kind_tag} in manifest"))
+        })?;
         pos += 1;
         let (size, read) = varint::decode_u64(&bytes[pos..])?;
         pos += read;
@@ -95,7 +97,9 @@ impl FileMetadata {
         let (hll_bytes, read) = varint::decode_length_prefixed(&bytes[pos..])?;
         let hll = HyperLogLog::from_bytes(hll_bytes)?;
         pos += read;
-        let tag = *bytes.get(pos).ok_or_else(|| Error::corruption("file metadata truncated at log id"))?;
+        let tag = *bytes
+            .get(pos)
+            .ok_or_else(|| Error::corruption("file metadata truncated at log id"))?;
         pos += 1;
         let backing_log_id = match tag {
             0 => None,
@@ -104,10 +108,24 @@ impl FileMetadata {
                 pos += read;
                 Some(id)
             }
-            other => return Err(Error::corruption(format!("invalid backing-log tag {other} in manifest"))),
+            other => {
+                return Err(Error::corruption(format!(
+                    "invalid backing-log tag {other} in manifest"
+                )))
+            }
         };
         Ok((
-            FileMetadata { id, level, kind, size, num_entries, smallest, largest, hll, backing_log_id },
+            FileMetadata {
+                id,
+                level,
+                kind,
+                size,
+                num_entries,
+                smallest,
+                largest,
+                hll,
+                backing_log_id,
+            },
             pos,
         ))
     }
@@ -254,7 +272,12 @@ impl Version {
     }
 
     /// Files on `level` whose key range overlaps `[start, end]` (user keys).
-    pub fn overlapping_files(&self, level: usize, start: &[u8], end: &[u8]) -> Vec<Arc<FileMetadata>> {
+    pub fn overlapping_files(
+        &self,
+        level: usize,
+        start: &[u8],
+        end: &[u8],
+    ) -> Vec<Arc<FileMetadata>> {
         self.levels
             .get(level)
             .map(|files| {
@@ -288,12 +311,16 @@ impl Version {
         for (level, id) in &edit.deleted {
             let level = *level as usize;
             if level >= levels.len() {
-                return Err(Error::corruption(format!("edit deletes file {id} on unknown level {level}")));
+                return Err(Error::corruption(format!(
+                    "edit deletes file {id} on unknown level {level}"
+                )));
             }
             let before = levels[level].len();
             levels[level].retain(|f| f.id != *id);
             if levels[level].len() == before {
-                return Err(Error::corruption(format!("edit deletes unknown file {id} on level {level}")));
+                return Err(Error::corruption(format!(
+                    "edit deletes unknown file {id} on level {level}"
+                )));
             }
         }
         for file in &edit.added {
@@ -308,7 +335,7 @@ impl Version {
         }
         // Restore level ordering invariants.
         if let Some(l0) = levels.get_mut(0) {
-            l0.sort_by(|a, b| b.id.cmp(&a.id));
+            l0.sort_by_key(|file| std::cmp::Reverse(file.id));
         }
         for level in levels.iter_mut().skip(1) {
             level.sort_by(|a, b| a.smallest.user_key.cmp(&b.smallest.user_key));
@@ -406,7 +433,12 @@ mod tests {
     fn apply_adds_and_removes_files() {
         let version = Version::empty(3);
         let edit = VersionEdit {
-            added: vec![file(1, 0, "a", "m"), file(2, 0, "c", "z"), file(3, 1, "a", "f"), file(4, 1, "g", "z")],
+            added: vec![
+                file(1, 0, "a", "m"),
+                file(2, 0, "c", "z"),
+                file(3, 1, "a", "f"),
+                file(4, 1, "g", "z"),
+            ],
             ..Default::default()
         };
         let next = version.apply(&edit).unwrap();
@@ -486,7 +518,10 @@ mod tests {
         cl_file.kind = TableKind::CommitLogIndex;
         cl_file.backing_log_id = Some(77);
         let version = Version::empty(2)
-            .apply(&VersionEdit { added: vec![file(1, 1, "a", "b"), cl_file], ..Default::default() })
+            .apply(&VersionEdit {
+                added: vec![file(1, 1, "a", "b"), cl_file],
+                ..Default::default()
+            })
             .unwrap();
         assert_eq!(version.live_file_ids(), HashSet::from([1, 9]));
         assert_eq!(version.live_backing_logs(), HashSet::from([77]));
@@ -496,7 +531,10 @@ mod tests {
     fn invariant_check_detects_overlap() {
         // Build a bad version by hand: two overlapping files on L1.
         let version = Version {
-            levels: vec![vec![], vec![Arc::new(file(1, 1, "a", "m")), Arc::new(file(2, 1, "k", "z"))]],
+            levels: vec![
+                vec![],
+                vec![Arc::new(file(1, 1, "a", "m")), Arc::new(file(2, 1, "k", "z"))],
+            ],
         };
         assert!(version.check_invariants().is_err());
     }
@@ -504,7 +542,10 @@ mod tests {
     #[test]
     fn level_sizes_sum_file_sizes() {
         let version = Version::empty(2)
-            .apply(&VersionEdit { added: vec![file(1, 1, "a", "b"), file(2, 1, "c", "d")], ..Default::default() })
+            .apply(&VersionEdit {
+                added: vec![file(1, 1, "a", "b"), file(2, 1, "c", "d")],
+                ..Default::default()
+            })
             .unwrap();
         assert_eq!(version.level_size(1), 1_001 + 1_002);
         assert_eq!(version.level_size(0), 0);

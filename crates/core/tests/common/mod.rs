@@ -14,10 +14,8 @@ static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
 /// Creates a fresh, empty directory for one test database.
 pub fn temp_dir(name: &str) -> PathBuf {
     let unique = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!(
-        "triad-core-test-{name}-{}-{unique}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir()
+        .join(format!("triad-core-test-{name}-{}-{unique}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir

@@ -72,23 +72,37 @@ fn automatic_flushes_and_compactions_keep_data_readable() {
         options.l0_compaction_trigger = 2;
     });
     // Write enough data (several times the 64 KiB test memtable) to force multiple
-    // flushes and at least one compaction, with several versions per key.
+    // flushes and at least one compaction, with several versions per key. Each
+    // round is flushed explicitly: a sealed memtable fully shadowed by newer
+    // writes flushes to nothing, so without the forced flushes the L0 file count
+    // (and whether compaction triggers) would depend on scheduling.
     for version in 1..=3u64 {
         for i in 0..600u64 {
             db.put(key_for(i), value_for(i, version)).unwrap();
         }
+        db.flush().unwrap();
     }
-    db.flush().unwrap();
     db.wait_for_compactions().unwrap();
 
     for i in 0..600u64 {
-        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 3)), "key {i} must have its latest version");
+        assert_eq!(
+            db.get(key_for(i)).unwrap(),
+            Some(value_for(i, 3)),
+            "key {i} must have its latest version"
+        );
     }
     let stats = db.stats();
     assert!(stats.flush_count >= 2, "expected several flushes, got {}", stats.flush_count);
-    assert!(stats.compaction_count >= 1, "expected at least one compaction, got {}", stats.compaction_count);
+    assert!(
+        stats.compaction_count >= 1,
+        "expected at least one compaction, got {}",
+        stats.compaction_count
+    );
     let files = db.files_per_level();
-    assert!(files.iter().skip(1).any(|&n| n > 0), "compaction must populate a deeper level: {files:?}");
+    assert!(
+        files.iter().skip(1).any(|&n| n > 0),
+        "compaction must populate a deeper level: {files:?}"
+    );
     db.close().unwrap();
 }
 
@@ -142,11 +156,13 @@ fn range_scans_respect_bounds_across_memory_and_disk() {
         assert_eq!(got.0, key_for(*want));
     }
     // Lower bound only: everything from 340 upward (spans memtable-only keys).
-    let tail: Vec<_> = db.scan_range(Some(&key_for(340)), None).unwrap().map(|r| r.unwrap()).collect();
+    let tail: Vec<_> =
+        db.scan_range(Some(&key_for(340)), None).unwrap().map(|r| r.unwrap()).collect();
     assert_eq!(tail.len(), 10);
     assert_eq!(tail[0].0, key_for(340));
     // Upper bound only.
-    let head: Vec<_> = db.scan_range(None, Some(&key_for(3))).unwrap().map(|r| r.unwrap()).collect();
+    let head: Vec<_> =
+        db.scan_range(None, Some(&key_for(3))).unwrap().map(|r| r.unwrap()).collect();
     assert_eq!(head.len(), 3);
     // Empty range.
     assert_eq!(db.scan_range(Some(&key_for(10)), Some(&key_for(10))).unwrap().count(), 0);
@@ -164,7 +180,11 @@ fn write_batches_apply_atomically_in_order() {
     batch.delete(b"a".to_vec());
     batch.put(b"c".to_vec(), b"3".to_vec());
     db.write(batch, WriteOptions::default()).unwrap();
-    assert_eq!(db.get(b"a").unwrap(), None, "the delete inside the batch wins over the earlier put");
+    assert_eq!(
+        db.get(b"a").unwrap(),
+        None,
+        "the delete inside the batch wins over the earlier put"
+    );
     assert_eq!(db.get(b"b").unwrap().as_deref(), Some(&b"2"[..]));
     assert_eq!(db.get(b"c").unwrap().as_deref(), Some(&b"3"[..]));
     // An empty batch is a no-op.

@@ -78,7 +78,7 @@ fn readers_run_concurrently_with_writers_and_background_work() {
     let db = Arc::new(db);
     // Seed the key space so readers always find something.
     for i in 0..500u64 {
-        db.put(key_for(i), b"seed-value".to_vec()).unwrap();
+        db.put(key_for(i), b"seed-value").unwrap();
     }
     let stop = Arc::new(AtomicBool::new(false));
 

@@ -25,7 +25,11 @@ fn unflushed_writes_are_recovered_from_the_commit_log() {
     }
     let db = reopen(&dir, &options);
     for i in 0..50u64 {
-        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)), "key {i} lost across restart");
+        assert_eq!(
+            db.get(key_for(i)).unwrap(),
+            Some(value_for(i, 1)),
+            "key {i} lost across restart"
+        );
     }
     db.close().unwrap();
 }
@@ -37,10 +41,15 @@ fn flushed_and_compacted_state_is_recovered_from_the_manifest() {
     options.l0_compaction_trigger = 2;
     {
         let db = Db::open(&dir, options.clone()).unwrap();
+        // Flush each version round explicitly: a sealed memtable whose entries are
+        // all shadowed by newer writes flushes to nothing, so without these forced
+        // flushes the number of L0 files — and whether any compaction triggers —
+        // would depend on background-worker scheduling.
         for version in 1..=3u64 {
             for i in 0..500u64 {
                 db.put(key_for(i), value_for(i, version)).unwrap();
             }
+            db.flush().unwrap();
         }
         for i in (0..500u64).step_by(5) {
             db.delete(key_for(i)).unwrap();
@@ -112,11 +121,18 @@ fn triad_log_cl_sstables_survive_restart() {
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
     assert!(names.iter().any(|n| n.ends_with(".clidx")), "expected CL index files, got {names:?}");
-    assert!(names.iter().any(|n| n.ends_with(".log")), "expected backing commit logs, got {names:?}");
+    assert!(
+        names.iter().any(|n| n.ends_with(".log")),
+        "expected backing commit logs, got {names:?}"
+    );
 
     let db = reopen(&dir, &options);
     for i in (0..2_000u64).step_by(41) {
-        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)), "key {i} lost after CL restart");
+        assert_eq!(
+            db.get(key_for(i)).unwrap(),
+            Some(value_for(i, 1)),
+            "key {i} lost after CL restart"
+        );
     }
     db.close().unwrap();
 }
@@ -208,7 +224,11 @@ fn injected_flush_failures_do_not_lose_acknowledged_writes() {
     // After a restart without the failpoint, everything is recovered from the logs.
     let db = Db::open(&dir, options).unwrap();
     for i in 0..2_000u64 {
-        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)), "key {i} lost after failed flushes");
+        assert_eq!(
+            db.get(key_for(i)).unwrap(),
+            Some(value_for(i, 1)),
+            "key {i} lost after failed flushes"
+        );
     }
     db.close().unwrap();
 }
@@ -267,7 +287,11 @@ fn recovery_tolerates_a_torn_commit_log_tail() {
     let db = Db::open(&dir, options).unwrap();
     // All but possibly the very last record must be intact.
     for i in 0..99u64 {
-        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)), "key {i} lost after torn tail");
+        assert_eq!(
+            db.get(key_for(i)).unwrap(),
+            Some(value_for(i, 1)),
+            "key {i} lost after torn tail"
+        );
     }
     db.close().unwrap();
 }

@@ -9,12 +9,21 @@ use triad_core::{Db, Options, TriadConfig};
 
 /// Applies a deterministic skewed update stream to `db`: 10% of the keys receive 90%
 /// of the updates. Returns the logically expected final state.
-fn apply_skewed_workload(db: &Db, keys: u64, ops: u64, seed: u64) -> std::collections::BTreeMap<Vec<u8>, Vec<u8>> {
+fn apply_skewed_workload(
+    db: &Db,
+    keys: u64,
+    ops: u64,
+    seed: u64,
+) -> std::collections::BTreeMap<Vec<u8>, Vec<u8>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = std::collections::BTreeMap::new();
     let hot_keys = (keys / 10).max(1);
     for version in 0..ops {
-        let key_index = if rng.gen::<f64>() < 0.9 { rng.gen_range(0..hot_keys) } else { rng.gen_range(hot_keys..keys) };
+        let key_index = if rng.gen::<f64>() < 0.9 {
+            rng.gen_range(0..hot_keys)
+        } else {
+            rng.gen_range(hot_keys..keys)
+        };
         let key = key_for(key_index);
         if rng.gen::<f64>() < 0.05 {
             db.delete(&key).unwrap();
@@ -147,7 +156,8 @@ fn triad_log_writes_cl_sstables_and_flushes_fewer_bytes() {
         (stats.bytes_flushed, stats.flush_count, has_clidx)
     };
 
-    let (baseline_bytes, baseline_flushes, baseline_clidx) = run(TriadConfig::baseline(), "log-baseline");
+    let (baseline_bytes, baseline_flushes, baseline_clidx) =
+        run(TriadConfig::baseline(), "log-baseline");
     let (triad_bytes, triad_flushes, triad_clidx) = run(TriadConfig::log_only(), "log-triad");
     assert!(!baseline_clidx, "baseline must not produce CL-SSTables");
     assert!(triad_clidx, "TRIAD-LOG must produce CL-SSTable index files");

@@ -177,7 +177,9 @@ impl HyperLogLog {
         }
         let max_rank = 64 - precision + 1;
         if let Some(bad) = registers.iter().find(|&&r| r > max_rank) {
-            return Err(Error::corruption(format!("HyperLogLog register value {bad} exceeds max rank {max_rank}")));
+            return Err(Error::corruption(format!(
+                "HyperLogLog register value {bad} exceeds max rank {max_rank}"
+            )));
         }
         Ok(HyperLogLog { precision, registers: registers.to_vec(), additions })
     }
@@ -278,7 +280,10 @@ mod tests {
         let mut merged = a.clone();
         merged.merge(&b).expect("same precision");
         let estimate = merged.estimate();
-        assert!(estimate_error(15_000, estimate) < 0.05, "union estimate {estimate} too far from 15000");
+        assert!(
+            estimate_error(15_000, estimate) < 0.05,
+            "union estimate {estimate} too far from 15000"
+        );
         assert_eq!(merged.additions(), 20_000);
     }
 

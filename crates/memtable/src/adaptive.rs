@@ -66,7 +66,10 @@ impl HotKeyTuner {
     /// # Panics
     /// Panics if the bounds are not ordered or `step` is not positive.
     pub fn new(initial_fraction: f64, min_fraction: f64, max_fraction: f64, step: f64) -> Self {
-        assert!(min_fraction >= 0.0 && max_fraction <= 1.0 && min_fraction < max_fraction, "invalid bounds");
+        assert!(
+            min_fraction >= 0.0 && max_fraction <= 1.0 && min_fraction < max_fraction,
+            "invalid bounds"
+        );
         assert!(step > 0.0, "step must be positive");
         HotKeyTuner {
             fraction: initial_fraction.clamp(min_fraction, max_fraction),
@@ -141,7 +144,12 @@ impl Default for HotKeyTuner {
 mod tests {
     use super::*;
 
-    fn observation(bytes_flushed: u64, user_bytes: u64, retained: u64, stale: u64) -> FlushObservation {
+    fn observation(
+        bytes_flushed: u64,
+        user_bytes: u64,
+        retained: u64,
+        stale: u64,
+    ) -> FlushObservation {
         FlushObservation {
             bytes_flushed,
             user_bytes_since_last_flush: user_bytes,

@@ -68,7 +68,8 @@ pub fn separate_keys(entries: Vec<(Vec<u8>, MemEntry)>, policy: HotColdPolicy) -
         }
         HotColdPolicy::TopCount(count) => count.min(entries.len()),
         HotColdPolicy::AboveMeanFrequency => {
-            let mean = entries.iter().map(|(_, e)| f64::from(e.updates)).sum::<f64>() / entries.len() as f64;
+            let mean = entries.iter().map(|(_, e)| f64::from(e.updates)).sum::<f64>()
+                / entries.len() as f64;
             entries.iter().filter(|(_, e)| f64::from(e.updates) > mean).count()
         }
         HotColdPolicy::Quantile(q) => {
@@ -182,7 +183,8 @@ mod tests {
     #[test]
     fn above_mean_policy_matches_manual_computation() {
         let entries = skewed_entries();
-        let mean = entries.iter().map(|(_, e)| f64::from(e.updates)).sum::<f64>() / entries.len() as f64;
+        let mean =
+            entries.iter().map(|(_, e)| f64::from(e.updates)).sum::<f64>() / entries.len() as f64;
         let expected = entries.iter().filter(|(_, e)| f64::from(e.updates) > mean).count();
         let split = separate_keys(entries, HotColdPolicy::AboveMeanFrequency);
         assert_eq!(split.hot.len(), expected);

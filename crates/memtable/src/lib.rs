@@ -132,13 +132,8 @@ impl Memtable {
                 }
             }
             None => {
-                let entry = MemEntry {
-                    value: value.to_vec(),
-                    seqno,
-                    kind,
-                    updates: 1,
-                    log_position,
-                };
+                let entry =
+                    MemEntry { value: value.to_vec(), seqno, kind, updates: 1, log_position };
                 let size = entry.approximate_size(key.len());
                 map.insert(key.to_vec(), entry);
                 self.approximate_size.fetch_add(size, Ordering::Relaxed);
@@ -208,7 +203,12 @@ impl Memtable {
     /// Updates the commit-log position of `key` if its current version still has
     /// sequence number `expected_seqno` (TRIAD's `CLUpdateOffset` during log
     /// rotation). Returns `true` if the position was updated.
-    pub fn update_log_position(&self, key: &[u8], expected_seqno: SeqNo, position: LogPosition) -> bool {
+    pub fn update_log_position(
+        &self,
+        key: &[u8],
+        expected_seqno: SeqNo,
+        position: LogPosition,
+    ) -> bool {
         let shard = &self.shards[self.shard_for(key)];
         let mut map = shard.write();
         match map.get_mut(key) {
@@ -275,10 +275,7 @@ impl Memtable {
 
     /// Returns the entries as the engine-wide [`Entry`] type, sorted by internal key.
     pub fn snapshot_as_entries(&self) -> Vec<Entry> {
-        self.snapshot_entries()
-            .into_iter()
-            .map(|(key, entry)| entry.to_entry(&key))
-            .collect()
+        self.snapshot_entries().into_iter().map(|(key, entry)| entry.to_entry(&key)).collect()
     }
 
     /// Largest sequence number stored, if any.
@@ -322,7 +319,13 @@ mod tests {
     fn updates_are_absorbed_in_place() {
         let memtable = Memtable::new();
         for i in 0..10u64 {
-            memtable.insert(b"hot", format!("v{i}").as_bytes(), i + 1, ValueKind::Put, pos(1, i * 40));
+            memtable.insert(
+                b"hot",
+                format!("v{i}").as_bytes(),
+                i + 1,
+                ValueKind::Put,
+                pos(1, i * 40),
+            );
         }
         assert_eq!(memtable.len(), 1, "in-place absorption keeps one slot per key");
         let raw = memtable.get_raw(b"hot").unwrap();
@@ -370,7 +373,8 @@ mod tests {
     #[test]
     fn snapshot_entries_are_sorted_and_complete() {
         let memtable = Memtable::new();
-        let mut keys: Vec<String> = (0..500).map(|i| format!("key-{:04}", (i * 7919) % 1000)).collect();
+        let mut keys: Vec<String> =
+            (0..500).map(|i| format!("key-{:04}", (i * 7919) % 1000)).collect();
         for (i, key) in keys.iter().enumerate() {
             memtable.insert(key.as_bytes(), b"v", i as u64 + 1, ValueKind::Put, pos(1, 0));
         }
@@ -482,7 +486,13 @@ mod tests {
             handles.push(thread::spawn(move || {
                 for i in 0..1_000u64 {
                     let key = format!("key-{:03}", i % 100);
-                    memtable.insert(key.as_bytes(), b"value", t * 1_000 + i + 1, ValueKind::Put, pos(1, i));
+                    memtable.insert(
+                        key.as_bytes(),
+                        b"value",
+                        t * 1_000 + i + 1,
+                        ValueKind::Put,
+                        pos(1, i),
+                    );
                 }
             }));
         }

@@ -35,7 +35,8 @@ impl BlockBuilder {
     /// Appends an entry. Keys must be added in non-decreasing encoded-internal-key order.
     pub fn add(&mut self, key: &[u8], value: &[u8]) {
         debug_assert!(
-            self.offsets.is_empty() || compare_encoded_internal_keys(&self.last_key, key) != Ordering::Greater,
+            self.offsets.is_empty()
+                || compare_encoded_internal_keys(&self.last_key, key) != Ordering::Greater,
             "block entries must be added in sorted order"
         );
         self.offsets.push(self.buf.len() as u32);
@@ -99,9 +100,8 @@ impl Block {
         }
         let count_pos = bytes.len() - 4;
         let count = u32::from_le_bytes(bytes[count_pos..].try_into().expect("4 bytes")) as usize;
-        let offsets_len = count
-            .checked_mul(4)
-            .ok_or_else(|| Error::corruption("block entry count overflows"))?;
+        let offsets_len =
+            count.checked_mul(4).ok_or_else(|| Error::corruption("block entry count overflows"))?;
         if count_pos < offsets_len {
             return Err(Error::corruption("block trailer larger than block"));
         }
@@ -132,10 +132,10 @@ impl Block {
 
     /// Returns the `(key, value)` pair at `index`.
     pub fn entry(&self, index: usize) -> Result<(&[u8], &[u8])> {
-        let start = *self
-            .offsets
-            .get(index)
-            .ok_or_else(|| Error::corruption(format!("block entry index {index} out of range")))? as usize;
+        let start =
+            *self.offsets.get(index).ok_or_else(|| {
+                Error::corruption(format!("block entry index {index} out of range"))
+            })? as usize;
         let slice = &self.data[start..];
         let (key_len, read1) = varint::decode_u64(slice)?;
         let (value_len, read2) = varint::decode_u64(&slice[read1..])?;

@@ -169,13 +169,14 @@ mod tests {
         let small = BloomFilter::build(present.iter().map(|k| k.as_slice()), 4);
         let large = BloomFilter::build(present.iter().map(|k| k.as_slice()), 16);
         let count = |filter: &BloomFilter| {
-            (0..20_000)
-                .filter(|i| filter.may_contain(format!("missing-{i}").as_bytes()))
-                .count()
+            (0..20_000).filter(|i| filter.may_contain(format!("missing-{i}").as_bytes())).count()
         };
         let small_fp = count(&small);
         let large_fp = count(&large);
-        assert!(large_fp < small_fp, "16 bits/key ({large_fp}) should beat 4 bits/key ({small_fp})");
+        assert!(
+            large_fp < small_fp,
+            "16 bits/key ({large_fp}) should beat 4 bits/key ({small_fp})"
+        );
         assert!(large.size_bytes() > small.size_bytes());
     }
 

@@ -142,7 +142,8 @@ impl TableBuilder {
             index_builder.add(key, &handle.encode());
         }
         let index_handle = self.writer.write_block(&index_builder.finish())?;
-        let bloom = BloomFilter::build_from_hashes(&self.key_hashes, self.options.bloom_bits_per_key);
+        let bloom =
+            BloomFilter::build_from_hashes(&self.key_hashes, self.options.bloom_bits_per_key);
         let bloom_handle = self.writer.write_block(&bloom.to_bytes())?;
         let props_handle = self.writer.write_block(&self.props.encode())?;
         let footer = Footer { index: index_handle, bloom: bloom_handle, properties: props_handle };
@@ -195,7 +196,8 @@ mod tests {
     use crate::SortedTable;
 
     fn temp_path(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("triad-sstable-builder-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("triad-sstable-builder-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(name);
         let _ = std::fs::remove_file(&path);
@@ -274,7 +276,8 @@ mod tests {
     fn build_from_iter_skips_empty_input() {
         let path = temp_path("empty-iter.sst");
         let result =
-            build_table_from_iter(&path, TableBuilderOptions::default(), std::iter::empty()).unwrap();
+            build_table_from_iter(&path, TableBuilderOptions::default(), std::iter::empty())
+                .unwrap();
         assert!(result.is_none());
         assert!(!path.exists());
     }
@@ -282,8 +285,9 @@ mod tests {
     #[test]
     fn build_from_iter_builds_table() {
         let path = temp_path("from-iter.sst");
-        let entries: Vec<Result<Entry>> =
-            (0..50).map(|i| Ok(Entry::put(format!("k{i:04}").into_bytes(), b"v".to_vec(), i + 1))).collect();
+        let entries: Vec<Result<Entry>> = (0..50)
+            .map(|i| Ok(Entry::put(format!("k{i:04}").into_bytes(), b"v".to_vec(), i + 1)))
+            .collect();
         let (props, _) = build_table_from_iter(&path, TableBuilderOptions::default(), entries)
             .unwrap()
             .expect("table built");

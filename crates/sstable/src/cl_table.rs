@@ -213,7 +213,8 @@ mod tests {
     use triad_wal::{LogRecord, LogWriter};
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("triad-cl-table-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("triad-cl-table-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -310,7 +311,9 @@ mod tests {
         for entry in alive {
             let expect = format!(
                 "value-{}",
-                String::from_utf8_lossy(&entry.key.user_key).trim_start_matches("key-").trim_start_matches('0')
+                String::from_utf8_lossy(&entry.key.user_key)
+                    .trim_start_matches("key-")
+                    .trim_start_matches('0')
             );
             // Key 0 trims to an empty string; handle it explicitly.
             let expect = if expect == "value-" { "value-0".to_string() } else { expect };
@@ -354,7 +357,8 @@ mod tests {
         writer.seal().unwrap();
 
         let index_path = crate::cl_index_file_path(&dir, 2);
-        let mut builder = ClTableBuilder::create(&index_path, TableBuilderOptions::default(), 2).unwrap();
+        let mut builder =
+            ClTableBuilder::create(&index_path, TableBuilderOptions::default(), 2).unwrap();
         builder.add(&InternalKey::new(b"aaa".to_vec(), 1, ValueKind::Put), offset_a, 2).unwrap();
         // Deliberately point "bbb" at the offset of "aaa" to simulate a bad index.
         builder.add(&InternalKey::new(b"bbb".to_vec(), 2, ValueKind::Put), offset_a, 2).unwrap();

@@ -81,7 +81,10 @@ impl Footer {
     /// Parses a footer from the last [`FOOTER_LEN`] bytes of a table file.
     pub fn decode(bytes: &[u8]) -> Result<Footer> {
         if bytes.len() != FOOTER_LEN {
-            return Err(Error::corruption(format!("footer must be {FOOTER_LEN} bytes, got {}", bytes.len())));
+            return Err(Error::corruption(format!(
+                "footer must be {FOOTER_LEN} bytes, got {}",
+                bytes.len()
+            )));
         }
         let magic = u64::from_le_bytes(bytes[48..56].try_into().expect("8 bytes"));
         if magic != TABLE_MAGIC {
@@ -192,9 +195,9 @@ impl BlockFileReader {
             ));
         }
         let mut buf = vec![0u8; total];
-        self.file
-            .read_exact_at(&mut buf, handle.offset)
-            .map_err(|e| Error::io(format!("reading block at {} in {}", handle.offset, self.path.display()), e))?;
+        self.file.read_exact_at(&mut buf, handle.offset).map_err(|e| {
+            Error::io(format!("reading block at {} in {}", handle.offset, self.path.display()), e)
+        })?;
         let (payload, trailer) = buf.split_at(handle.size as usize);
         let stored = checksum::unmask(u32::from_le_bytes(trailer.try_into().expect("4 bytes")));
         if checksum::crc32c(payload) != stored {

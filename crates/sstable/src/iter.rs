@@ -39,11 +39,7 @@ impl Ord for HeapItem {
         // BinaryHeap is a max-heap; invert so the smallest internal key is popped
         // first. Ties between sources are broken by source index so that the source
         // listed first (the newer one, by convention) wins deterministically.
-        other
-            .entry
-            .key
-            .cmp(&self.entry.key)
-            .then_with(|| other.source.cmp(&self.source))
+        other.entry.key.cmp(&self.entry.key).then_with(|| other.source.cmp(&self.source))
     }
 }
 
@@ -194,10 +190,11 @@ mod tests {
     fn merge_orders_versions_of_same_key_newest_first() {
         let newer = sorted(vec![put("k", 10, "new"), put("z", 11, "zz")]);
         let older = sorted(vec![put("k", 5, "old"), put("a", 6, "aa")]);
-        let merged: Vec<Entry> = MergingIterator::new(vec![entries_to_iter(newer), entries_to_iter(older)])
-            .unwrap()
-            .map(|r| r.unwrap())
-            .collect();
+        let merged: Vec<Entry> =
+            MergingIterator::new(vec![entries_to_iter(newer), entries_to_iter(older)])
+                .unwrap()
+                .map(|r| r.unwrap())
+                .collect();
         assert_eq!(merged.len(), 4);
         assert_eq!(merged[0].key.user_key, b"a");
         assert_eq!(merged[1].value, b"new", "seqno 10 sorts before seqno 5");
@@ -207,10 +204,11 @@ mod tests {
 
     #[test]
     fn merge_of_empty_sources() {
-        let merged: Vec<Entry> = MergingIterator::new(vec![entries_to_iter(vec![]), entries_to_iter(vec![])])
-            .unwrap()
-            .map(|r| r.unwrap())
-            .collect();
+        let merged: Vec<Entry> =
+            MergingIterator::new(vec![entries_to_iter(vec![]), entries_to_iter(vec![])])
+                .unwrap()
+                .map(|r| r.unwrap())
+                .collect();
         assert!(merged.is_empty());
         let no_sources: Vec<Entry> =
             MergingIterator::new(vec![]).unwrap().map(|r| r.unwrap()).collect();
@@ -232,7 +230,12 @@ mod tests {
 
     #[test]
     fn dedup_keeps_newest_version_only() {
-        let stream = sorted(vec![put("k", 10, "new"), put("k", 5, "old"), put("k", 1, "ancient"), put("x", 2, "xx")]);
+        let stream = sorted(vec![
+            put("k", 10, "new"),
+            put("k", 5, "old"),
+            put("k", 1, "ancient"),
+            put("x", 2, "xx"),
+        ]);
         let mut dedup = DedupIterator::new(entries_to_iter(stream), false);
         let kept: Vec<Entry> = dedup.by_ref().map(|r| r.unwrap()).collect();
         assert_eq!(kept.len(), 2);
@@ -244,7 +247,8 @@ mod tests {
     #[test]
     fn dedup_keeps_tombstones_on_intermediate_levels() {
         let stream = sorted(vec![del("k", 10), put("k", 5, "old")]);
-        let kept: Vec<Entry> = DedupIterator::new(entries_to_iter(stream), false).map(|r| r.unwrap()).collect();
+        let kept: Vec<Entry> =
+            DedupIterator::new(entries_to_iter(stream), false).map(|r| r.unwrap()).collect();
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].key.kind, ValueKind::Delete);
     }
@@ -261,7 +265,8 @@ mod tests {
 
     #[test]
     fn dedup_of_empty_stream() {
-        let kept: Vec<Entry> = DedupIterator::new(entries_to_iter(vec![]), true).map(|r| r.unwrap()).collect();
+        let kept: Vec<Entry> =
+            DedupIterator::new(entries_to_iter(vec![]), true).map(|r| r.unwrap()).collect();
         assert!(kept.is_empty());
     }
 

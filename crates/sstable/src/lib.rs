@@ -4,7 +4,7 @@
 //!
 //! * [`bloom`] — a bloom filter over user keys, consulted before touching data blocks.
 //! * [`block`] — the sorted key/value block format shared by data and index blocks.
-//! * [`format`] — block handles, checksummed block I/O and the table footer.
+//! * [`mod@format`] — block handles, checksummed block I/O and the table footer.
 //! * [`properties`] — per-table metadata (entry counts, key range, HyperLogLog sketch).
 //! * [`builder`] / [`reader`] — the regular block-based SSTable, equivalent to the
 //!   tables RocksDB writes on flush and compaction.

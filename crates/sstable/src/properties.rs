@@ -125,7 +125,8 @@ impl TableProperties {
     /// Parses properties from their encoded form.
     pub fn decode(bytes: &[u8]) -> Result<TableProperties> {
         let mut pos = 0usize;
-        let kind_tag = *bytes.get(pos).ok_or_else(|| Error::corruption("properties block empty"))?;
+        let kind_tag =
+            *bytes.get(pos).ok_or_else(|| Error::corruption("properties block empty"))?;
         let kind = TableKind::from_u8(kind_tag)
             .ok_or_else(|| Error::corruption(format!("invalid table kind {kind_tag}")))?;
         pos += 1;

@@ -127,8 +127,9 @@ impl Table {
             return Ok(None);
         }
         let (key_bytes, value) = block.entry(pos)?;
-        let key = InternalKey::decode(key_bytes)
-            .ok_or_else(|| Error::corruption_at("undecodable internal key in data block", &self.path))?;
+        let key = InternalKey::decode(key_bytes).ok_or_else(|| {
+            Error::corruption_at("undecodable internal key in data block", &self.path)
+        })?;
         if key.user_key != user_key {
             return Ok(None);
         }
@@ -195,8 +196,9 @@ impl TableIterator {
             if let Some(block) = &self.block {
                 if self.block_pos < block.num_entries() {
                     let (key_bytes, value) = block.entry(self.block_pos)?;
-                    let key = InternalKey::decode(key_bytes)
-                        .ok_or_else(|| Error::corruption("undecodable internal key in data block"))?;
+                    let key = InternalKey::decode(key_bytes).ok_or_else(|| {
+                        Error::corruption("undecodable internal key in data block")
+                    })?;
                     let entry = Entry::new(key, value.to_vec());
                     self.block_pos += 1;
                     return Ok(Some(entry));
@@ -249,7 +251,8 @@ mod tests {
 
     fn build_table(path: &Path, n: u64, block_size: usize) -> TableProperties {
         let mut builder =
-            TableBuilder::create(path, TableBuilderOptions { block_size, bloom_bits_per_key: 10 }).unwrap();
+            TableBuilder::create(path, TableBuilderOptions { block_size, bloom_bits_per_key: 10 })
+                .unwrap();
         for i in 0..n {
             let key = InternalKey::new(format!("key-{i:06}").into_bytes(), i + 1, ValueKind::Put);
             builder.add(&key, format!("value-{i}").as_bytes()).unwrap();
@@ -262,10 +265,7 @@ mod tests {
         let path = temp_path("lookups.sst");
         build_table(&path, 500, 512);
         let table = Table::open(&path, None).unwrap();
-        assert_eq!(
-            table.get_entry(b"key-000123", u64::MAX).unwrap().unwrap().value,
-            b"value-123"
-        );
+        assert_eq!(table.get_entry(b"key-000123", u64::MAX).unwrap().unwrap().value, b"value-123");
         assert!(table.get_entry(b"key-000500", u64::MAX).unwrap().is_none());
         assert!(table.get_entry(b"zzz", u64::MAX).unwrap().is_none());
         assert!(table.get_entry(b"", u64::MAX).unwrap().is_none());
@@ -313,7 +313,8 @@ mod tests {
         assert_eq!(entries[999].key.user_key, b"key-000999");
 
         // The trait-object path returns the same entries.
-        let via_trait: Vec<Entry> = SortedTable::entries(table.as_ref()).unwrap().map(|r| r.unwrap()).collect();
+        let via_trait: Vec<Entry> =
+            SortedTable::entries(table.as_ref()).unwrap().map(|r| r.unwrap()).collect();
         assert_eq!(via_trait, entries);
     }
 

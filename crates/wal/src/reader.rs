@@ -36,12 +36,14 @@ pub enum TailStatus {
 /// Used by bulk consumers (CL-SSTable iteration during compaction) that read the
 /// whole sealed log once instead of issuing one positioned read per record.
 pub fn decode_record_in_buffer(buffer: &[u8], offset: u64) -> Result<LogRecord> {
-    let offset = usize::try_from(offset).map_err(|_| Error::corruption("record offset overflows usize"))?;
+    let offset =
+        usize::try_from(offset).map_err(|_| Error::corruption("record offset overflows usize"))?;
     if offset + RECORD_HEADER_LEN > buffer.len() {
         return Err(Error::corruption("record header extends past end of log buffer"));
     }
     let header = &buffer[offset..offset + RECORD_HEADER_LEN];
-    let stored_crc = checksum::unmask(u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")));
+    let stored_crc =
+        checksum::unmask(u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")));
     let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
     let payload_start = offset + RECORD_HEADER_LEN;
     let payload_end = payload_start + len;
@@ -100,10 +102,11 @@ impl LogReader {
     /// log directly.
     pub fn read_at(&self, offset: u64) -> Result<LogRecord> {
         let mut header = [0u8; RECORD_HEADER_LEN];
-        self.file
-            .read_exact_at(&mut header, offset)
-            .map_err(|e| Error::io(format!("reading record header at {offset} in {}", self.path.display()), e))?;
-        let stored_crc = checksum::unmask(u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")));
+        self.file.read_exact_at(&mut header, offset).map_err(|e| {
+            Error::io(format!("reading record header at {offset} in {}", self.path.display()), e)
+        })?;
+        let stored_crc =
+            checksum::unmask(u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")));
         let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
         if offset + (RECORD_HEADER_LEN + len) as u64 > self.len {
             return Err(Error::corruption_at(
@@ -112,9 +115,9 @@ impl LogReader {
             ));
         }
         let mut payload = vec![0u8; len];
-        self.file
-            .read_exact_at(&mut payload, offset + RECORD_HEADER_LEN as u64)
-            .map_err(|e| Error::io(format!("reading record payload at {offset} in {}", self.path.display()), e))?;
+        self.file.read_exact_at(&mut payload, offset + RECORD_HEADER_LEN as u64).map_err(|e| {
+            Error::io(format!("reading record payload at {offset} in {}", self.path.display()), e)
+        })?;
         let mut crc = checksum::crc32c(&header[4..8]);
         crc = checksum::extend(crc, &payload);
         if crc != stored_crc {
@@ -191,10 +194,11 @@ impl LogIterator {
             return Ok(None);
         }
         let mut header = [0u8; RECORD_HEADER_LEN];
-        self.reader
-            .read_exact(&mut header)
-            .map_err(|e| Error::io(format!("reading header at {start} in {}", self.path.display()), e))?;
-        let stored_crc = checksum::unmask(u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")));
+        self.reader.read_exact(&mut header).map_err(|e| {
+            Error::io(format!("reading header at {start} in {}", self.path.display()), e)
+        })?;
+        let stored_crc =
+            checksum::unmask(u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")));
         let payload_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as u64;
         if start + RECORD_HEADER_LEN as u64 + payload_len > self.len {
             // Torn append: the process crashed while writing this record.
@@ -203,9 +207,9 @@ impl LogIterator {
             return Ok(None);
         }
         let mut payload = vec![0u8; payload_len as usize];
-        self.reader
-            .read_exact(&mut payload)
-            .map_err(|e| Error::io(format!("reading payload at {start} in {}", self.path.display()), e))?;
+        self.reader.read_exact(&mut payload).map_err(|e| {
+            Error::io(format!("reading payload at {start} in {}", self.path.display()), e)
+        })?;
         let mut crc = checksum::crc32c(&header[4..8]);
         crc = checksum::extend(crc, &payload);
         if crc != stored_crc {
@@ -250,7 +254,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("triad-wal-reader-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("triad-wal-reader-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -260,7 +265,11 @@ mod tests {
         let mut writer = LogWriter::create(path, 0).unwrap();
         let mut offsets = Vec::new();
         for i in 0..count {
-            let record = LogRecord::put(i, format!("key-{i:04}").into_bytes(), format!("value-{i}").into_bytes());
+            let record = LogRecord::put(
+                i,
+                format!("key-{i:04}").into_bytes(),
+                format!("value-{i}").into_bytes(),
+            );
             offsets.push(writer.append(&record).unwrap());
         }
         writer.seal().unwrap();

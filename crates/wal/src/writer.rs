@@ -84,7 +84,9 @@ impl LogWriter {
             .write_all(&masked.to_le_bytes())
             .and_then(|_| self.file.write_all(&len_bytes))
             .and_then(|_| self.file.write_all(payload))
-            .map_err(|e| Error::io(format!("appending to commit log {}", self.path.display()), e))?;
+            .map_err(|e| {
+                Error::io(format!("appending to commit log {}", self.path.display()), e)
+            })?;
 
         self.offset += (RECORD_HEADER_LEN + payload.len()) as u64;
         self.records += 1;
@@ -128,7 +130,8 @@ mod tests {
     use crate::{log_file_path, RECORD_HEADER_LEN};
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("triad-wal-writer-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("triad-wal-writer-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -149,7 +152,8 @@ mod tests {
         let mut writer = LogWriter::create(&path, 2).unwrap();
         let mut offsets = Vec::new();
         for i in 0..100u64 {
-            let record = LogRecord::put(i, format!("key-{i}").into_bytes(), vec![b'v'; i as usize % 32]);
+            let record =
+                LogRecord::put(i, format!("key-{i}").into_bytes(), vec![b'v'; i as usize % 32]);
             let offset = writer.append(&record).unwrap();
             if let Some(&last) = offsets.last() {
                 assert!(offset > last);

@@ -161,7 +161,10 @@ mod tests {
         assert!(counts.len() > 990, "virtually every key should be touched");
         let max = *counts.values().max().unwrap();
         let min = *counts.values().min().unwrap();
-        assert!(max < min * 3, "uniform counts should be within a small factor (min {min}, max {max})");
+        assert!(
+            max < min * 3,
+            "uniform counts should be within a small factor (min {min}, max {max})"
+        );
         assert_eq!(dist.hot_key_count(), None);
     }
 
@@ -212,11 +215,8 @@ mod tests {
         // adjacent, otherwise flushes would produce unrealistically narrow SSTables.
         let dist = KeyDistribution::ws1_high_skew(10_000);
         let counts = frequency(&dist, 100_000, 5);
-        let mut hot: Vec<u64> = counts
-            .iter()
-            .filter(|(_, &count)| count > 500)
-            .map(|(&key, _)| key)
-            .collect();
+        let mut hot: Vec<u64> =
+            counts.iter().filter(|(_, &count)| count > 500).map(|(&key, _)| key).collect();
         hot.sort_unstable();
         assert!(hot.len() > 20, "expect a recognisable hot set");
         let span = hot.last().unwrap() - hot.first().unwrap();

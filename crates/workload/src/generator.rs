@@ -141,7 +141,11 @@ impl WorkloadGenerator {
     pub fn prepopulation(&self, fraction: f64) -> Vec<(Vec<u8>, Vec<u8>)> {
         let count = ((self.spec.num_keys as f64) * fraction.clamp(0.0, 1.0)) as u64;
         // Deterministic subset: every other key for fraction 0.5, etc.
-        let step = if count == 0 { self.spec.num_keys } else { (self.spec.num_keys / count.max(1)).max(1) };
+        let step = if count == 0 {
+            self.spec.num_keys
+        } else {
+            (self.spec.num_keys / count.max(1)).max(1)
+        };
         let mut pairs = Vec::with_capacity(count as usize);
         let mut index = 0u64;
         while index < self.spec.num_keys && (pairs.len() as u64) < count {
@@ -166,7 +170,10 @@ mod tests {
     use super::*;
 
     fn spec() -> WorkloadSpec {
-        WorkloadSpec::synthetic(KeyDistribution::ws1_high_skew(10_000), OperationMix::write_intensive())
+        WorkloadSpec::synthetic(
+            KeyDistribution::ws1_high_skew(10_000),
+            OperationMix::write_intensive(),
+        )
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub enum ProductionWorkload {
 impl ProductionWorkload {
     /// All four workloads, in paper order.
     pub fn all() -> [ProductionWorkload; 4] {
-        [ProductionWorkload::W1, ProductionWorkload::W2, ProductionWorkload::W3, ProductionWorkload::W4]
+        [
+            ProductionWorkload::W1,
+            ProductionWorkload::W2,
+            ProductionWorkload::W3,
+            ProductionWorkload::W4,
+        ]
     }
 
     /// The workload's label as used in the paper's figures.
@@ -210,7 +215,8 @@ mod tests {
     fn more_skewed_profiles_concentrate_more_mass_on_top_keys() {
         let w1 = ProductionProfile::new(ProductionWorkload::W1, 1_000);
         let w2 = ProductionProfile::new(ProductionWorkload::W2, 1_000);
-        let top_mass = |p: &ProductionProfile| -> f64 { (0..100).map(|r| p.access_probability(r)).sum() };
+        let top_mass =
+            |p: &ProductionProfile| -> f64 { (0..100).map(|r| p.access_probability(r)).sum() };
         assert!(top_mass(&w2) > top_mass(&w1));
     }
 

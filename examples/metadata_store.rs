@@ -20,10 +20,12 @@ const NUM_OPERATIONS: u64 = 200_000;
 fn run(label: &str, triad: TriadConfig) -> triad::Result<()> {
     let dir = std::env::temp_dir().join(format!("triad-metadata-{label}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let mut options = Options::default();
-    options.memtable_size = 1024 * 1024;
-    options.max_log_size = 2 * 1024 * 1024;
-    options.triad = triad;
+    let mut options = Options {
+        memtable_size: 1024 * 1024,
+        max_log_size: 2 * 1024 * 1024,
+        triad,
+        ..Options::default()
+    };
     options.triad.flush_skip_threshold_bytes = options.memtable_size / 2;
     let db = Db::open(&dir, options)?;
 
@@ -51,7 +53,10 @@ fn run(label: &str, triad: TriadConfig) -> triad::Result<()> {
 
     let stats = db.stats();
     println!("--- {label} ---");
-    println!("  throughput          : {:.1} KOPS", NUM_OPERATIONS as f64 / elapsed.as_secs_f64() / 1e3);
+    println!(
+        "  throughput          : {:.1} KOPS",
+        NUM_OPERATIONS as f64 / elapsed.as_secs_f64() / 1e3
+    );
     println!("  bytes flushed       : {:>12}", stats.bytes_flushed);
     println!("  bytes compacted     : {:>12}", stats.bytes_compacted_written);
     println!("  write amplification : {:.2}", stats.write_amplification());

@@ -38,7 +38,10 @@ fn main() -> triad::Result<()> {
     // Force the memory component to disk and scan everything back in key order.
     db.flush()?;
     let visible = db.scan()?.count();
-    println!("store now holds {visible} live keys across {:?} files per level", db.files_per_level());
+    println!(
+        "store now holds {visible} live keys across {:?} files per level",
+        db.files_per_level()
+    );
 
     // The statistics registry exposes the metrics the TRIAD paper is built around.
     let stats = db.stats();

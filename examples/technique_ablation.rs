@@ -20,12 +20,14 @@ fn run_one(triad: TriadConfig) -> triad::Result<(String, StatSnapshot, f64)> {
     let label = triad.label();
     let dir = std::env::temp_dir().join(format!("triad-ablation-{label}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let mut options = Options::default();
-    options.memtable_size = 512 * 1024;
-    options.max_log_size = 1024 * 1024;
-    options.l1_target_size = 4 * 1024 * 1024;
-    options.target_file_size = 1024 * 1024;
-    options.triad = triad;
+    let mut options = Options {
+        memtable_size: 512 * 1024,
+        max_log_size: 1024 * 1024,
+        l1_target_size: 4 * 1024 * 1024,
+        target_file_size: 1024 * 1024,
+        triad,
+        ..Options::default()
+    };
     options.triad.flush_skip_threshold_bytes = options.memtable_size / 2;
     let db = Db::open(&dir, options)?;
 
@@ -54,7 +56,9 @@ fn run_one(triad: TriadConfig) -> triad::Result<(String, StatSnapshot, f64)> {
 }
 
 fn main() -> triad::Result<()> {
-    println!("Ablation on a 20%/80% skewed, 90%-write workload ({NUM_OPS} ops over {NUM_KEYS} keys)\n");
+    println!(
+        "Ablation on a 20%/80% skewed, 90%-write workload ({NUM_OPS} ops over {NUM_KEYS} keys)\n"
+    );
     println!(
         "{:<12} {:>10} {:>14} {:>16} {:>8} {:>12} {:>12}",
         "config", "KOPS", "flushed bytes", "compacted bytes", "WA", "flushes", "compactions"
@@ -78,7 +82,9 @@ fn main() -> triad::Result<()> {
             stats.compaction_count
         );
     }
-    println!("\nExpected shape (paper Figures 10-11): every technique alone improves on the baseline;");
+    println!(
+        "\nExpected shape (paper Figures 10-11): every technique alone improves on the baseline;"
+    );
     println!("TRIAD-MEM helps most under skew, TRIAD-DISK and TRIAD-LOG help most without skew.");
     Ok(())
 }

@@ -6,7 +6,8 @@ use proptest::prelude::*;
 use triad_common::types::{Entry, InternalKey, ValueKind};
 use triad_hll::HyperLogLog;
 use triad_sstable::{
-    BloomFilter, DedupIterator, MergingIterator, SortedTable, Table, TableBuilder, TableBuilderOptions,
+    BloomFilter, DedupIterator, MergingIterator, SortedTable, Table, TableBuilder,
+    TableBuilderOptions,
 };
 use triad_wal::{LogReader, LogRecord, LogWriter};
 
@@ -23,7 +24,6 @@ proptest! {
 
     /// Every record appended to a commit log is recovered verbatim, in order, and is
     /// addressable by the offset returned at append time.
-    #[test]
     fn wal_round_trips_arbitrary_records(
         records in proptest::collection::vec(
             (any::<bool>(), proptest::collection::vec(any::<u8>(), 0..40), proptest::collection::vec(any::<u8>(), 0..200)),
@@ -60,7 +60,6 @@ proptest! {
 
     /// An SSTable built from any sorted map returns exactly the stored entries, both
     /// through point lookups and through full iteration.
-    #[test]
     fn sstable_round_trips_sorted_maps(
         map in proptest::collection::btree_map(
             proptest::collection::vec(any::<u8>(), 1..24),
@@ -98,7 +97,6 @@ proptest! {
     }
 
     /// Bloom filters never produce false negatives.
-    #[test]
     fn bloom_filters_have_no_false_negatives(
         keys in proptest::collection::hash_set(proptest::collection::vec(any::<u8>(), 0..32), 1..400),
         bits in 4usize..16,
@@ -116,7 +114,6 @@ proptest! {
 
     /// HyperLogLog estimates stay within a generous error bound and merging two
     /// sketches never under-counts either input.
-    #[test]
     fn hll_estimates_are_bounded(
         a in proptest::collection::hash_set(any::<u64>(), 1..3_000),
         b in proptest::collection::hash_set(any::<u64>(), 1..3_000),
@@ -144,7 +141,6 @@ proptest! {
 
     /// Merging sorted runs and deduplicating yields the newest version of every key —
     /// the invariant compaction relies on.
-    #[test]
     fn merge_dedup_keeps_the_newest_version(
         runs in proptest::collection::vec(
             proptest::collection::btree_map(0u16..200, proptest::collection::vec(any::<u8>(), 0..16), 0..60),

@@ -14,14 +14,16 @@ fn temp_dir(name: &str) -> std::path::PathBuf {
 }
 
 fn small_options(triad: TriadConfig) -> Options {
-    let mut options = Options::default();
-    options.memtable_size = 64 * 1024;
-    options.max_log_size = 128 * 1024;
-    options.l1_target_size = 256 * 1024;
-    options.target_file_size = 64 * 1024;
-    options.block_size = 1024;
-    options.l0_compaction_trigger = 2;
-    options.triad = triad;
+    let mut options = Options {
+        memtable_size: 64 * 1024,
+        max_log_size: 128 * 1024,
+        l1_target_size: 256 * 1024,
+        target_file_size: 64 * 1024,
+        block_size: 1024,
+        l0_compaction_trigger: 2,
+        triad,
+        ..Options::default()
+    };
     options.triad.flush_skip_threshold_bytes = options.memtable_size / 2;
     options
 }
@@ -41,7 +43,11 @@ fn drive(db: &Db, spec: WorkloadSpec, ops: u64, seed: u64, model: &mut BTreeMap<
             }
             Operation::Get { key } => {
                 let got = db.get(&key).unwrap();
-                assert_eq!(got.as_ref(), model.get(&key), "read diverged from model during the run");
+                assert_eq!(
+                    got.as_ref(),
+                    model.get(&key),
+                    "read diverged from model during the run"
+                );
             }
         }
     }
@@ -50,7 +56,12 @@ fn drive(db: &Db, spec: WorkloadSpec, ops: u64, seed: u64, model: &mut BTreeMap<
 fn check_model(db: &Db, model: &BTreeMap<Vec<u8>, Vec<u8>>) {
     // Every model key reads back exactly; the scan matches the model verbatim.
     for (key, value) in model {
-        assert_eq!(db.get(key).unwrap().as_ref(), Some(value), "key {:?}", String::from_utf8_lossy(key));
+        assert_eq!(
+            db.get(key).unwrap().as_ref(),
+            Some(value),
+            "key {:?}",
+            String::from_utf8_lossy(key)
+        );
     }
     let scanned: Vec<(Vec<u8>, Vec<u8>)> = db.scan().unwrap().map(|r| r.unwrap()).collect();
     assert_eq!(scanned.len(), model.len());
@@ -64,7 +75,10 @@ fn check_model(db: &Db, model: &BTreeMap<Vec<u8>, Vec<u8>>) {
 fn skewed_workload_through_the_facade_matches_a_model() {
     let dir = temp_dir("facade-skew");
     let db = Db::open(&dir, small_options(TriadConfig::all_enabled())).unwrap();
-    let spec = WorkloadSpec::synthetic(KeyDistribution::ws1_high_skew(2_000), OperationMix::with_deletes());
+    let spec = WorkloadSpec::synthetic(
+        KeyDistribution::ws1_high_skew(2_000),
+        OperationMix::with_deletes(),
+    );
     let mut model = BTreeMap::new();
     drive(&db, spec, 20_000, 1, &mut model);
     db.flush().unwrap();
@@ -150,7 +164,10 @@ fn triad_writes_less_background_io_than_baseline_under_skew() {
     };
     let (baseline_bytes, baseline_model) = run(TriadConfig::baseline(), "io-baseline");
     let (triad_bytes, triad_model) = run(TriadConfig::all_enabled(), "io-triad");
-    assert_eq!(baseline_model, triad_model, "identical op streams must give identical logical state");
+    assert_eq!(
+        baseline_model, triad_model,
+        "identical op streams must give identical logical state"
+    );
     assert!(
         triad_bytes < baseline_bytes,
         "TRIAD background I/O ({triad_bytes}) should be below the baseline ({baseline_bytes})"

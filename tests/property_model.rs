@@ -40,14 +40,16 @@ fn config_strategy() -> impl Strategy<Value = TriadConfig> {
 }
 
 fn tiny_options(triad: TriadConfig) -> Options {
-    let mut options = Options::default();
-    options.memtable_size = 8 * 1024;
-    options.max_log_size = 16 * 1024;
-    options.l1_target_size = 64 * 1024;
-    options.target_file_size = 16 * 1024;
-    options.block_size = 512;
-    options.l0_compaction_trigger = 2;
-    options.triad = triad;
+    let mut options = Options {
+        memtable_size: 8 * 1024,
+        max_log_size: 16 * 1024,
+        l1_target_size: 64 * 1024,
+        target_file_size: 16 * 1024,
+        block_size: 512,
+        l0_compaction_trigger: 2,
+        triad,
+        ..Options::default()
+    };
     options.triad.flush_skip_threshold_bytes = 4 * 1024;
     options
 }
@@ -90,7 +92,8 @@ fn assert_matches_model(db: &Db, model: &BTreeMap<Vec<u8>, Vec<u8>>) {
         assert_eq!(db.get(&key).unwrap().as_ref(), model.get(&key), "lookup mismatch for {key:?}");
     }
     let scanned: Vec<(Vec<u8>, Vec<u8>)> = db.scan().unwrap().map(|r| r.unwrap()).collect();
-    let expected: Vec<(Vec<u8>, Vec<u8>)> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let expected: Vec<(Vec<u8>, Vec<u8>)> =
+        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
     assert_eq!(scanned, expected, "scan mismatch");
 }
 
@@ -98,7 +101,6 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 24, max_shrink_iters: 200, .. ProptestConfig::default() })]
 
     /// Arbitrary operation sequences behave exactly like a sorted map.
-    #[test]
     fn engine_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..250), triad in config_strategy()) {
         let dir = unique_dir("model");
         let db = Db::open(&dir, tiny_options(triad)).unwrap();
@@ -110,7 +112,6 @@ proptest! {
     }
 
     /// The same holds after closing and reopening the database.
-    #[test]
     fn engine_matches_btreemap_across_restart(
         before in proptest::collection::vec(op_strategy(), 1..150),
         after in proptest::collection::vec(op_strategy(), 0..80),

@@ -1,0 +1,212 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The workspace builds without registry access, so this crate provides the
+//! criterion 0.5 API surface TRIAD's benches use — [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by a simple
+//! wall-clock measurement loop. Reported numbers are mean wall time per
+//! iteration over `sample_size` samples; there is no statistical analysis,
+//! outlier rejection, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost across measured iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many iterations per setup batch (cheap inputs).
+    SmallInput,
+    /// Few iterations per setup batch (expensive inputs).
+    LargeInput,
+    /// One fresh setup per measured iteration.
+    PerIteration,
+}
+
+/// The benchmark driver: times closures and prints one line per benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the total time budget spread across one benchmark's samples.
+    #[must_use]
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs `routine` with a [`Bencher`] and prints the mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            budget_per_sample: self.measurement_time.div_f64(self.sample_size as f64),
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        if bencher.iterations == 0 {
+            println!("{name:<40} (no iterations recorded)");
+            return self;
+        }
+        let nanos_per_iter = bencher.total.as_nanos() as f64 / bencher.iterations as f64;
+        println!(
+            "{name:<40} {:>12} iters   {:>14} /iter",
+            bencher.iterations,
+            format_nanos(nanos_per_iter)
+        );
+        self
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// The timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    budget_per_sample: Duration,
+    samples: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, auto-scaling the batch size so each
+    /// sample lands near the per-sample time budget.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate: grow the batch until one batch takes ~1/10 of a sample.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget_per_sample / 10 || batch >= 1 << 24 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.iterations += batch;
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup time
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // One input per measured iteration: correct for every BatchSize and
+        // sufficient for the scaled-down figure benches.
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group: a function invoking each target with a shared
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{BatchSize, Criterion};
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(std::time::Duration::from_millis(3));
+        let mut ran = 0u64;
+        c.bench_function("smoke/iter", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(std::time::Duration::from_millis(2));
+        let mut seen = 0usize;
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| seen += v.len(), BatchSize::PerIteration)
+        });
+        assert_eq!(seen % 3, 0);
+        assert!(seen > 0);
+    }
+}

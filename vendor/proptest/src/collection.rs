@@ -1,0 +1,171 @@
+//! Strategies for collections: `vec`, `btree_map` and `hash_set`, mirroring
+//! `proptest::collection`.
+
+use std::collections::{BTreeMap, HashSet};
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive-of-start, exclusive-of-end bound on a generated collection's
+/// size, mirroring `proptest::collection::SizeRange`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.start + 1 >= self.end {
+            self.start
+        } else {
+            rng.usize_in(self.start, self.end)
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        SizeRange { start: range.start, end: range.end.max(range.start + 1) }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange { start: len, end: len + 1 }
+    }
+}
+
+/// A strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Returns a strategy generating vectors whose length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// A strategy producing `BTreeMap`s from key and value strategies.
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut map = BTreeMap::new();
+        // Like proptest, duplicate keys collapse, so the size bound is a target
+        // rather than a guarantee; cap the attempts to keep generation total.
+        for _ in 0..target.saturating_mul(4).max(8) {
+            if map.len() >= target {
+                break;
+            }
+            map.insert(self.key.generate(rng), self.value.generate(rng));
+        }
+        map
+    }
+}
+
+/// Returns a strategy generating ordered maps with roughly `size` entries.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+/// A strategy producing `HashSet`s from an element strategy.
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut set = HashSet::new();
+        for _ in 0..target.saturating_mul(4).max(8) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+/// Returns a strategy generating hash sets with roughly `size` elements.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{btree_map, hash_set, vec};
+    use crate::strategy::{any, Strategy};
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        let strat = vec(any::<u8>(), 3..10);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..10).contains(&v.len()), "bad length {}", v.len());
+        }
+    }
+
+    #[test]
+    fn btree_map_is_nonempty_when_lower_bound_is() {
+        let mut rng = TestRng::from_seed(2);
+        let strat = btree_map(0u16..50, any::<u8>(), 1..20);
+        for _ in 0..100 {
+            assert!(!strat.generate(&mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn hash_set_has_unique_elements_by_construction() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = hash_set(any::<u64>(), 1..100);
+        let set = strat.generate(&mut rng);
+        assert!(!set.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The workspace builds without registry access, so this crate reimplements the
+//! slice of the proptest 1.x API that TRIAD's property suites use: the
+//! [`strategy::Strategy`] trait with `prop_map`, [`strategy::Just`], integer-range
+//! and tuple strategies, [`strategy::any`], the [`collection`] builders (`vec`, `btree_map`,
+//! `hash_set`), weighted unions via [`prop_oneof!`], and the [`proptest!`] test
+//! macro driven by [`ProptestConfig`].
+//!
+//! Two deliberate simplifications versus real proptest:
+//!
+//! 1. **No shrinking.** A failing case panics with the generated inputs
+//!    reported via the case's deterministic seed; `max_shrink_iters` is
+//!    accepted and ignored.
+//! 2. **Deterministic seeding.** Each test case derives its RNG seed from the
+//!    test name and case index, so failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test module needs in scope, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Asserts a condition inside a `proptest!` body (no shrinking: panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body (no shrinking: panics directly).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body (no shrinking: panics directly).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Builds a strategy choosing among several alternatives, optionally weighted:
+/// `prop_oneof![3 => a, 1 => b]` or `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }` runs
+/// `ProptestConfig::cases` times with freshly generated inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` overrides the default
+/// configuration for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr); ) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        // `#[test]` is emitted here, matching real proptest: test functions
+        // inside a `proptest!` block must not carry their own `#[test]`.
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                let mut runner_rng = $crate::test_runner::TestRng::from_seed(seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner_rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+}

@@ -1,0 +1,102 @@
+//! The execution machinery behind the [`proptest!`](crate::proptest) macro:
+//! configuration and the deterministic per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block, mirroring the fields of
+/// `proptest::test_runner::Config` that the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; strategies here never reject values.
+    pub max_local_rejects: u32,
+    /// Accepted for API compatibility; strategies here never reject values.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_local_rejects: 65_536,
+            max_global_rejects: 1_024,
+        }
+    }
+}
+
+/// Derives the RNG seed for one test case from the test name and case index.
+///
+/// FNV-1a over the name keeps distinct tests on distinct streams while staying
+/// fully reproducible from run to run.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^ (u64::from(case) << 1 | 1)
+}
+
+/// The RNG handed to strategies while generating one test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Returns a uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform draw from `[low, high)`; panics when the range is empty.
+    pub fn usize_in(&mut self, low: usize, high: usize) -> usize {
+        assert!(low < high, "cannot sample empty range");
+        let span = (high - low) as u128;
+        low + ((self.next_u64() as u128 * span) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{case_seed, TestRng};
+
+    #[test]
+    fn seeds_differ_across_names_and_cases() {
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::from_seed(5);
+        let mut b = TestRng::from_seed(5);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn usize_in_respects_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..1_000 {
+            let x = rng.usize_in(2, 7);
+            assert!((2..7).contains(&x));
+        }
+    }
+}
