@@ -52,6 +52,11 @@ pub struct Stats {
     table_probes: AtomicU64,
     block_reads: AtomicU64,
     bloom_negatives: AtomicU64,
+
+    // Garbage collection of obsolete files.
+    gc_files_deleted: AtomicU64,
+    gc_logs_deleted: AtomicU64,
+    gc_delete_failures: AtomicU64,
 }
 
 macro_rules! counter_methods {
@@ -135,6 +140,14 @@ impl Stats {
         block_reads => add_block_reads, block_reads;
         /// Records table probes skipped thanks to a bloom-filter negative.
         bloom_negatives => add_bloom_negatives, bloom_negatives;
+        /// Records obsolete table files (SSTables and CL indexes) physically deleted.
+        gc_files_deleted => add_gc_files_deleted, gc_files_deleted;
+        /// Records obsolete commit logs physically deleted.
+        gc_logs_deleted => add_gc_logs_deleted, gc_logs_deleted;
+        /// Records failed deletions of obsolete files (e.g. permission errors); the
+        /// file stays queued and the next GC pass retries, so a non-zero value means
+        /// disk space is leaking observably rather than silently.
+        gc_delete_failures => add_gc_delete_failures, gc_delete_failures;
     }
 
     /// Convenience helper to record time spent flushing.
@@ -177,6 +190,9 @@ impl Stats {
             table_probes: self.table_probes(),
             block_reads: self.block_reads(),
             bloom_negatives: self.bloom_negatives(),
+            gc_files_deleted: self.gc_files_deleted(),
+            gc_logs_deleted: self.gc_logs_deleted(),
+            gc_delete_failures: self.gc_delete_failures(),
         }
     }
 }
@@ -212,6 +228,9 @@ pub struct StatSnapshot {
     pub table_probes: u64,
     pub block_reads: u64,
     pub bloom_negatives: u64,
+    pub gc_files_deleted: u64,
+    pub gc_logs_deleted: u64,
+    pub gc_delete_failures: u64,
 }
 
 impl StatSnapshot {
@@ -250,6 +269,9 @@ impl StatSnapshot {
             table_probes,
             block_reads,
             bloom_negatives,
+            gc_files_deleted,
+            gc_logs_deleted,
+            gc_delete_failures,
         )
     }
 

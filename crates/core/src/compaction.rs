@@ -119,6 +119,10 @@ impl DbInner {
         match job {
             Some(job) => {
                 self.run_compaction(&version, job)?;
+                // Our own reference to the pre-compaction version would otherwise
+                // keep the input files alive through the collection pass.
+                drop(version);
+                self.collect_garbage();
                 Ok(true)
             }
             None => Ok(false),
@@ -221,13 +225,13 @@ impl DbInner {
             }
         }
 
-        // Warm the table cache so readers of the next version never race with the
-        // file system.
-        for output in &outputs {
-            self.table_cache.get_or_open(output)?;
-        }
-
         self.failpoints.check("compaction.before_manifest")?;
+        // Retire the inputs *before* installing the edit: the GC pass never deletes
+        // a file the current version references, and enqueueing first means the
+        // queue already covers the retirement once the new version is visible.
+        // Physical deletion happens when no live version — including any pinned by
+        // in-flight readers — references them any more.
+        self.retire_files(job.all_inputs().map(|f| f.as_ref()));
         let mut edit = VersionEdit::default();
         for file in job.all_inputs() {
             edit.deleted.push((file.level, file.id));
@@ -239,9 +243,14 @@ impl DbInner {
             *self.current_version.write() = new_version;
         }
 
-        // Remove the input files (and any commit logs they kept alive).
-        let inputs: Vec<FileMetadata> = job.all_inputs().map(|f| f.as_ref().clone()).collect();
-        self.delete_obsolete_files(&inputs);
+        // Warm the table cache so the first readers of the new version skip the
+        // open cost. Done after the install (a failure between output write and
+        // manifest commit must not leave handles for orphaned files behind) and
+        // best-effort: the compaction has already committed, so a transient open
+        // failure must not mark it failed — readers open tables on demand.
+        for output in &outputs {
+            let _ = self.table_cache.get_or_open(output);
+        }
 
         self.stats.add_compaction_count(1);
         self.stats.add_bytes_compacted_read(bytes_read);

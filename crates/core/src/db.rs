@@ -1,5 +1,18 @@
 //! The database engine: write path, read path, recovery and background scheduling.
+//!
+//! # File lifetime
+//!
+//! Physical deletion of table files, CL index files and commit logs is *deferred*:
+//! background work never unlinks a file inline. Instead, files retired from the
+//! version chain are enqueued on a [`GcQueue`] and a garbage-collection pass —
+//! run after every version installation, when the last pin of a retired version
+//! drops, and on close — deletes only what no live [`Version`], no pending
+//! immutable memtable and not the active commit log references. Readers pin the
+//! version they operate on with a [`PinnedVersion`], so a file they can still
+//! reach is never deleted underneath them and a missing file is always what it
+//! looks like: corruption, surfaced immediately.
 
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -12,8 +25,13 @@ use triad_common::failpoint::FailpointRegistry;
 use triad_common::types::{Entry, SeqNo, ValueKind};
 use triad_common::{Error, Result, StatSnapshot, Stats};
 use triad_memtable::{LogPosition, Memtable};
-use triad_sstable::{sst_file_path, TableBuilder, TableBuilderOptions};
-use triad_wal::{log_file_path, parse_log_file_name, LogReader, LogRecord, LogWriter};
+use triad_sstable::{
+    cl_index_file_path, parse_table_file_name, sst_file_path, TableBuilder, TableBuilderOptions,
+    TableKind,
+};
+use triad_wal::{
+    log_file_name, log_file_path, parse_log_file_name, LogReader, LogRecord, LogWriter,
+};
 
 use crate::batch::{BatchOp, WriteBatch, WriteOptions};
 use crate::iterator::DbIterator;
@@ -45,8 +63,80 @@ pub(crate) enum WorkItem {
     Flush,
     /// Re-evaluate whether a compaction is needed.
     Compact,
+    /// A retired version lost its last pin; run a garbage-collection pass.
+    Gc,
     /// Stop the worker.
     Shutdown,
+}
+
+/// What the garbage collector needs to locate a retired table file on disk.
+#[derive(Debug)]
+struct RetiredTable {
+    kind: TableKind,
+    backing_log_id: Option<u64>,
+}
+
+/// Files retired from the version chain, awaiting physical deletion by a GC pass.
+///
+/// A table enters the queue when a version edit removes it; its backing commit log
+/// (for CL-SSTables) graduates into `logs` once the index file is gone. Entries
+/// whose deletion fails (e.g. `EACCES`) stay queued so later passes retry, with the
+/// failure counted in [`Stats`].
+#[derive(Debug, Default)]
+struct GcQueue {
+    /// Retired tables by file id.
+    tables: HashMap<u64, RetiredTable>,
+    /// Sealed commit logs awaiting deletion.
+    logs: HashSet<u64>,
+}
+
+/// A reader's pin on a [`Version`].
+///
+/// While the pin is alive every file the version references — tables, CL indexes
+/// and backing commit logs — is protected from garbage collection, because the
+/// version stays upgradeable in the [`VersionSet`]'s live registry. Dropping a
+/// pin while files await collection nudges the background worker to run a pass.
+pub(crate) struct PinnedVersion {
+    /// `Some` until dropped; an `Option` so `Drop` can release the reference
+    /// *before* signalling the collector.
+    version: Option<Arc<Version>>,
+    work_tx: Sender<WorkItem>,
+    /// Mirrors "the GC queue is non-empty" (see [`DbInner::gc_pending`]).
+    gc_pending: Arc<AtomicBool>,
+}
+
+impl PinnedVersion {
+    /// The pinned version.
+    pub(crate) fn version(&self) -> &Arc<Version> {
+        self.version.as_ref().expect("pin is alive until dropped")
+    }
+}
+
+impl std::ops::Deref for PinnedVersion {
+    type Target = Version;
+
+    fn deref(&self) -> &Version {
+        self.version()
+    }
+}
+
+impl Drop for PinnedVersion {
+    fn drop(&mut self) {
+        if let Some(version) = self.version.take() {
+            drop(version);
+            // Nudge the collector whenever files are awaiting deletion: this pin
+            // may have been what kept them alive, and an idle database would
+            // otherwise hold them until close. The flag is almost always false
+            // (the queue drains on the pass right after each retirement), so the
+            // common read path sends nothing; spurious nudges are one cheap
+            // empty pass. Deciding via `Arc::strong_count` instead would race:
+            // two pins of the same retired version dropped concurrently would
+            // each see the other's reference and neither would signal.
+            if self.gc_pending.load(Ordering::Relaxed) {
+                let _ = self.work_tx.send(WorkItem::Gc);
+            }
+        }
+    }
 }
 
 /// Shared engine state.
@@ -65,6 +155,11 @@ pub(crate) struct DbInner {
     pub(crate) versions: Mutex<VersionSet>,
     /// Cached copy of the current version for the read path.
     pub(crate) current_version: RwLock<Arc<Version>>,
+    /// Files retired from the version chain, awaiting garbage collection.
+    gc: Mutex<GcQueue>,
+    /// `true` while the GC queue is non-empty; lets dropping readers decide
+    /// whether a collection nudge is worth sending without taking the queue lock.
+    gc_pending: Arc<AtomicBool>,
     pub(crate) table_cache: TableCache,
     /// Largest sequence number whose effects are visible to readers.
     pub(crate) last_seqno: AtomicU64,
@@ -109,17 +204,22 @@ impl Db {
         let mut versions = VersionSet::recover(&path, options.num_levels)?;
         let mut last_seqno = versions.last_seqno();
 
-        // Replay commit logs that are not owned by a live CL-SSTable: each such log
-        // holds updates that never reached an SSTable. Each log becomes one L0 table,
-        // in log-id order, so newer logs shadow older ones.
+        // Replay commit logs that hold updates which never reached an SSTable: logs
+        // at or past the recovered `log_number` horizon that no live CL-SSTable owns.
+        // Each log becomes one L0 table, in log-id order, so newer logs shadow older
+        // ones. Logs *below* the horizon are either backing stores of live CL-SSTables
+        // (kept) or leftovers of a crash while deletions were pending — replaying one
+        // of those would resurrect data a compaction already superseded, so they are
+        // swept below instead.
         let live_backing_logs = versions.current().live_backing_logs();
+        let recovery_horizon = versions.log_number();
         let mut stray_logs: Vec<u64> = Vec::new();
         for entry in
             std::fs::read_dir(&path).map_err(|e| Error::io("listing database directory", e))?
         {
             let entry = entry.map_err(|e| Error::io("listing database directory", e))?;
             if let Some(id) = parse_log_file_name(&entry.file_name().to_string_lossy()) {
-                if !live_backing_logs.contains(&id) {
+                if id >= recovery_horizon && !live_backing_logs.contains(&id) {
                     stray_logs.push(id);
                 }
             }
@@ -127,9 +227,6 @@ impl Db {
         stray_logs.sort_unstable();
         for log_id in &stray_logs {
             last_seqno = last_seqno.max(Self::replay_log(&path, *log_id, &mut versions, &options)?);
-        }
-        for log_id in &stray_logs {
-            let _ = std::fs::remove_file(log_file_path(&path, *log_id));
         }
         versions.set_last_seqno(last_seqno);
 
@@ -150,10 +247,17 @@ impl Db {
             imm: RwLock::new(Vec::new()),
             versions: Mutex::new(versions),
             current_version: RwLock::new(current_version),
+            gc: Mutex::new(GcQueue::default()),
+            gc_pending: Arc::new(AtomicBool::new(false)),
             last_seqno: AtomicU64::new(last_seqno),
             shutdown: AtomicBool::new(false),
             work_tx,
         });
+
+        // Delete whatever a previous incarnation left behind: replayed stray logs,
+        // logs below the recovery horizon, and table files a crash orphaned while
+        // their deletion (or manifest installation) was pending.
+        inner.sweep_unreferenced_files()?;
 
         let worker = {
             let inner = Arc::clone(&inner);
@@ -220,6 +324,9 @@ impl Db {
         versions.log_and_apply(VersionEdit {
             added: vec![file],
             last_seqno: Some(max_seqno),
+            // The log's contents are captured by the new table, so a crash between
+            // this edit and the startup sweep must not replay the log again.
+            log_number: Some(log_id + 1),
             ..Default::default()
         })?;
         Ok(max_seqno)
@@ -267,12 +374,12 @@ impl Db {
 
     /// Returns an iterator over the live key/value pairs with user keys in
     /// `[start, end)`; either bound may be omitted.
+    ///
+    /// The iterator pins the version it was created against, so the files it reads
+    /// — including the commit logs backing CL-SSTables — outlive any concurrent
+    /// compaction for as long as the iterator exists.
     pub fn scan_range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<DbIterator> {
-        // Building the iterator opens every table of the current version; retry if a
-        // concurrent compaction removed a file out from under a stale version.
-        DbInner::retry_stale_version(|| {
-            DbIterator::with_bounds(&self.inner, start.map(|s| s.to_vec()), end.map(|e| e.to_vec()))
-        })
+        DbIterator::with_bounds(&self.inner, start.map(|s| s.to_vec()), end.map(|e| e.to_vec()))
     }
 
     /// Forces the active memtable to be sealed and flushed, then waits for every
@@ -283,7 +390,7 @@ impl Db {
     }
 
     /// Blocks until no compaction work is pending (used by benchmarks to measure
-    /// steady-state sizes).
+    /// steady-state sizes), then runs a garbage-collection pass.
     pub fn wait_for_compactions(&self) -> Result<()> {
         self.inner.wait_for_pending_flushes()?;
         loop {
@@ -291,11 +398,52 @@ impl Db {
                 return Ok(());
             }
             if !self.inner.compaction_needed() {
+                self.inner.collect_garbage();
                 return Ok(());
             }
             let _ = self.inner.work_tx.send(WorkItem::Compact);
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
+    }
+
+    /// Runs a synchronous garbage-collection pass, deleting every retired file that
+    /// no live version, pending memtable or the active commit log still references.
+    ///
+    /// GC also runs automatically after every version installation and when the
+    /// last pin of a retired version drops; this method exists for tests and
+    /// operational tooling that want a deterministic collection point. Returns
+    /// `true` when nothing is left awaiting deletion.
+    pub fn collect_garbage(&self) -> bool {
+        self.inner.collect_garbage()
+    }
+
+    /// The set of file names the engine expects in its directory for the current
+    /// state: live tables and CL indexes, their backing commit logs, the logs of
+    /// sealed-but-unflushed memtables, the active commit log, the live manifest and
+    /// the `CURRENT` pointer.
+    ///
+    /// Once all readers have finished and [`collect_garbage`](Db::collect_garbage)
+    /// reports an empty queue, a directory listing equals exactly this set — the
+    /// invariant the file-lifetime tests assert (no leaks, no premature deletes).
+    pub fn expected_live_files(&self) -> BTreeSet<String> {
+        let (version, manifest_name) = {
+            let versions = self.inner.versions.lock();
+            (versions.current(), versions.live_manifest_name())
+        };
+        let mut names = version.referenced_file_names();
+        names.insert(manifest_name);
+        names.insert("CURRENT".to_string());
+        names.insert(log_file_name(self.inner.wal.lock().id));
+        for imm in self.inner.imm.read().iter() {
+            names.insert(log_file_name(imm.wal_id));
+        }
+        names
+    }
+
+    /// Ids of the table handles currently held by the table cache, sorted
+    /// (exposed for tests and diagnostics).
+    pub fn cached_table_ids(&self) -> Vec<u64> {
+        self.inner.table_cache.cached_ids()
     }
 
     /// A snapshot of the engine statistics.
@@ -346,6 +494,10 @@ impl Db {
         if let Some(handle) = self.worker.lock().take() {
             let _ = handle.join();
         }
+        // Collect whatever the worker left queued (files pinned by readers that
+        // have finished since, or retirements raced with shutdown). Anything still
+        // pinned now is swept by the next open.
+        self.inner.collect_garbage();
         // Make sure everything appended so far survives a process exit.
         let mut wal = self.inner.wal.lock();
         wal.writer.sync()?;
@@ -459,7 +611,9 @@ impl DbInner {
             wal.id = new_id;
             wal.writes_since_sync = 0;
             drop(old_writer);
-            let _ = std::fs::remove_file(log_file_path(&self.path, old_id));
+            // The old log was never sealed into an immutable memtable and backs no
+            // table, so nothing can reference it: safe to delete inline.
+            self.remove_file_counted(&log_file_path(&self.path, old_id), true);
             self.stats.add_small_flush_skips(1);
             self.stats.add_wal_rotations(1);
             return Ok(());
@@ -474,7 +628,7 @@ impl DbInner {
             wal.id = new_id;
             wal.writes_since_sync = 0;
             drop(old_writer);
-            let _ = std::fs::remove_file(log_file_path(&self.path, old_id));
+            self.remove_file_counted(&log_file_path(&self.path, old_id), true);
             *self.mem.write() = Arc::new(Memtable::new());
             self.stats.add_wal_rotations(1);
             return Ok(());
@@ -514,7 +668,7 @@ impl DbInner {
         wal.writes_since_sync = 0;
         old_writer.seal()?;
         if self.options.background_io == BackgroundIoMode::Disabled {
-            let _ = std::fs::remove_file(log_file_path(&self.path, old_id));
+            self.remove_file_counted(&log_file_path(&self.path, old_id), true);
             *self.mem.write() = Arc::new(Memtable::new());
             return Ok(());
         }
@@ -525,10 +679,12 @@ impl DbInner {
         Ok(())
     }
 
-    /// Blocks until the immutable-memtable queue is empty.
+    /// Blocks until the immutable-memtable queue is empty, then collects any files
+    /// the flushes retired.
     pub(crate) fn wait_for_pending_flushes(&self) -> Result<()> {
         loop {
             if self.imm.read().is_empty() {
+                self.collect_garbage();
                 return Ok(());
             }
             if self.shutdown.load(Ordering::SeqCst) {
@@ -539,65 +695,55 @@ impl DbInner {
         }
     }
 
-    /// Returns `true` for errors caused by a table file disappearing underneath a
-    /// reader — the benign race where a compaction deleted an input file after the
-    /// reader grabbed its (now stale) version.
-    pub(crate) fn is_missing_file_error(error: &Error) -> bool {
-        matches!(error, Error::Io { source, .. } if source.kind() == std::io::ErrorKind::NotFound)
-    }
-
-    /// Runs `op`, retrying while it fails with a missing-file error.
-    ///
-    /// Readers grab the current version and then open its files; a compaction that
-    /// completes in between may have deleted a file the stale version still
-    /// references. Each retry of `op` re-reads the current version, and compactions
-    /// converge, so the staleness window closes after finitely many rounds; the
-    /// brief sleep lets the churn settle. The bound keeps a genuinely missing file
-    /// (true corruption) from retrying forever.
-    pub(crate) fn retry_stale_version<T>(mut op: impl FnMut() -> Result<T>) -> Result<T> {
-        let mut attempts = 0;
-        loop {
-            match op() {
-                Err(e) if Self::is_missing_file_error(&e) && attempts < 20 => {
-                    attempts += 1;
-                    std::thread::sleep(std::time::Duration::from_millis(1));
-                    continue;
-                }
-                other => return other,
-            }
+    /// Pins the current version: the returned guard keeps every file the version
+    /// references safe from garbage collection until it is dropped.
+    pub(crate) fn pin_current_version(&self) -> PinnedVersion {
+        PinnedVersion {
+            version: Some(self.current_version.read().clone()),
+            work_tx: self.work_tx.clone(),
+            gc_pending: Arc::clone(&self.gc_pending),
         }
     }
 
-    /// Point lookup. Retries with a refreshed version if a stale version pointed at a
-    /// file that a concurrent compaction has already removed.
+    /// Point lookup against the pinned current version. A missing table file is a
+    /// hard error (corruption): garbage collection never deletes a file that a
+    /// live version still references.
     pub(crate) fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.stats.add_user_reads(1);
-        Self::retry_stale_version(|| self.get_once(key))
-    }
+        // Reads return the newest committed version, with no sequence-number
+        // ceiling: the memtable keeps one slot per key and compaction's dedup
+        // keeps only the newest version, so a lookup bounded by a just-loaded
+        // sequence number could find *nothing* when a concurrent overwrite lands
+        // in the probe window — even though the key exists before and after.
+        // Observing the racing write instead is linearizable.
+        let snapshot = u64::MAX;
 
-    fn get_once(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let snapshot = self.last_seqno.load(Ordering::Acquire);
+        // Capture the memory component coherently *before* probing anything: the
+        // active memtable handle first, then the sealed list. Rotation pushes the
+        // sealed memtable before swapping in a fresh active one, and a flush
+        // re-installs hot entries into the (live) active memtable and publishes
+        // its table in a new version before unlinking the sealed memtable — so
+        // with this capture order, every live entry is present in a captured
+        // memtable or in the version pinned below.
+        let mem = self.mem.read().clone();
+        let imm: Vec<Arc<ImmutableMemtable>> = self.imm.read().clone();
 
         // 1. Active memtable.
-        let mem = self.mem.read().clone();
         self.stats.add_memtable_probes(1);
         if let Some(entry) = mem.get(key, snapshot) {
             return Ok(self.resolve_entry(entry));
         }
         // 2. Immutable memtables, newest first.
-        {
-            let imm = self.imm.read();
-            for sealed in imm.iter().rev() {
-                self.stats.add_memtable_probes(1);
-                if let Some(entry) = sealed.memtable.get(key, snapshot) {
-                    return Ok(self.resolve_entry(entry));
-                }
+        for sealed in imm.iter().rev() {
+            self.stats.add_memtable_probes(1);
+            if let Some(entry) = sealed.memtable.get(key, snapshot) {
+                return Ok(self.resolve_entry(entry));
             }
         }
-        // 3. The disk component, level by level.
-        let version = self.current_version.read().clone();
-        for level in 0..version.num_levels() {
-            for file in version.files_for_key(level, key) {
+        // 3. The disk component, level by level, pinned for the whole descent.
+        let pinned = self.pin_current_version();
+        for level in 0..pinned.num_levels() {
+            for file in pinned.files_for_key(level, key) {
                 let table = self.table_cache.get_or_open(&file)?;
                 self.stats.add_table_probes(1);
                 if let Some(entry) = table.get(key, snapshot)? {
@@ -618,36 +764,143 @@ impl DbInner {
         }
     }
 
-    /// Removes table files and commit logs that are no longer referenced by the
-    /// current version, the active WAL or a pending immutable memtable.
-    pub(crate) fn delete_obsolete_files(&self, candidate_files: &[FileMetadata]) {
-        let version = self.current_version.read().clone();
-        let live_files = version.live_file_ids();
-        let live_logs = version.live_backing_logs();
-        let active_wal = self.wal.lock().id;
-        let pending_logs: std::collections::HashSet<u64> =
-            self.imm.read().iter().map(|imm| imm.wal_id).collect();
-        for file in candidate_files {
-            if live_files.contains(&file.id) {
-                continue;
-            }
-            self.table_cache.evict(file.id);
-            let path = match file.kind {
-                triad_sstable::TableKind::Block => sst_file_path(&self.path, file.id),
-                triad_sstable::TableKind::CommitLogIndex => {
-                    triad_sstable::cl_index_file_path(&self.path, file.id)
+    /// Queues `files` — about to be (or just) removed from the version chain by a
+    /// version edit — for physical deletion once no live version references them.
+    ///
+    /// Call sites enqueue *before* installing the edit: the garbage collector never
+    /// deletes a file the current version still references, so early enqueueing is
+    /// safe and guarantees the queue already covers the retirement by the time the
+    /// new version is visible.
+    pub(crate) fn retire_files<'a>(&self, files: impl IntoIterator<Item = &'a FileMetadata>) {
+        let mut gc = self.gc.lock();
+        for file in files {
+            gc.tables.insert(
+                file.id,
+                RetiredTable { kind: file.kind, backing_log_id: file.backing_log_id },
+            );
+        }
+        if !gc.tables.is_empty() || !gc.logs.is_empty() {
+            self.gc_pending.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Queues a sealed commit log that no table references for deletion by the next
+    /// GC pass (which will still hold it back while an immutable memtable's replay
+    /// depends on it).
+    pub(crate) fn retire_log(&self, log_id: u64) {
+        let mut gc = self.gc.lock();
+        gc.logs.insert(log_id);
+        self.gc_pending.store(true, Ordering::Relaxed);
+    }
+
+    /// Removes `path`, recording the outcome in the GC statistics. Returns `true`
+    /// when the file is gone (deleted now, or already absent).
+    fn remove_file_counted(&self, path: &Path, is_log: bool) -> bool {
+        match std::fs::remove_file(path) {
+            Ok(()) => {
+                if is_log {
+                    self.stats.add_gc_logs_deleted(1);
+                } else {
+                    self.stats.add_gc_files_deleted(1);
                 }
+                true
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => true,
+            Err(e) => {
+                self.stats.add_gc_delete_failures(1);
+                eprintln!("triad: failed to delete obsolete file {}: {e}", path.display());
+                false
+            }
+        }
+    }
+
+    /// Runs one garbage-collection pass: deletes every queued file referenced by no
+    /// live version, no pending immutable memtable and not the active commit log.
+    /// Returns `true` when the queue is empty afterwards.
+    ///
+    /// Safety argument: the reachable-set snapshot is taken *after* the queue lock,
+    /// so any file enqueued before we read the queue was referenced by a version
+    /// that is either still upgradeable here (and protects it) or died beforehand —
+    /// and dead versions can never be re-pinned, because readers only pin the
+    /// current version.
+    pub(crate) fn collect_garbage(&self) -> bool {
+        let mut gc = self.gc.lock();
+        if gc.tables.is_empty() && gc.logs.is_empty() {
+            self.gc_pending.store(false, Ordering::Relaxed);
+            return true;
+        }
+        let live_versions = self.versions.lock().live_versions();
+        let mut live_tables = HashSet::new();
+        let mut live_logs = HashSet::new();
+        for version in &live_versions {
+            live_tables.extend(version.live_file_ids());
+            live_logs.extend(version.live_backing_logs());
+        }
+        let active_wal = self.wal.lock().id;
+        let imm_logs: HashSet<u64> = self.imm.read().iter().map(|imm| imm.wal_id).collect();
+
+        let deletable: Vec<u64> =
+            gc.tables.keys().copied().filter(|id| !live_tables.contains(id)).collect();
+        for id in deletable {
+            let path = match gc.tables[&id].kind {
+                TableKind::Block => sst_file_path(&self.path, id),
+                TableKind::CommitLogIndex => cl_index_file_path(&self.path, id),
             };
-            let _ = std::fs::remove_file(path);
-            if let Some(log_id) = file.backing_log_id {
-                if !live_logs.contains(&log_id)
-                    && log_id != active_wal
-                    && !pending_logs.contains(&log_id)
-                {
-                    let _ = std::fs::remove_file(log_file_path(&self.path, log_id));
+            // Evict before unlinking: no version can still reach this id, so the
+            // cache entry can never be resurrected by a racing reader.
+            self.table_cache.evict(id);
+            if self.remove_file_counted(&path, false) {
+                let table = gc.tables.remove(&id).expect("id listed from this queue");
+                if let Some(log_id) = table.backing_log_id {
+                    gc.logs.insert(log_id);
                 }
             }
         }
+
+        let deletable_logs: Vec<u64> = gc
+            .logs
+            .iter()
+            .copied()
+            .filter(|id| !live_logs.contains(id) && *id != active_wal && !imm_logs.contains(id))
+            .collect();
+        for id in deletable_logs {
+            if self.remove_file_counted(&log_file_path(&self.path, id), true) {
+                gc.logs.remove(&id);
+            }
+        }
+        let drained = gc.tables.is_empty() && gc.logs.is_empty();
+        // Safe to update while still holding the queue lock: a concurrent enqueue
+        // sets the flag under this same lock, so it cannot be lost.
+        self.gc_pending.store(!drained, Ordering::Relaxed);
+        drained
+    }
+
+    /// Startup sweep: deletes every engine file in the database directory that the
+    /// freshly recovered state does not reference — obsolete commit logs below the
+    /// recovery horizon, stray logs already replayed into tables, and table files
+    /// orphaned by a crash between their creation and their manifest installation
+    /// (or between their retirement and their deferred deletion).
+    fn sweep_unreferenced_files(&self) -> Result<()> {
+        let version = self.current_version.read().clone();
+        let live_tables = version.live_file_ids();
+        let live_logs = version.live_backing_logs();
+        let active_wal = self.wal.lock().id;
+        let entries = std::fs::read_dir(&self.path)
+            .map_err(|e| Error::io("listing database directory", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::io("listing database directory", e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some((id, _kind)) = parse_table_file_name(&name) {
+                if !live_tables.contains(&id) {
+                    self.remove_file_counted(&entry.path(), false);
+                }
+            } else if let Some(id) = parse_log_file_name(&name) {
+                if !live_logs.contains(&id) && id != active_wal {
+                    self.remove_file_counted(&entry.path(), true);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -657,6 +910,10 @@ fn background_worker(inner: Arc<DbInner>, rx: Receiver<WorkItem>) {
     while let Ok(item) = rx.recv() {
         match item {
             WorkItem::Shutdown => break,
+            WorkItem::Gc => {
+                // A retired version lost its last pin; its files may be collectable.
+                inner.collect_garbage();
+            }
             WorkItem::Flush | WorkItem::Compact => {
                 if let Err(e) = inner.flush_pending_memtables() {
                     // Background errors are recorded but do not crash the process;
@@ -676,6 +933,7 @@ fn background_worker(inner: Arc<DbInner>, rx: Receiver<WorkItem>) {
                         }
                     }
                 }
+                inner.collect_garbage();
             }
         }
         if inner.shutdown.load(Ordering::SeqCst) {

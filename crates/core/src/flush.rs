@@ -23,13 +23,14 @@ use triad_memtable::{separate_keys, HotColdSplit, LogPosition, MemEntry};
 use triad_sstable::{
     cl_index_file_path, sst_file_path, ClTableBuilder, TableBuilder, TableBuilderOptions, TableKind,
 };
-use triad_wal::{log_file_path, LogRecord};
+use triad_wal::LogRecord;
 
 use crate::db::{DbInner, ImmutableMemtable};
 use crate::version::{FileMetadata, VersionEdit};
 
 impl DbInner {
-    /// Flushes every sealed memtable, oldest first.
+    /// Flushes every sealed memtable, oldest first, collecting each one's retired
+    /// commit log once the memtable has left the pending queue.
     pub(crate) fn flush_pending_memtables(&self) -> Result<()> {
         loop {
             let next = { self.imm.read().first().cloned() };
@@ -38,6 +39,7 @@ impl DbInner {
             };
             self.flush_one(&imm)?;
             self.imm.write().retain(|m| !Arc::ptr_eq(m, &imm));
+            self.collect_garbage();
         }
     }
 
@@ -55,14 +57,24 @@ impl DbInner {
         let triad = &self.options.triad;
         let entries = imm.memtable.snapshot_entries();
         if entries.is_empty() {
-            // Nothing to persist; the sealed log can go.
-            let _ = std::fs::remove_file(log_file_path(&self.path, imm.wal_id));
+            // Nothing to persist, but the recovery horizon must still advance in
+            // the manifest *before* the sealed log goes away — otherwise recovery
+            // would depend on tolerating a missing log, and a crash between seal
+            // and deletion would replay a log whose (empty) contents the version
+            // chain already claims to cover.
+            let edit = VersionEdit { log_number: Some(imm.wal_id + 1), ..Default::default() };
+            {
+                let mut versions = self.versions.lock();
+                let new_version = versions.log_and_apply(edit)?;
+                *self.current_version.write() = new_version;
+            }
+            self.retire_log(imm.wal_id);
             return Ok(());
         }
         let max_seqno = entries.iter().map(|(_, e)| e.seqno).max().unwrap_or(0);
 
         // TRIAD-MEM: split hot from cold.
-        let HotColdSplit { hot, cold } = if triad.mem_enabled {
+        let HotColdSplit { hot, mut cold } = if triad.mem_enabled {
             separate_keys(entries, triad.hot_key_policy)
         } else {
             HotColdSplit { hot: Vec::new(), cold: entries }
@@ -73,12 +85,17 @@ impl DbInner {
         //
         // Holding the WAL lock freezes the memory component: no writer can append,
         // rotate the log or seal the memtable while hot entries are re-installed.
-        // A hot entry is dropped (not re-installed) when any *newer* memory
-        // component — the active memtable or an immutable memtable sealed after the
-        // one being flushed — already holds a newer version of the key; re-inserting
-        // it into the active memtable would otherwise shadow that newer version.
+        // A hot entry cannot be re-installed when any *newer* memory component —
+        // the active memtable or an immutable memtable sealed after the one being
+        // flushed — already holds a newer version of the key (the memtable keeps
+        // one slot per key, and re-inserting would shadow the newer version).
+        // Such entries are *demoted to the cold set* rather than dropped: a reader
+        // whose snapshot predates the newer version must still be able to reach
+        // them, through the table this flush installs; the next compaction's dedup
+        // discards them.
         if !hot.is_empty() {
             self.failpoints.check("flush.hot_write_back")?;
+            let mut demoted: Vec<(Vec<u8>, MemEntry)> = Vec::new();
             let mut wal = self.wal.lock();
             let active_mem = self.mem.read().clone();
             let newer_imms: Vec<Arc<ImmutableMemtable>> =
@@ -96,8 +113,7 @@ impl DbInner {
                     .map(|newer| newer.seqno >= entry.seqno)
                     .unwrap_or(false);
                 if shadowed_by_newer_imm || shadowed_by_active {
-                    // A newer version already exists (and is durable in its own log);
-                    // the stale hot value can simply be dropped.
+                    demoted.push((key, entry));
                     continue;
                 }
                 let record = LogRecord {
@@ -116,6 +132,13 @@ impl DbInner {
                 self.stats.add_hot_entries_retained(1);
             }
             wal.writer.flush()?;
+            drop(wal);
+            if !demoted.is_empty() {
+                // Table builders require ascending keys; demoted entries keep their
+                // original log positions, so CL-table eligibility is unaffected.
+                cold.extend(demoted);
+                cold.sort_by(|a, b| a.0.cmp(&b.0));
+            }
         }
 
         // Persist the cold entries (if any).
@@ -132,22 +155,23 @@ impl DbInner {
             self.stats.add_entries_flushed(cold.len() as u64);
         }
 
-        // Warm the table cache so readers of the next version never race with the
-        // file system.
-        if let Some(file) = &added_file {
-            self.table_cache.get_or_open(file)?;
-        }
-
-        // Record the new file (and counters) in the manifest.
+        // Record the new file (and counters) in the manifest. The sealed log is
+        // only needed past this point if a CL-SSTable references it; otherwise it
+        // is retired *before* the edit installs, so by the time the new version is
+        // visible the GC queue already covers it (it is deleted once this memtable
+        // leaves the pending queue).
         self.failpoints.check("flush.before_manifest")?;
         let keeps_log =
             added_file.as_ref().map(|f| f.backing_log_id == Some(imm.wal_id)).unwrap_or(false);
+        if !keeps_log {
+            self.retire_log(imm.wal_id);
+        }
         let mut edit = VersionEdit {
             last_seqno: Some(max_seqno),
             log_number: Some(imm.wal_id + 1),
             ..Default::default()
         };
-        if let Some(file) = added_file {
+        if let Some(file) = added_file.clone() {
             edit.added.push(file);
         }
         {
@@ -157,9 +181,14 @@ impl DbInner {
             *self.current_version.write() = new_version;
         }
 
-        // The sealed log is only needed if a CL-SSTable references it.
-        if !keeps_log {
-            let _ = std::fs::remove_file(log_file_path(&self.path, imm.wal_id));
+        // Warm the table cache so the first readers of the new version skip the
+        // open cost. Done after the install (a failure between table write and
+        // manifest commit must not leave a handle for an orphaned file behind)
+        // and best-effort: the flush has already committed, so a transient open
+        // failure here must not make it "fail" and re-run — readers will open the
+        // table on demand and surface any real corruption then.
+        if let Some(file) = &added_file {
+            let _ = self.table_cache.get_or_open(file);
         }
 
         self.stats.add_flush_count(1);

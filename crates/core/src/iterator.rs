@@ -10,15 +10,22 @@ use crate::db::DbInner;
 
 /// An iterator over every live key/value pair in the database, in key order.
 ///
-/// The iterator observes a consistent snapshot of the tree taken at creation time:
-/// the active memtable, the sealed memtables and the current version. Later writes
-/// are not reflected.
+/// The iterator captures the tree once, at creation time: the active memtable's
+/// contents, the sealed memtables and the current version. Every key live at that
+/// moment is observed exactly once, at its newest captured version; writes issued
+/// after creation are not reflected (except that a concurrent overwrite racing
+/// iterator construction may already be the version captured). The version is
+/// *pinned* for the iterator's whole lifetime, so every file it reads — tables,
+/// CL indexes and the commit logs backing them — survives any concurrent
+/// compaction until the iterator is dropped.
 pub struct DbIterator {
     inner: DedupIterator,
     /// Inclusive lower bound on user keys, if any.
     start: Option<Vec<u8>>,
     /// Exclusive upper bound on user keys, if any.
     end: Option<Vec<u8>>,
+    /// Keeps the snapshot's files safe from garbage collection until drop.
+    _pin: crate::db::PinnedVersion,
 }
 
 impl DbIterator {
@@ -28,32 +35,45 @@ impl DbIterator {
         start: Option<Vec<u8>>,
         end: Option<Vec<u8>>,
     ) -> Result<DbIterator> {
-        let snapshot = db.last_seqno.load(std::sync::atomic::Ordering::Acquire);
         let mut sources: Vec<EntryIter> = Vec::new();
 
-        // Newest sources first so the dedup iterator keeps the latest version.
-        let mem = db.mem.read().clone();
-        sources.push(Box::new(
-            mem.snapshot_as_entries().into_iter().filter(move |e| e.key.seqno <= snapshot).map(Ok),
-        ));
-        {
-            let imm = db.imm.read();
-            for sealed in imm.iter().rev() {
-                let entries = sealed.memtable.snapshot_as_entries();
-                sources.push(Box::new(
-                    entries.into_iter().filter(move |e| e.key.seqno <= snapshot).map(Ok),
-                ));
-            }
+        // Capture the memory component under the WAL lock, which serialises
+        // writers, rotations and the flush hot-write-back: no write batch can be
+        // half-applied while the active memtable is materialised, so the capture
+        // is batch-atomic, and the sealed list captured under the same lock is
+        // consistent with it. (Sealed memtables are immutable, so their contents
+        // can be materialised after the lock is released, and they only ever hold
+        // whole batches — rotation runs after a batch completes.) The merge
+        // orders identical user keys by sequence number, newest first, so the
+        // dedup stage keeps the newest captured version no matter which source
+        // supplied it; memtable entries are deliberately *not* filtered by a
+        // sequence-number snapshot, because the memtable keeps one slot per key —
+        // suppressing a slot whose version is "too new" would hide the key
+        // entirely, not reveal an older version.
+        let (mem_entries, imm) = {
+            let _wal = db.wal.lock();
+            let mem_entries = db.mem.read().snapshot_as_entries();
+            let imm: Vec<Arc<crate::db::ImmutableMemtable>> = db.imm.read().clone();
+            (mem_entries, imm)
+        };
+
+        sources.push(Box::new(mem_entries.into_iter().map(Ok)));
+        for sealed in imm.iter().rev() {
+            let entries = sealed.memtable.snapshot_as_entries();
+            sources.push(Box::new(entries.into_iter().map(Ok)));
         }
-        let version = db.current_version.read().clone();
-        for level in 0..version.num_levels() {
-            for file in &version.levels[level] {
+        // Pinned after the memory capture: a flush completing in between installs
+        // its table before removing its memtable from the sealed list, so the pin
+        // can only add (deduplicated) coverage, never lose entries.
+        let pin = db.pin_current_version();
+        for level in 0..pin.num_levels() {
+            for file in &pin.levels[level] {
                 let table = db.table_cache.get_or_open(file)?;
                 sources.push(table.entries()?);
             }
         }
         let merged = MergingIterator::new(sources)?;
-        Ok(DbIterator { inner: DedupIterator::new(Box::new(merged), false), start, end })
+        Ok(DbIterator { inner: DedupIterator::new(Box::new(merged), false), start, end, _pin: pin })
     }
 }
 

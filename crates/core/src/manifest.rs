@@ -8,7 +8,7 @@
 //! bound and tolerates torn writes at the tail of the previous manifest.
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use triad_common::{Error, Result};
 use triad_wal::{LogReader, LogRecord, LogWriter};
@@ -37,6 +37,14 @@ pub struct VersionSet {
     log_number: u64,
     manifest: LogWriter,
     manifest_id: u64,
+    /// Weak handles to every installed version that may still be pinned by a reader
+    /// (or by the engine itself for the current version). A version counts as live
+    /// while any `Arc<Version>` clone of it survives; garbage collection consults
+    /// this registry to decide which files are still reachable. Dead entries are
+    /// pruned on every installation and on every [`live_versions`] call.
+    ///
+    /// [`live_versions`]: VersionSet::live_versions
+    live: Vec<Weak<Version>>,
 }
 
 impl VersionSet {
@@ -93,14 +101,17 @@ impl VersionSet {
         Self::set_current(&dir, manifest_id)?;
         Self::remove_stale_manifests(&dir, manifest_id)?;
 
+        let current = Arc::new(version);
+        let live = vec![Arc::downgrade(&current)];
         Ok(VersionSet {
             dir,
-            current: Arc::new(version),
+            current,
             next_file_number,
             last_seqno,
             log_number,
             manifest,
             manifest_id,
+            live,
         })
     }
 
@@ -143,6 +154,31 @@ impl VersionSet {
     /// The id of the live manifest file (exposed for tests).
     pub fn manifest_id(&self) -> u64 {
         self.manifest_id
+    }
+
+    /// The file name of the live manifest.
+    pub fn live_manifest_name(&self) -> String {
+        manifest_file_name(self.manifest_id)
+    }
+
+    /// Every version that is still referenced somewhere — the current version plus
+    /// any older version a reader still holds an `Arc` clone of. Prunes dead weak
+    /// handles as a side effect.
+    pub fn live_versions(&mut self) -> Vec<Arc<Version>> {
+        let mut live = Vec::with_capacity(self.live.len());
+        self.live.retain(|weak| match weak.upgrade() {
+            Some(version) => {
+                live.push(version);
+                true
+            }
+            None => false,
+        });
+        live
+    }
+
+    /// Number of versions currently live (exposed for tests and diagnostics).
+    pub fn live_version_count(&mut self) -> usize {
+        self.live_versions().len()
     }
 
     /// Allocates a new file number (used for tables, commit logs and manifests).
@@ -195,6 +231,8 @@ impl VersionSet {
             self.log_number = self.log_number.max(l);
         }
         self.current = Arc::new(new_version);
+        self.live.retain(|weak| weak.strong_count() > 0);
+        self.live.push(Arc::downgrade(&self.current));
         Ok(Arc::clone(&self.current))
     }
 }
@@ -341,6 +379,36 @@ mod tests {
 
         let versions = VersionSet::recover(&dir, 7).unwrap();
         assert_eq!(versions.current().total_files(), 1, "intact prefix is recovered");
+    }
+
+    #[test]
+    fn live_version_registry_tracks_pins() {
+        let dir = temp_dir("live-registry");
+        let mut versions = VersionSet::recover(&dir, 7).unwrap();
+        assert_eq!(versions.live_version_count(), 1, "the current version is always live");
+
+        // A reader holds the pre-edit version across an installation.
+        let pinned = versions.current();
+        let id = versions.allocate_file_number();
+        versions
+            .log_and_apply(VersionEdit { added: vec![file(id, 0)], ..Default::default() })
+            .unwrap();
+        assert_eq!(versions.live_version_count(), 2, "pinned old version stays live");
+        let live = versions.live_versions();
+        assert!(live.iter().any(|v| Arc::ptr_eq(v, &pinned)));
+
+        // Dropping the pin retires the old version.
+        drop(live);
+        drop(pinned);
+        assert_eq!(versions.live_version_count(), 1);
+
+        // Unpinned versions die immediately on the next installation.
+        let id2 = versions.allocate_file_number();
+        versions
+            .log_and_apply(VersionEdit { added: vec![file(id2, 1)], ..Default::default() })
+            .unwrap();
+        assert_eq!(versions.live_version_count(), 1);
+        assert_eq!(versions.live_versions()[0].total_files(), 2);
     }
 
     #[test]

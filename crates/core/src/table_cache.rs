@@ -2,8 +2,14 @@
 //!
 //! Opening a table (reading its footer, index block, bloom filter and properties) is
 //! far more expensive than a point lookup, so the engine keeps every live table open
-//! in a cache keyed by file id. Entries are evicted when compaction deletes the
-//! underlying file.
+//! in a cache keyed by file id.
+//!
+//! Eviction is driven by garbage collection, which removes the entry immediately
+//! before unlinking the file — and only once no live [`Version`](crate::Version)
+//! references it. That ordering is what makes a once-feared race impossible: a
+//! reader can only ask the cache for files listed in a version it has pinned, a
+//! pinned version keeps its files out of GC's reach, so no `get_or_open` can ever
+//! resurrect a handle for a deleted file after `evict` ran.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -63,7 +69,11 @@ impl TableCache {
         Ok(Arc::clone(entry))
     }
 
-    /// Drops the cached handle for `file_id` (called when the file is deleted).
+    /// Drops the cached handle for `file_id`.
+    ///
+    /// Called by the garbage collector immediately before it unlinks the file;
+    /// because GC only deletes files no live version references, no reader can
+    /// re-insert the handle afterwards.
     pub fn evict(&self, file_id: u64) {
         self.tables.lock().remove(&file_id);
     }
@@ -71,6 +81,13 @@ impl TableCache {
     /// Number of cached handles (exposed for tests).
     pub fn len(&self) -> usize {
         self.tables.lock().len()
+    }
+
+    /// Ids of every cached handle, sorted (exposed for tests and diagnostics).
+    pub fn cached_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.tables.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Returns `true` when no handles are cached.

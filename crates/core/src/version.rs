@@ -5,8 +5,15 @@
 //! (files added, files deleted, counters advanced) that is first appended to the
 //! manifest for durability and then applied to yield the next version. Reads grab an
 //! `Arc<Version>` and are therefore never blocked by background work.
+//!
+//! Versions also govern *file lifetime*: a table file (or the commit log backing a
+//! CL-SSTable) may be physically deleted only once no live version references it.
+//! The [`VersionSet`](crate::manifest::VersionSet) keeps a weak-reference registry of
+//! every installed version, so the strong count of an `Arc<Version>` — held by the
+//! engine for the current version and by readers for pinned older ones — *is* the
+//! reference count that garbage collection consults.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 
 use triad_common::types::InternalKey;
@@ -353,6 +360,27 @@ impl Version {
         self.levels.iter().flatten().filter_map(|f| f.backing_log_id).collect()
     }
 
+    /// Names of every on-disk file this version references: table files, CL index
+    /// files and the commit logs backing them. Used by garbage collection and by
+    /// the disk-consistency diagnostics.
+    pub fn referenced_file_names(&self) -> BTreeSet<String> {
+        let mut names = BTreeSet::new();
+        for file in self.levels.iter().flatten() {
+            match file.kind {
+                TableKind::Block => {
+                    names.insert(triad_sstable::sst_file_name(file.id));
+                }
+                TableKind::CommitLogIndex => {
+                    names.insert(triad_sstable::cl_index_file_name(file.id));
+                }
+            }
+            if let Some(log_id) = file.backing_log_id {
+                names.insert(triad_wal::log_file_name(log_id));
+            }
+        }
+        names
+    }
+
     /// Checks the structural invariants of the version (levels ≥ 1 sorted and
     /// non-overlapping). Used by tests and debug assertions.
     pub fn check_invariants(&self) -> Result<()> {
@@ -525,6 +553,14 @@ mod tests {
             .unwrap();
         assert_eq!(version.live_file_ids(), HashSet::from([1, 9]));
         assert_eq!(version.live_backing_logs(), HashSet::from([77]));
+        assert_eq!(
+            version.referenced_file_names(),
+            BTreeSet::from([
+                "000001.sst".to_string(),
+                "000009.clidx".to_string(),
+                "000077.log".to_string(),
+            ])
+        );
     }
 
     #[test]

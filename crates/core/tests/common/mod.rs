@@ -35,6 +35,35 @@ pub fn value_for(key: u64, version: u64) -> Vec<u8> {
     format!("value-{key}-{version}-{}", "x".repeat(100)).into_bytes()
 }
 
+/// Every file name currently present in the database directory.
+pub fn disk_files(dir: &std::path::Path) -> std::collections::BTreeSet<String> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().file_name().to_string_lossy().into_owned())
+        .collect()
+}
+
+/// Asserts that, once garbage collection converges, the files on disk are exactly
+/// the set the live version (plus WAL, manifest and `CURRENT`) accounts for — no
+/// leaked obsolete files, no prematurely deleted live ones.
+///
+/// The background worker may briefly hold a reference to a retired version after
+/// `wait_for_compactions` returns, so the check polls until the listing settles.
+pub fn assert_disk_matches_live_set(db: &Db, dir: &std::path::Path) {
+    for _ in 0..500 {
+        db.collect_garbage();
+        if disk_files(dir) == db.expected_live_files() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(
+        disk_files(dir),
+        db.expected_live_files(),
+        "on-disk files diverge from the live version's file set"
+    );
+}
+
 /// A fixed-width key.
 pub fn key_for(key: u64) -> Vec<u8> {
     format!("key-{key:08}").into_bytes()

@@ -292,3 +292,39 @@ fn disk_usage_and_files_per_level_report_layout() {
     assert!(files[0] >= 1);
     db.close().unwrap();
 }
+
+#[test]
+fn a_single_read_counts_one_probe_per_consulted_component() {
+    let (db, _dir) = open_small("probe-counters", |_| {});
+    for i in 0..100u64 {
+        db.put(key_for(i), value_for(i, 1)).unwrap();
+    }
+    db.flush().unwrap();
+    assert_eq!(db.files_per_level()[0], 1, "one flushed memtable makes one L0 table");
+
+    // A hit below the (now empty) memtable: one memtable probe, one table probe.
+    let before = db.stats();
+    assert_eq!(db.get(key_for(7)).unwrap(), Some(value_for(7, 1)));
+    let delta = db.stats().delta_since(&before);
+    assert_eq!(delta.user_reads, 1, "one read is one read — no hidden retries");
+    assert_eq!(delta.memtable_probes, 1, "the active memtable is consulted exactly once");
+    assert_eq!(delta.table_probes, 1, "the single L0 table is consulted exactly once");
+
+    // A miss outside every table's key range never reaches the disk component.
+    let before = db.stats();
+    assert_eq!(db.get(b"zzz-way-out-of-range").unwrap(), None);
+    let delta = db.stats().delta_since(&before);
+    assert_eq!(delta.user_reads, 1);
+    assert_eq!(delta.memtable_probes, 1);
+    assert_eq!(delta.table_probes, 0, "no table overlaps the key, so no probe");
+
+    // A hit in the active memtable stops there.
+    db.put(key_for(7), value_for(7, 2)).unwrap();
+    let before = db.stats();
+    assert_eq!(db.get(key_for(7)).unwrap(), Some(value_for(7, 2)));
+    let delta = db.stats().delta_since(&before);
+    assert_eq!(delta.user_reads, 1);
+    assert_eq!(delta.memtable_probes, 1);
+    assert_eq!(delta.table_probes, 0);
+    db.close().unwrap();
+}

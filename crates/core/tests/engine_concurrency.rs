@@ -152,3 +152,141 @@ fn close_during_heavy_write_traffic_is_clean() {
     let completed = writer.join().unwrap();
     assert!(completed > 0, "some writes must have completed before shutdown");
 }
+
+#[test]
+fn scans_under_compaction_churn_never_hit_missing_files() {
+    let (db, dir) = open_small("scan-under-compaction", |options| {
+        options.l0_compaction_trigger = 2;
+        options.triad = TriadConfig::all_enabled();
+        // Never defer L0 compaction and never absorb a rotation with the
+        // small-flush rule, so the churn deterministically flushes and compacts
+        // (and therefore retires files) while the scans are running.
+        options.triad.overlap_ratio_threshold = 0.0;
+        options.triad.flush_skip_threshold_bytes = 0;
+    });
+    let db = Arc::new(db);
+    for i in 0..400u64 {
+        db.put(key_for(i), b"seed-value").unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Writers churn the key space hard enough to force flushes and compactions
+    // while scans and point reads run against pinned (and quickly stale) versions.
+    let mut writers = Vec::new();
+    for t in 0..2u64 {
+        let db = Arc::clone(&db);
+        writers.push(thread::spawn(move || {
+            for i in 0..4_000u64 {
+                let key = key_for((t * 31 + i * 7) % 400);
+                db.put(&key, format!("writer-{t}-{i}-{}", "p".repeat(80)).into_bytes()).unwrap();
+            }
+        }));
+    }
+    let mut scanners = Vec::new();
+    for s in 0..2u64 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        scanners.push(thread::spawn(move || {
+            let mut scans = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // With version-pinned GC a scan must never surface an error: every
+                // file of its snapshot outlives the iterator, so a NotFound would
+                // be real corruption.
+                let mut entries = 0u64;
+                for result in db
+                    .scan()
+                    .unwrap_or_else(|e| panic!("scanner {s}: building the scan failed: {e}"))
+                {
+                    result.unwrap_or_else(|e| panic!("scanner {s}: scan entry failed: {e}"));
+                    entries += 1;
+                }
+                assert!(entries >= 400, "scans must see every seeded key, got {entries}");
+                scans += 1;
+            }
+            scans
+        }));
+    }
+    let reader = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let got = db.get(key_for(i % 400)).unwrap().expect("seeded key must exist");
+                assert!(got.starts_with(b"seed-value") || got.starts_with(b"writer-"));
+                i += 1;
+            }
+        })
+    };
+    for handle in writers {
+        handle.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total_scans = 0;
+    for handle in scanners {
+        total_scans += handle.join().unwrap();
+    }
+    reader.join().unwrap();
+    assert!(total_scans > 0, "scanners should have completed at least one scan");
+
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    let stats = db.stats();
+    assert!(stats.compaction_count >= 1, "the churn must have compacted");
+    assert!(stats.gc_files_deleted >= 1, "compactions must have retired table files");
+    assert_eq!(stats.gc_delete_failures, 0, "no deletion may fail on a healthy disk");
+    // With all readers gone and GC converged, the directory holds exactly the live
+    // version's file set: nothing leaked, nothing deleted prematurely.
+    common::assert_disk_matches_live_set(&db, &dir);
+    db.close().unwrap();
+}
+
+#[test]
+fn table_cache_never_resurrects_files_deleted_by_gc() {
+    let (db, dir) = open_small("cache-resurrection", |options| {
+        options.l0_compaction_trigger = 2;
+    });
+    let db = Arc::new(db);
+    for i in 0..300u64 {
+        db.put(key_for(i), b"seed-value").unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    // Readers keep pinning versions (and opening their tables) while compactions
+    // retire files underneath them — the exact interleaving that used to let a
+    // stale reader re-insert a handle for a just-deleted file.
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        readers.push(thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                db.get(key_for(i % 300)).unwrap();
+                i += 1;
+            }
+        }));
+    }
+    for round in 0..6u64 {
+        for i in 0..300u64 {
+            db.put(key_for(i), format!("round-{round}-{}", "q".repeat(64)).into_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+    }
+    db.wait_for_compactions().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    for handle in readers {
+        handle.join().unwrap();
+    }
+    common::assert_disk_matches_live_set(&db, &dir);
+    // Every handle still cached belongs to a live file; a handle for a deleted
+    // file would mean eviction raced a stale re-insert.
+    let expected = db.expected_live_files();
+    for id in db.cached_table_ids() {
+        assert!(
+            expected.contains(&format!("{id:06}.sst"))
+                || expected.contains(&format!("{id:06}.clidx")),
+            "cached handle {id} does not correspond to any live file"
+        );
+    }
+    db.close().unwrap();
+}

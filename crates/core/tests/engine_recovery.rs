@@ -306,3 +306,130 @@ fn reopening_an_empty_directory_is_fine() {
         db.close().unwrap();
     }
 }
+
+#[test]
+fn reopen_after_failed_compactions_sweeps_to_the_exact_live_set() {
+    let dir = temp_dir("gc-failpoint-sweep");
+    let mut options = Options::small_for_tests();
+    options.l0_compaction_trigger = 2;
+    {
+        // The first two compaction attempts die after writing their outputs but
+        // before the manifest commit, orphaning table files on disk; the version
+        // chain never references them.
+        let failpoints = FailpointRegistry::new();
+        failpoints.arm("compaction.before_manifest", FailpointAction::ErrorTimes(2));
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        for version in 1..=3u64 {
+            for i in 0..400u64 {
+                db.put(key_for(i), value_for(i, version)).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        db.wait_for_compactions().unwrap();
+        assert!(failpoints.hits("compaction.before_manifest") >= 2);
+        for i in (0..400u64).step_by(23) {
+            assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 3)));
+        }
+        db.close().unwrap();
+    }
+    // The startup sweep deletes the orphans of the failed attempts (and any file
+    // whose deferred deletion the shutdown cut short).
+    let db = reopen(&dir, &options);
+    common::assert_disk_matches_live_set(&db, &dir);
+    for i in 0..400u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 3)), "key {i} after sweep");
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn stale_commit_logs_resurrected_by_a_crash_are_not_replayed() {
+    let dir = temp_dir("stale-log-crash");
+    let mut options = Options::small_for_tests();
+    options.triad = TriadConfig::log_only();
+    options.l0_compaction_trigger = 2;
+    let stale_logs: Vec<(std::path::PathBuf, Vec<u8>)>;
+    {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        for i in 0..300u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        db.flush().unwrap();
+        // Snapshot every commit log of the round-1 state (CL backing logs and the
+        // then-active WAL) so the test can later "un-delete" them.
+        stale_logs = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().map(|e| e == "log").unwrap_or(false))
+            .map(|p| {
+                let bytes = std::fs::read(&p).unwrap();
+                (p, bytes)
+            })
+            .collect();
+        for i in 0..300u64 {
+            db.put(key_for(i), value_for(i, 2)).unwrap();
+        }
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        common::assert_disk_matches_live_set(&db, &dir);
+        db.close().unwrap();
+    }
+    // Simulate a crash that happened before the deferred deletions hit the disk:
+    // put the retired logs back. Their ids sit below the manifest's recovery
+    // horizon, so replaying them would resurrect round-1 values over round-2 ones.
+    let mut restored = 0;
+    for (path, bytes) in &stale_logs {
+        if !path.exists() {
+            std::fs::write(path, bytes).unwrap();
+            restored += 1;
+        }
+    }
+    assert!(restored > 0, "compaction should have retired at least one round-1 log");
+
+    let db = reopen(&dir, &options);
+    for i in 0..300u64 {
+        assert_eq!(
+            db.get(key_for(i)).unwrap(),
+            Some(value_for(i, 2)),
+            "key {i} resurrected a stale value from a retired commit log"
+        );
+    }
+    // The sweep also removed the stale logs again.
+    common::assert_disk_matches_live_set(&db, &dir);
+    db.close().unwrap();
+}
+
+#[test]
+fn flushes_that_write_no_file_still_advance_the_recovery_horizon() {
+    let dir = temp_dir("no-file-flush-horizon");
+    let mut options = Options::small_for_tests();
+    options.triad = TriadConfig::mem_only();
+    // Every entry counts as hot, so a flush writes *no* table: the whole sealed
+    // memtable is carried back into memory and the sealed log must be retired
+    // purely through a manifest edit advancing `log_number` — the path that used
+    // to unlink the log without recording anything.
+    options.triad.hot_key_policy = triad_core::HotColdPolicy::TopFraction(1.0);
+    {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        for i in 0..50u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        db.flush().unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.flush_count, 1);
+        assert_eq!(stats.hot_entries_retained, 50, "every entry stays in memory");
+        assert_eq!(db.files_per_level()[0], 0, "an all-hot flush writes no L0 file");
+        // The sealed log is collected even though no table took ownership of it.
+        common::assert_disk_matches_live_set(&db, &dir);
+        db.close().unwrap();
+    }
+    let db = reopen(&dir, &options);
+    for i in 0..50u64 {
+        assert_eq!(
+            db.get(key_for(i)).unwrap(),
+            Some(value_for(i, 1)),
+            "key {i} lost after an all-hot flush"
+        );
+    }
+    db.close().unwrap();
+}

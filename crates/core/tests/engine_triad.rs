@@ -300,3 +300,75 @@ fn config_labels_cover_the_breakdown_matrix() {
     assert_eq!(TriadConfig::disk_only().label(), "TRIAD-DISK");
     assert_eq!(TriadConfig::log_only().label(), "TRIAD-LOG");
 }
+
+#[test]
+fn pinned_scans_keep_cl_backing_logs_alive_until_dropped() {
+    let (db, dir) = open_small("cl-pinned-scan", |options| {
+        options.triad = TriadConfig::log_only();
+        options.l0_compaction_trigger = 2;
+    });
+    for i in 0..300u64 {
+        db.put(key_for(i), value_for(i, 1)).unwrap();
+    }
+    db.flush().unwrap();
+    assert!(
+        common::disk_files(&dir).iter().any(|n| n.ends_with(".clidx")),
+        "TRIAD-LOG flush must produce a CL-SSTable"
+    );
+
+    // The scan pins the version holding the CL-SSTable — and therefore its
+    // backing commit log — before compaction retires both.
+    let mut scan = db.scan().unwrap();
+    let (first_key, first_value) = scan.next().unwrap().unwrap();
+    assert_eq!(first_key, key_for(0));
+    assert_eq!(first_value, value_for(0, 1));
+
+    // A second round triggers the L0→L1 compaction that rewrites the CL-SSTables
+    // into regular block tables, retiring the indexes and their backing logs.
+    for i in 0..300u64 {
+        db.put(key_for(i), value_for(i, 2)).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    assert!(db.stats().compaction_count >= 1);
+
+    // GC must hold the pinned snapshot's files back: the CL index and at least
+    // one retired commit log besides the active WAL are still on disk.
+    db.collect_garbage();
+    let files = common::disk_files(&dir);
+    assert!(
+        files.iter().any(|n| n.ends_with(".clidx")),
+        "pinned CL-SSTable index deleted under a live scan: {files:?}"
+    );
+    assert!(
+        files.iter().filter(|n| n.ends_with(".log")).count() >= 2,
+        "pinned backing log deleted under a live scan: {files:?}"
+    );
+
+    // The scan still reads its round-1 snapshot through the backing log, without
+    // a single missing-file error, even though the current version moved on.
+    let mut seen = 1u64;
+    for entry in scan.by_ref() {
+        let (key, value) = entry.expect("pinned scan must never surface an error");
+        assert_eq!(key, key_for(seen), "scan order");
+        assert_eq!(value, value_for(seen, 1), "scan must observe its snapshot");
+        seen += 1;
+    }
+    assert_eq!(seen, 300, "the snapshot holds every round-1 entry");
+
+    // Dropping the scan releases the pin; now the retired files can go.
+    drop(scan);
+    common::assert_disk_matches_live_set(&db, &dir);
+    let files = common::disk_files(&dir);
+    assert!(files.iter().all(|n| !n.ends_with(".clidx")), "CL index leaked: {files:?}");
+    assert_eq!(
+        files.iter().filter(|n| n.ends_with(".log")).count(),
+        1,
+        "only the active WAL log may remain: {files:?}"
+    );
+    // And the data the current version serves is round 2.
+    for i in (0..300u64).step_by(37) {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 2)));
+    }
+    db.close().unwrap();
+}
