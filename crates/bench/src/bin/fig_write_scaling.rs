@@ -1,0 +1,39 @@
+//! Sweeps writer threads 1→16 under NoSync and SyncEveryWrite, comparing the
+//! group-commit pipeline against the legacy serialized write path, and emits the
+//! perf-trajectory file `BENCH_write_scaling.json` with both sets of numbers.
+//!
+//! Flags: `--full` for paper-scale op counts (default is a quick CI-scale run;
+//! `--quick` is accepted and is the default), `--out PATH` to redirect the JSON.
+
+use std::path::PathBuf;
+
+use triad_bench::experiments::write_scaling;
+use triad_bench::runner::Scale;
+
+fn out_path() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--out" {
+            return PathBuf::from(&pair[1]);
+        }
+    }
+    PathBuf::from("BENCH_write_scaling.json")
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (_table, points, acceptance) =
+        write_scaling::run(scale).expect("write-scaling sweep failed");
+    let path = out_path();
+    write_scaling::write_json(&path, scale, &points, &acceptance)
+        .expect("writing BENCH_write_scaling.json failed");
+    println!("\nwrote {}", path.display());
+    if !acceptance.holds() {
+        // The gate is recorded in the JSON either way; a quick-scale run on a
+        // noisy machine should not hard-fail CI smoke.
+        eprintln!(
+            "warning: acceptance gate not met in this run (speedup {:.2}x, {:.3} fsyncs/batch)",
+            acceptance.speedup, acceptance.fsyncs_per_batch
+        );
+    }
+}

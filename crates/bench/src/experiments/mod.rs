@@ -12,6 +12,7 @@ pub mod fig9a_production;
 pub mod fig9d_io_time;
 pub mod grid;
 pub mod summary;
+pub mod write_scaling;
 
 use triad_core::{Options, TriadConfig};
 use triad_workload::{KeyDistribution, OperationMix, WorkloadSpec};

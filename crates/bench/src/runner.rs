@@ -124,6 +124,16 @@ pub struct ExperimentResult {
     pub background_time_fraction: f64,
     /// Files per level after the run.
     pub files_per_level: Vec<usize>,
+    /// Commit groups formed by the group-commit write pipeline.
+    pub write_groups: u64,
+    /// Write batches carried by those groups (= acknowledged grouped writes).
+    pub write_group_batches: u64,
+    /// Largest commit group observed, in batches.
+    pub write_group_max_size: u64,
+    /// WAL fsyncs during the run.
+    pub wal_syncs: u64,
+    /// Fsyncs avoided because a group fsync covered additional batches.
+    pub wal_syncs_amortized: u64,
 }
 
 impl ExperimentResult {
@@ -224,6 +234,11 @@ pub fn run_experiment(config: &ExperimentConfig) -> triad_common::Result<Experim
         compactions_deferred: delta.compactions_deferred,
         background_time_fraction: delta.background_time_fraction(elapsed),
         files_per_level,
+        write_groups: delta.write_groups,
+        write_group_batches: delta.write_group_batches,
+        write_group_max_size: delta.write_group_max_size,
+        wal_syncs: delta.wal_syncs,
+        wal_syncs_amortized: delta.wal_syncs_amortized,
     })
 }
 

@@ -29,6 +29,12 @@ pub struct Stats {
     wal_syncs: AtomicU64,
     wal_rotations: AtomicU64,
 
+    // Group-commit pipeline.
+    write_groups: AtomicU64,
+    write_group_batches: AtomicU64,
+    write_group_max_size: AtomicU64,
+    wal_syncs_amortized: AtomicU64,
+
     // Flushing.
     flush_count: AtomicU64,
     small_flush_skips: AtomicU64,
@@ -100,6 +106,15 @@ impl Stats {
         wal_syncs => add_wal_syncs, wal_syncs;
         /// Records commit log rotations (new log installed).
         wal_rotations => add_wal_rotations, wal_rotations;
+        /// Records commit groups committed by the group-commit write pipeline (one
+        /// leader-driven WAL append + flush/sync per group).
+        write_groups => add_write_groups, write_groups;
+        /// Records write batches that were carried by a commit group (equals the
+        /// number of acknowledged `write` calls on the grouped pipeline).
+        write_group_batches => add_write_group_batches, write_group_batches;
+        /// Records fsyncs *avoided* by group commit: for a synced group of `k`
+        /// batches, `k - 1` batches became durable without their own fsync.
+        wal_syncs_amortized => add_wal_syncs_amortized, wal_syncs_amortized;
         /// Records completed flushes of the memory component.
         flush_count => add_flush_count, flush_count;
         /// Records flushes avoided by the TRIAD-MEM small-memtable rule.
@@ -150,6 +165,18 @@ impl Stats {
         gc_delete_failures => add_gc_delete_failures, gc_delete_failures;
     }
 
+    /// Records the size (in batches) of one commit group, keeping the running
+    /// maximum. A high-water mark rather than a sum, so it gets a dedicated
+    /// `fetch_max` instead of the additive counter macro.
+    pub fn record_write_group_size(&self, batches: u64) {
+        self.write_group_max_size.fetch_max(batches, Ordering::Relaxed);
+    }
+
+    /// Returns the largest commit group observed so far, in batches.
+    pub fn write_group_max_size(&self) -> u64 {
+        self.write_group_max_size.load(Ordering::Relaxed)
+    }
+
     /// Convenience helper to record time spent flushing.
     pub fn add_flush_duration(&self, elapsed: Duration) {
         self.add_flush_micros(elapsed.as_micros() as u64);
@@ -172,6 +199,10 @@ impl Stats {
             wal_appends: self.wal_appends(),
             wal_syncs: self.wal_syncs(),
             wal_rotations: self.wal_rotations(),
+            write_groups: self.write_groups(),
+            write_group_batches: self.write_group_batches(),
+            write_group_max_size: self.write_group_max_size(),
+            wal_syncs_amortized: self.wal_syncs_amortized(),
             flush_count: self.flush_count(),
             small_flush_skips: self.small_flush_skips(),
             bytes_flushed: self.bytes_flushed(),
@@ -210,6 +241,11 @@ pub struct StatSnapshot {
     pub wal_appends: u64,
     pub wal_syncs: u64,
     pub wal_rotations: u64,
+    pub write_groups: u64,
+    pub write_group_batches: u64,
+    /// Largest commit group observed, in batches — a high-water mark, not a sum.
+    pub write_group_max_size: u64,
+    pub wal_syncs_amortized: u64,
     pub flush_count: u64,
     pub small_flush_skips: u64,
     pub bytes_flushed: u64,
@@ -235,10 +271,16 @@ pub struct StatSnapshot {
 
 impl StatSnapshot {
     /// Computes the delta between this snapshot and an earlier one.
+    ///
+    /// Every counter is subtracted except `write_group_max_size`, which is a
+    /// high-water mark: the delta carries the later snapshot's maximum verbatim.
     pub fn delta_since(&self, earlier: &StatSnapshot) -> StatSnapshot {
         macro_rules! sub {
             ($($field:ident),* $(,)?) => {
-                StatSnapshot { $($field: self.$field.saturating_sub(earlier.$field)),* }
+                StatSnapshot {
+                    write_group_max_size: self.write_group_max_size,
+                    $($field: self.$field.saturating_sub(earlier.$field)),*
+                }
             };
         }
         sub!(
@@ -251,6 +293,9 @@ impl StatSnapshot {
             wal_appends,
             wal_syncs,
             wal_rotations,
+            write_groups,
+            write_group_batches,
+            wal_syncs_amortized,
             flush_count,
             small_flush_skips,
             bytes_flushed,
@@ -303,6 +348,25 @@ impl StatSnapshot {
         }
         (self.wal_bytes_written + self.bytes_flushed + self.bytes_compacted_written) as f64
             / self.user_bytes_written as f64
+    }
+
+    /// Average number of write batches per commit group; 1.0 means group commit
+    /// never found a second waiting writer (e.g. a single-threaded workload).
+    pub fn avg_write_group_batches(&self) -> f64 {
+        if self.write_groups == 0 {
+            return 0.0;
+        }
+        self.write_group_batches as f64 / self.write_groups as f64
+    }
+
+    /// Fsyncs issued per acknowledged grouped write batch. Under a concurrent
+    /// synced workload group commit drives this strictly below 1 — one fsync
+    /// covers every batch in the group.
+    pub fn fsyncs_per_grouped_batch(&self) -> f64 {
+        if self.write_group_batches == 0 {
+            return 0.0;
+        }
+        self.wal_syncs as f64 / self.write_group_batches as f64
     }
 
     /// Average number of on-disk table probes per read — the paper's read amplification.
@@ -386,6 +450,37 @@ mod tests {
         let snap = StatSnapshot { user_reads: 4, table_probes: 14, ..Default::default() };
         assert!((snap.read_amplification() - 3.5).abs() < 1e-9);
         assert_eq!(StatSnapshot::default().read_amplification(), 0.0);
+    }
+
+    #[test]
+    fn group_commit_counters_and_derived_metrics() {
+        let stats = Stats::new();
+        stats.add_write_groups(2);
+        stats.add_write_group_batches(10);
+        stats.add_wal_syncs(2);
+        stats.add_wal_syncs_amortized(8);
+        stats.record_write_group_size(3);
+        stats.record_write_group_size(7);
+        stats.record_write_group_size(5);
+        assert_eq!(stats.write_group_max_size(), 7, "high-water mark keeps the max");
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.write_groups, 2);
+        assert_eq!(snap.write_group_batches, 10);
+        assert_eq!(snap.write_group_max_size, 7);
+        assert_eq!(snap.wal_syncs_amortized, 8);
+        assert!((snap.avg_write_group_batches() - 5.0).abs() < 1e-9);
+        assert!((snap.fsyncs_per_grouped_batch() - 0.2).abs() < 1e-9);
+        assert_eq!(StatSnapshot::default().avg_write_group_batches(), 0.0);
+        assert_eq!(StatSnapshot::default().fsyncs_per_grouped_batch(), 0.0);
+
+        // The delta subtracts counters but carries the high-water mark verbatim.
+        stats.add_write_groups(1);
+        stats.add_write_group_batches(1);
+        let delta = stats.snapshot().delta_since(&snap);
+        assert_eq!(delta.write_groups, 1);
+        assert_eq!(delta.write_group_batches, 1);
+        assert_eq!(delta.write_group_max_size, 7);
     }
 
     #[test]

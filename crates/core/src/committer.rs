@@ -1,0 +1,317 @@
+//! Leader/follower coordination for the group-commit write pipeline.
+//!
+//! Concurrent [`write`](crate::Db::write) callers enqueue a [`WriterSlot`] here.
+//! The first writer to arrive while no leader is active becomes the **leader**:
+//! it drains the queue (up to the configured caps) into one *commit group*,
+//! performs a single batched WAL append and flush/fsync for everyone, and then
+//! every group member — leader and followers alike — applies its own batch to
+//! the sharded memtable in parallel, outside the WAL lock. A follower that
+//! received an insert ticket acknowledges itself the moment its inserts land
+//! (only group-wide failures, which arrive *instead of* a ticket, need the
+//! leader to deliver a result); the leader publishes `last_seqno` once the
+//! whole group is appended, durable per the sync policy and inserted, then
+//! hands leadership to the next waiting writer.
+//!
+//! This module owns the queueing, hand-off and wake-up protocol; the actual WAL
+//! and memtable work lives in `db.rs` (`DbInner::lead_commit_group`).
+//!
+//! Lock ordering (deadlock freedom): the WAL mutex may be held while taking the
+//! commit queue or the commit gate; the queue lock may be held while taking a
+//! slot's state lock. Nothing ever waits on the WAL mutex while holding the
+//! gate, the queue or a slot lock.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use triad_common::types::SeqNo;
+use triad_common::Result;
+use triad_memtable::Memtable;
+
+use crate::batch::{WriteBatch, WriteOptions};
+
+/// What a parked writer is told to do next.
+pub(crate) enum Direction {
+    /// Leadership was handed over: drive the next commit group.
+    Lead,
+    /// The group's WAL write is done: apply your own batch to the memtable,
+    /// signal the barrier and return success (a ticket is only ever issued for
+    /// a group whose WAL phase succeeded).
+    Insert(InsertTicket),
+    /// The write is fully committed (or failed); this is its result.
+    Done(Result<SeqNo>),
+}
+
+/// Everything a group member needs to apply its batch to the memtable.
+pub(crate) struct InsertTicket {
+    /// Id of the commit log the group was appended to.
+    pub(crate) log_id: u64,
+    /// Sequence number of this member's first operation.
+    pub(crate) first_seqno: SeqNo,
+    /// Absolute commit-log offset of each of this member's records, in op order.
+    pub(crate) offsets: Vec<u64>,
+    /// The memory component that was active when the group committed.
+    pub(crate) mem: Arc<Memtable>,
+    /// Completion barrier the member must signal after inserting.
+    pub(crate) barrier: Arc<InsertBarrier>,
+}
+
+/// Counts down the group members still applying their memtable inserts.
+pub(crate) struct InsertBarrier {
+    remaining: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl InsertBarrier {
+    pub(crate) fn new(members: usize) -> Arc<Self> {
+        Arc::new(InsertBarrier { remaining: Mutex::new(members), drained: Condvar::new() })
+    }
+
+    /// Marks one member's inserts complete.
+    pub(crate) fn arrive(&self) {
+        let mut remaining = self.remaining.lock().expect("barrier lock poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Blocks until every member has arrived.
+    pub(crate) fn wait_drained(&self) {
+        let mut remaining = self.remaining.lock().expect("barrier lock poisoned");
+        while *remaining > 0 {
+            remaining = self.drained.wait(remaining).expect("barrier lock poisoned");
+        }
+    }
+}
+
+/// Per-slot progress through the commit protocol.
+enum SlotState {
+    /// Parked in the queue, waiting for a leader (or for promotion).
+    Waiting,
+    /// Promoted: this writer must become the next leader.
+    Lead,
+    /// WAL phase done; the ticket describes the member's memtable work.
+    Insert(InsertTicket),
+    /// The ticket has been taken; inserts are in flight.
+    Inserting,
+    /// Final result delivered by the leader.
+    Done(Result<SeqNo>),
+    /// The result has been consumed; terminal.
+    Finished,
+}
+
+/// One queued writer: its batch, its options and its progress.
+pub(crate) struct WriterSlot {
+    pub(crate) batch: WriteBatch,
+    pub(crate) opts: WriteOptions,
+    state: Mutex<SlotState>,
+    wake: Condvar,
+}
+
+impl WriterSlot {
+    fn new(batch: WriteBatch, opts: WriteOptions) -> Arc<Self> {
+        Arc::new(WriterSlot {
+            batch,
+            opts,
+            state: Mutex::new(SlotState::Waiting),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// Parks until the leader (or a hand-off) tells this writer what to do.
+    pub(crate) fn wait_for_direction(&self) -> Direction {
+        let mut state = self.state.lock().expect("slot lock poisoned");
+        loop {
+            match &*state {
+                SlotState::Waiting | SlotState::Inserting => {
+                    state = self.wake.wait(state).expect("slot lock poisoned");
+                }
+                SlotState::Lead => return Direction::Lead,
+                SlotState::Insert(_) => {
+                    let SlotState::Insert(ticket) =
+                        std::mem::replace(&mut *state, SlotState::Inserting)
+                    else {
+                        unreachable!("matched Insert above");
+                    };
+                    return Direction::Insert(ticket);
+                }
+                SlotState::Done(_) => {
+                    let SlotState::Done(result) =
+                        std::mem::replace(&mut *state, SlotState::Finished)
+                    else {
+                        unreachable!("matched Done above");
+                    };
+                    return Direction::Done(result);
+                }
+                SlotState::Finished => {
+                    unreachable!("a slot's result is consumed exactly once")
+                }
+            }
+        }
+    }
+
+    /// Leader→follower: the WAL phase succeeded, apply your inserts.
+    pub(crate) fn begin_insert(&self, ticket: InsertTicket) {
+        *self.state.lock().expect("slot lock poisoned") = SlotState::Insert(ticket);
+        self.wake.notify_one();
+    }
+
+    /// Leader→follower: final result (after `last_seqno` is published, on
+    /// success; immediately, on a group-wide failure).
+    pub(crate) fn finish(&self, result: Result<SeqNo>) {
+        *self.state.lock().expect("slot lock poisoned") = SlotState::Done(result);
+        self.wake.notify_one();
+    }
+
+    fn promote(&self) {
+        *self.state.lock().expect("slot lock poisoned") = SlotState::Lead;
+        self.wake.notify_one();
+    }
+}
+
+#[derive(Default)]
+struct CommitQueue {
+    pending: VecDeque<Arc<WriterSlot>>,
+    /// `true` while some writer holds leadership (it may not be in `pending`).
+    leader_active: bool,
+}
+
+/// The pending-writers queue and leadership token.
+#[derive(Default)]
+pub(crate) struct Committer {
+    queue: Mutex<CommitQueue>,
+}
+
+impl Committer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a writer. Returns its slot and whether it is the leader: a
+    /// leader must call `lead` logic and then [`handoff`](Self::handoff); a
+    /// follower parks on [`WriterSlot::wait_for_direction`].
+    pub(crate) fn join(&self, batch: WriteBatch, opts: WriteOptions) -> (Arc<WriterSlot>, bool) {
+        let slot = WriterSlot::new(batch, opts);
+        let mut queue = self.queue.lock().expect("commit queue poisoned");
+        if queue.leader_active {
+            queue.pending.push_back(Arc::clone(&slot));
+            (slot, false)
+        } else {
+            queue.leader_active = true;
+            (slot, true)
+        }
+    }
+
+    /// Moves queued writers into `group` until it reaches `max_batches` batches
+    /// or adding the next batch would push the summed key+value bytes past
+    /// `max_bytes`. The leader's own batch (already in `group`) always counts.
+    pub(crate) fn drain(
+        &self,
+        group: &mut Vec<Arc<WriterSlot>>,
+        max_batches: usize,
+        max_bytes: usize,
+    ) {
+        let mut queue = self.queue.lock().expect("commit queue poisoned");
+        let mut bytes: usize = group.iter().map(|slot| slot.batch.approximate_size()).sum();
+        while group.len() < max_batches {
+            let Some(front) = queue.pending.front() else { break };
+            let front_bytes = front.batch.approximate_size();
+            if bytes.saturating_add(front_bytes) > max_bytes {
+                break;
+            }
+            bytes += front_bytes;
+            let slot = queue.pending.pop_front().expect("front observed above");
+            group.push(slot);
+        }
+    }
+
+    /// Releases leadership: promotes the oldest waiting writer to leader, or
+    /// clears the leadership token if the queue is empty.
+    pub(crate) fn handoff(&self) {
+        let mut queue = self.queue.lock().expect("commit queue poisoned");
+        if let Some(next) = queue.pending.pop_front() {
+            // Leadership transfers directly; `leader_active` stays set. The
+            // promoted writer re-drains the queue itself (including any writers
+            // that arrived since this drain).
+            next.promote();
+        } else {
+            queue.leader_active = false;
+        }
+    }
+}
+
+impl std::fmt::Debug for Committer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let queue = self.queue.lock().expect("commit queue poisoned");
+        f.debug_struct("Committer")
+            .field("pending", &queue.pending.len())
+            .field("leader_active", &queue.leader_active)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_of(bytes: usize) -> WriteBatch {
+        let mut batch = WriteBatch::new();
+        batch.put(b"k".to_vec(), vec![0u8; bytes.saturating_sub(1)]);
+        batch
+    }
+
+    #[test]
+    fn first_joiner_leads_followers_queue() {
+        let committer = Committer::new();
+        let (_leader, is_leader) = committer.join(batch_of(8), WriteOptions::default());
+        assert!(is_leader);
+        let (_follower, follows) = committer.join(batch_of(8), WriteOptions::default());
+        assert!(!follows);
+    }
+
+    #[test]
+    fn drain_respects_batch_and_byte_caps() {
+        let committer = Committer::new();
+        let (leader, _) = committer.join(batch_of(10), WriteOptions::default());
+        for _ in 0..5 {
+            committer.join(batch_of(10), WriteOptions::default());
+        }
+        let mut group = vec![leader];
+        committer.drain(&mut group, 3, usize::MAX);
+        assert_eq!(group.len(), 3, "batch cap limits the group");
+        let mut rest = vec![group.pop().unwrap()];
+        committer.drain(&mut rest, usize::MAX, 25);
+        // 10 bytes already in the group; only one more 10-byte batch fits under 25.
+        assert_eq!(rest.len(), 2, "byte cap limits the group");
+    }
+
+    #[test]
+    fn handoff_promotes_in_fifo_order_and_clears_when_idle() {
+        let committer = Committer::new();
+        let (_leader, _) = committer.join(batch_of(4), WriteOptions::default());
+        let (second, _) = committer.join(batch_of(4), WriteOptions::default());
+        committer.handoff();
+        // The second writer was promoted; its thread would observe Lead.
+        match second.wait_for_direction() {
+            Direction::Lead => {}
+            _ => panic!("expected promotion to leader"),
+        }
+        // Queue now empty: hand-off clears the token so the next joiner leads.
+        committer.handoff();
+        let (_third, leads) = committer.join(batch_of(4), WriteOptions::default());
+        assert!(leads, "leadership token must clear when the queue drains");
+    }
+
+    #[test]
+    fn barrier_waits_for_every_member() {
+        let barrier = InsertBarrier::new(3);
+        let waiter = {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || barrier.wait_drained())
+        };
+        for _ in 0..3 {
+            barrier.arrive();
+        }
+        waiter.join().unwrap();
+    }
+}

@@ -30,10 +30,12 @@ use triad_sstable::{
     TableKind,
 };
 use triad_wal::{
-    log_file_name, log_file_path, parse_log_file_name, LogReader, LogRecord, LogWriter,
+    log_file_name, log_file_path, parse_log_file_name, BatchEncoder, LogReader, LogRecord,
+    LogWriter,
 };
 
 use crate::batch::{BatchOp, WriteBatch, WriteOptions};
+use crate::committer::{Committer, Direction, InsertBarrier, InsertTicket, WriterSlot};
 use crate::iterator::DbIterator;
 use crate::manifest::VersionSet;
 use crate::options::{BackgroundIoMode, Options, SyncMode};
@@ -46,6 +48,17 @@ pub(crate) struct WalState {
     pub(crate) writer: LogWriter,
     pub(crate) id: u64,
     pub(crate) writes_since_sync: u64,
+    /// The next sequence number to hand out. Allocation is separate from
+    /// publication (`DbInner::last_seqno`): a commit group that fails *after* its
+    /// WAL append has consumed its range — the records are in the log and may be
+    /// replayed on recovery — so the range must never be re-issued to different
+    /// data, or replay (which keeps the first record at a given seqno for a key)
+    /// could prefer the failed group's value over a later acknowledged write.
+    pub(crate) next_seqno: SeqNo,
+    /// Reusable frame buffer for batched appends (commit groups, hot write-back,
+    /// small-flush log rewrites). Living here puts it under the WAL lock, which
+    /// is exactly when it may be used.
+    pub(crate) encoder: BatchEncoder,
 }
 
 /// A memory component that has been sealed and is waiting to be flushed.
@@ -145,8 +158,19 @@ pub(crate) struct DbInner {
     pub(crate) options: Options,
     pub(crate) stats: Arc<Stats>,
     pub(crate) failpoints: FailpointRegistry,
-    /// Serialises writers and guards the active commit log.
+    /// Guards the active commit log. On the grouped write path only the current
+    /// group leader (plus flush hot write-back, rotation and close) takes it; it
+    /// no longer serialises per-record encoding, stats or memtable inserts.
     pub(crate) wal: Mutex<WalState>,
+    /// The group-commit queue: leader election and writer hand-off.
+    pub(crate) committer: Committer,
+    /// Held (after the WAL lock, never the other way) while a commit group's
+    /// memtable inserts are in flight. Scan captures and forced rotations take it
+    /// to wait those inserts out: a scan must never observe half a write batch,
+    /// and a rotation must never seal a memtable a group is still inserting into
+    /// (its entries would be flushed from an incomplete snapshot while the WAL
+    /// records that back them are retired).
+    pub(crate) commit_gate: Mutex<()>,
     /// The active memory component.
     pub(crate) mem: RwLock<Arc<Memtable>>,
     /// Sealed memory components awaiting flush, oldest first.
@@ -242,7 +266,15 @@ impl Db {
             options,
             stats,
             failpoints,
-            wal: Mutex::new(WalState { writer: wal_writer, id: wal_id, writes_since_sync: 0 }),
+            wal: Mutex::new(WalState {
+                writer: wal_writer,
+                id: wal_id,
+                writes_since_sync: 0,
+                next_seqno: last_seqno + 1,
+                encoder: BatchEncoder::new(),
+            }),
+            committer: Committer::new(),
+            commit_gate: Mutex::new(()),
             mem: RwLock::new(Arc::new(Memtable::new())),
             imm: RwLock::new(Vec::new()),
             versions: Mutex::new(versions),
@@ -358,7 +390,28 @@ impl Db {
 
     /// Applies a [`WriteBatch`] atomically with respect to the commit log.
     pub fn write(&self, batch: WriteBatch, opts: WriteOptions) -> Result<()> {
+        self.inner.write_batch(batch, opts).map(|_| ())
+    }
+
+    /// Like [`write`](Db::write), but returns the sequence number assigned to the
+    /// batch's last operation (its operations occupy the contiguous range ending
+    /// there). Returns the current [`last_seqno`](Db::last_seqno) for an empty
+    /// batch. Used by tests and tooling that audit commit ordering.
+    pub fn write_committed(&self, batch: WriteBatch, opts: WriteOptions) -> Result<SeqNo> {
         self.inner.write_batch(batch, opts)
+    }
+
+    /// The largest published sequence number. It only moves once the covering
+    /// WAL prefix is at least as durable as the engine's sync policy promises
+    /// *and* the covered writes are visible in the memtable.
+    ///
+    /// Publication is per commit group: a group member's `write` call may return
+    /// a moment before the group's leader publishes the range (the member's own
+    /// writes are already readable), so compare against seqnos returned by
+    /// [`write_committed`](Db::write_committed) only after concurrent writers
+    /// have quiesced.
+    pub fn last_seqno(&self) -> SeqNo {
+        self.inner.last_seqno.load(Ordering::Acquire)
     }
 
     /// Returns the current value of `key`, or `None` if it does not exist (or was
@@ -511,21 +564,278 @@ impl Drop for Db {
     }
 }
 
+/// The outcome of a commit group's WAL phase, handed from the leader's locked
+/// section to the (unlocked) insert phase.
+struct WalPhase<'a> {
+    /// The memory component that was active while the group was appended.
+    mem: Arc<Memtable>,
+    /// Id of the commit log the group went into.
+    log_id: u64,
+    /// First sequence number of the group (slot 0's first operation).
+    first_seqno: SeqNo,
+    /// Last sequence number of the group — published once inserts complete.
+    group_end: SeqNo,
+    /// Per-slot absolute record offsets, parallel to the group vector.
+    slot_offsets: Vec<Vec<u64>>,
+    /// Whether the group was fsynced (vs only flushed to the OS).
+    synced: bool,
+    /// Total framed bytes appended for the group.
+    wal_bytes: u64,
+    /// Holds scans and forced rotations out of the insert phase. Acquired under
+    /// the WAL lock and released only after `last_seqno` is published.
+    gate: parking_lot::MutexGuard<'a, ()>,
+}
+
 impl DbInner {
-    /// Applies a batch: append every operation to the commit log, then insert into
-    /// the active memtable, then decide whether a rotation is needed.
-    pub(crate) fn write_batch(&self, batch: WriteBatch, opts: WriteOptions) -> Result<()> {
+    /// Applies a batch: append to the commit log, insert into the active
+    /// memtable, then decide whether a rotation is needed. Returns the sequence
+    /// number of the batch's last operation.
+    ///
+    /// On the default (grouped) pipeline, concurrent callers are combined into
+    /// commit groups: one writer becomes the leader, appends and flushes/fsyncs
+    /// the whole group's records with a single buffered WAL write, and every
+    /// member then inserts its own batch into the sharded memtable in parallel,
+    /// outside the WAL lock (see the [`committer`](crate::committer) module).
+    /// With `group_commit.enabled = false` the legacy serialized path runs
+    /// instead — kept as the measured baseline for the write-scaling benchmark.
+    pub(crate) fn write_batch(&self, batch: WriteBatch, opts: WriteOptions) -> Result<SeqNo> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(Error::ShuttingDown);
         }
         if batch.is_empty() {
-            return Ok(());
+            return Ok(self.last_seqno.load(Ordering::Acquire));
         }
         self.failpoints.check("write.before_wal_append")?;
+        if !self.options.group_commit.enabled {
+            return self.write_batch_serial(batch, opts);
+        }
 
+        let (slot, is_leader) = self.committer.join(batch, opts);
+        if is_leader {
+            return self.lead_commit_group(slot);
+        }
+        match slot.wait_for_direction() {
+            Direction::Lead => self.lead_commit_group(slot),
+            Direction::Insert(ticket) => {
+                Self::apply_group_inserts(&slot, &ticket);
+                let end = ticket.first_seqno + slot.batch.ops.len() as u64 - 1;
+                ticket.barrier.arrive();
+                // No second park: a follower that received an insert ticket can
+                // only complete successfully (group-wide failures are delivered
+                // as `Done` *instead of* a ticket), so its result is known here.
+                // The leader publishes `last_seqno` and releases the commit gate
+                // once the whole group has arrived; until then the batch is
+                // readable by this thread (its inserts are done) but a scan
+                // capture still waits on the gate, preserving batch atomicity.
+                Ok(end)
+            }
+            Direction::Done(result) => result,
+        }
+    }
+
+    /// Drives one commit group as its leader, then hands leadership over.
+    fn lead_commit_group(&self, own: Arc<WriterSlot>) -> Result<SeqNo> {
+        let result = self.commit_group(own);
+        // Leadership must transfer even when the group failed, or every queued
+        // writer would park forever.
+        self.committer.handoff();
+        result
+    }
+
+    /// The leader's work for one commit group: WAL phase under the lock, then
+    /// parallel memtable inserts, publication and result delivery.
+    fn commit_group(&self, own: Arc<WriterSlot>) -> Result<SeqNo> {
+        let mut group: Vec<Arc<WriterSlot>> = vec![own];
+        let phase = match self.group_wal_phase(&mut group) {
+            Ok(phase) => phase,
+            Err(e) => return self.fail_group(&group, e),
+        };
+
+        // Stats are batched: one add per counter for the whole group, after the
+        // WAL lock is gone.
+        let mut user_bytes = 0u64;
+        let mut puts = 0u64;
+        let mut deletes = 0u64;
+        let mut records = 0u64;
+        for slot in &group {
+            records += slot.batch.ops.len() as u64;
+            for BatchOp { kind, key, value } in &slot.batch.ops {
+                user_bytes += (key.len() + value.len()) as u64;
+                match kind {
+                    ValueKind::Put => puts += 1,
+                    ValueKind::Delete => deletes += 1,
+                }
+            }
+        }
+        self.stats.add_wal_appends(records);
+        self.stats.add_wal_bytes_written(phase.wal_bytes);
+        self.stats.add_user_bytes_written(user_bytes);
+        self.stats.add_user_writes(puts);
+        self.stats.add_user_deletes(deletes);
+        self.stats.add_write_groups(1);
+        self.stats.add_write_group_batches(group.len() as u64);
+        self.stats.record_write_group_size(group.len() as u64);
+        if phase.synced {
+            self.stats.add_wal_syncs(1);
+            self.stats.add_wal_syncs_amortized(group.len() as u64 - 1);
+        }
+
+        // The crash window the recovery tests probe: the group is appended (and
+        // durable per the sync policy) but nothing has reached the memtable. An
+        // injected failure acknowledges nothing; recovery replaying the appended
+        // records is the permitted "unacknowledged writes may commit" outcome.
+        if let Err(e) = self.failpoints.check("commit.after_group_wal_append") {
+            return self.fail_group(&group, e);
+        }
+
+        // Insert phase: every member applies its own batch concurrently, outside
+        // the WAL lock. Seqnos were pre-assigned contiguously in queue order.
+        // Followers acknowledge themselves once their inserts land (they can only
+        // succeed from here on), so the leader wakes each exactly once.
+        let barrier = InsertBarrier::new(group.len());
+        let mut own_end = phase.group_end;
+        let mut next_first = phase.first_seqno;
+        let mut offsets = phase.slot_offsets.into_iter();
+        for (index, slot) in group.iter().enumerate() {
+            let first = next_first;
+            next_first += slot.batch.ops.len() as u64;
+            let ticket = InsertTicket {
+                log_id: phase.log_id,
+                first_seqno: first,
+                offsets: offsets.next().expect("one offset vector per slot"),
+                mem: Arc::clone(&phase.mem),
+                barrier: Arc::clone(&barrier),
+            };
+            if index == 0 {
+                // The leader's own batch, applied on this thread.
+                own_end = next_first - 1;
+                Self::apply_group_inserts(slot, &ticket);
+                ticket.barrier.arrive();
+            } else {
+                slot.begin_insert(ticket);
+            }
+        }
+        barrier.wait_drained();
+
+        // Publication rule: `last_seqno` moves only after the group's records are
+        // appended (and as durable as the sync policy promises) *and* visible in
+        // the memtable, so no published seqno can ever outrun the WAL prefix that
+        // backs it. The gate opens afterwards, releasing any scan capture or
+        // forced rotation that was waiting out the insert phase.
+        self.last_seqno.store(phase.group_end, Ordering::Release);
+        drop(phase.gate);
+
+        // Rotation check, leader-side only (this also keeps TRIAD-MEM's
+        // small-flush-skip rewrite off follower threads). The gate is released
+        // first: rotation re-takes the WAL lock, and a forced rotation blocked on
+        // the gate while holding that lock would deadlock against us.
         let mut wal = self.wal.lock();
         let mem = self.mem.read().clone();
-        let mut seqno = self.last_seqno.load(Ordering::Acquire);
+        let mem_size = mem.approximate_size();
+        if mem_size >= self.options.memtable_size
+            || wal.writer.size() as usize >= self.options.max_log_size
+        {
+            self.rotate_locked(&mut wal, &mem, mem_size)?;
+        }
+        Ok(own_end)
+    }
+
+    /// Delivers a group-wide failure: followers get a wrapped copy, the leader
+    /// (the caller) propagates the original.
+    fn fail_group(&self, group: &[Arc<WriterSlot>], error: Error) -> Result<SeqNo> {
+        for slot in group.iter().skip(1) {
+            slot.finish(Err(Error::Background(format!("group commit failed: {error}"))));
+        }
+        Err(error)
+    }
+
+    /// The locked section of a commit group: drain the queue, pre-assign the
+    /// seqno range, encode everything into the reusable buffer, append it with
+    /// one buffered write, and flush or fsync once for the whole group.
+    fn group_wal_phase<'a>(&'a self, group: &mut Vec<Arc<WriterSlot>>) -> Result<WalPhase<'a>> {
+        let config = &self.options.group_commit;
+        let mut wal = self.wal.lock();
+        self.committer.drain(group, config.max_group_batches, config.max_group_bytes);
+        let mem = self.mem.read().clone();
+        let first_seqno = wal.next_seqno;
+
+        wal.encoder.clear();
+        let mut seqno = first_seqno;
+        let mut slot_offsets: Vec<Vec<u64>> = Vec::with_capacity(group.len());
+        for slot in group.iter() {
+            let mut rel = Vec::with_capacity(slot.batch.ops.len());
+            for BatchOp { kind, key, value } in &slot.batch.ops {
+                rel.push(wal.encoder.add_parts(seqno, *kind, key, value)?);
+                seqno += 1;
+            }
+            slot_offsets.push(rel);
+        }
+        let group_end = seqno - 1;
+        let wal_bytes = wal.encoder.encoded_bytes();
+        // Consume the range *before* attempting the append: a failed `write_all`
+        // can still leave complete frames durable in the file, and re-issuing
+        // those seqnos to different data would let recovery (which keeps the
+        // first record it sees at a given (key, seqno)) prefer the dead group's
+        // values over later acknowledged writes. A gap in the seqno space on
+        // failure is harmless. The writer additionally poisons itself after a
+        // failed write, because its offset accounting is no longer trustworthy.
+        wal.next_seqno = group_end + 1;
+        let WalState { writer, encoder, .. } = &mut *wal;
+        let start = writer.append_batch(encoder)?;
+        for rel in &mut slot_offsets {
+            for offset in rel.iter_mut() {
+                *offset += start;
+            }
+        }
+
+        wal.writes_since_sync += group_end + 1 - first_seqno;
+        let force_sync = group.iter().any(|slot| slot.opts.sync);
+        let synced = match self.options.sync_mode {
+            SyncMode::SyncEveryWrite => true,
+            SyncMode::SyncEvery(n) => force_sync || wal.writes_since_sync >= n,
+            SyncMode::NoSync => force_sync,
+        };
+        if synced {
+            wal.writer.sync()?;
+            wal.writes_since_sync = 0;
+        } else {
+            wal.writer.flush()?;
+        }
+
+        // Take the insert gate *before* releasing the WAL lock, so no rotation or
+        // scan capture can slip between the group's append and its inserts. This
+        // never blocks: gate holders always acquire WAL-then-gate, so none can be
+        // mid-acquisition while we hold the WAL lock.
+        let log_id = wal.id;
+        let gate = self.commit_gate.lock();
+        drop(wal);
+        Ok(WalPhase { mem, log_id, first_seqno, group_end, slot_offsets, synced, wal_bytes, gate })
+    }
+
+    /// Applies one group member's batch to the memtable. Runs on the member's own
+    /// thread, without the WAL lock; `insert_versioned` keeps a straggling older
+    /// update of a key from clobbering a newer one applied by a faster member.
+    fn apply_group_inserts(slot: &WriterSlot, ticket: &InsertTicket) {
+        let ops_with_offsets = slot.batch.ops.iter().zip(&ticket.offsets);
+        for (seqno, (op, offset)) in (ticket.first_seqno..).zip(ops_with_offsets) {
+            ticket.mem.insert_versioned(
+                &op.key,
+                &op.value,
+                seqno,
+                op.kind,
+                LogPosition { log_id: ticket.log_id, offset: *offset },
+            );
+        }
+    }
+
+    /// The legacy serialized write path: everything — encode, append, stats,
+    /// memtable insert, sync — under the WAL mutex, one record at a time. Kept
+    /// behind `group_commit.enabled = false` as the in-run baseline the
+    /// write-scaling benchmark measures the grouped pipeline against.
+    fn write_batch_serial(&self, batch: WriteBatch, opts: WriteOptions) -> Result<SeqNo> {
+        let mut wal = self.wal.lock();
+        let mem = self.mem.read().clone();
+        let mut seqno = wal.next_seqno - 1;
         for BatchOp { kind, key, value } in &batch.ops {
             seqno += 1;
             let record = LogRecord { seqno, kind: *kind, key: key.clone(), value: value.clone() };
@@ -540,6 +850,7 @@ impl DbInner {
             }
             mem.insert(key, value, seqno, *kind, LogPosition { log_id: wal.id, offset });
         }
+        wal.next_seqno = seqno + 1;
         wal.writes_since_sync += batch.ops.len() as u64;
         let force_sync = opts.sync;
         match self.options.sync_mode {
@@ -569,16 +880,27 @@ impl DbInner {
         let wal_size = wal.writer.size();
         if mem_size >= self.options.memtable_size || wal_size as usize >= self.options.max_log_size
         {
-            self.rotate_locked(&mut wal, mem_size)?;
+            self.rotate_locked(&mut wal, &mem, mem_size)?;
         }
-        Ok(())
+        Ok(seqno)
     }
 
-    /// Rotates the commit log and (usually) seals the memtable. Must be called with
-    /// the WAL lock held.
-    fn rotate_locked(&self, wal: &mut WalState, mem_size: usize) -> Result<()> {
+    /// Rotates the commit log and (usually) seals the memtable. Must be called
+    /// with the WAL lock held, with `mem` the active memtable already captured by
+    /// the caller (every caller holds a clone; re-reading `self.mem` here would
+    /// be a second lock acquisition for the same value).
+    ///
+    /// On the grouped pipeline only a commit-group leader (after its group fully
+    /// inserted) or a forced rotation reaches this, so the TRIAD-MEM small-flush
+    /// rewrite below never runs on a follower thread and never races a group's
+    /// in-flight inserts.
+    fn rotate_locked(
+        &self,
+        wal: &mut WalState,
+        mem: &Arc<Memtable>,
+        mem_size: usize,
+    ) -> Result<()> {
         let triad = &self.options.triad;
-        let mem = self.mem.read().clone();
 
         // TRIAD-MEM's FLUSH_TH rule: the flush trigger fired (typically because the
         // log filled up with updates to hot keys) but the memtable itself is small.
@@ -591,19 +913,22 @@ impl DbInner {
             self.failpoints.check("rotate.small_flush_skip")?;
             let new_id = self.versions.lock().allocate_file_number();
             let mut new_writer = LogWriter::create(log_file_path(&self.path, new_id), new_id)?;
+            let encoder = &mut wal.encoder;
+            encoder.clear();
+            let mut rewrites: Vec<(Vec<u8>, SeqNo, u64)> = Vec::new();
             for (key, entry) in mem.snapshot_entries() {
-                let record = LogRecord {
-                    seqno: entry.seqno,
-                    kind: entry.kind,
-                    key: key.clone(),
-                    value: entry.value,
-                };
-                let offset = new_writer.append(&record)?;
-                self.stats.add_wal_appends(1);
-                self.stats.add_wal_bytes_written(
-                    triad_wal::RECORD_HEADER_LEN as u64 + record.encoded_len() as u64,
+                let rel = encoder.add_parts(entry.seqno, entry.kind, &key, &entry.value)?;
+                rewrites.push((key, entry.seqno, rel));
+            }
+            let start = new_writer.append_batch(encoder)?;
+            self.stats.add_wal_appends(rewrites.len() as u64);
+            self.stats.add_wal_bytes_written(encoder.encoded_bytes());
+            for (key, seqno, rel) in rewrites {
+                mem.update_log_position(
+                    &key,
+                    seqno,
+                    LogPosition { log_id: new_id, offset: start + rel },
                 );
-                mem.update_log_position(&key, entry.seqno, LogPosition { log_id: new_id, offset });
             }
             new_writer.flush()?;
             let old_id = wal.id;
@@ -644,7 +969,7 @@ impl DbInner {
         wal.writes_since_sync = 0;
         old_writer.seal()?;
 
-        let sealed = Arc::new(ImmutableMemtable { memtable: Arc::clone(&mem), wal_id: old_id });
+        let sealed = Arc::new(ImmutableMemtable { memtable: Arc::clone(mem), wal_id: old_id });
         self.imm.write().push(sealed);
         *self.mem.write() = Arc::new(Memtable::new());
         self.stats.add_wal_rotations(1);
@@ -655,6 +980,10 @@ impl DbInner {
     /// Seals the current memtable even if it is not full (used by `Db::flush`).
     pub(crate) fn force_rotate(&self) -> Result<()> {
         let mut wal = self.wal.lock();
+        // Wait out any commit group still applying its memtable inserts (WAL-lock
+        // then gate, the global ordering): sealing mid-insert would flush an
+        // incomplete snapshot of the group while its WAL records are retired.
+        let _gate = self.commit_gate.lock();
         let mem = self.mem.read().clone();
         if mem.is_empty() {
             return Ok(());

@@ -17,16 +17,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::db::{DbInner, ImmutableMemtable, WalState};
+use crate::version::{FileMetadata, VersionEdit};
 use triad_common::types::InternalKey;
 use triad_common::Result;
 use triad_memtable::{separate_keys, HotColdSplit, LogPosition, MemEntry};
 use triad_sstable::{
     cl_index_file_path, sst_file_path, ClTableBuilder, TableBuilder, TableBuilderOptions, TableKind,
 };
-use triad_wal::LogRecord;
-
-use crate::db::{DbInner, ImmutableMemtable};
-use crate::version::{FileMetadata, VersionEdit};
 
 impl DbInner {
     /// Flushes every sealed memtable, oldest first, collecting each one's retired
@@ -100,7 +98,13 @@ impl DbInner {
             let active_mem = self.mem.read().clone();
             let newer_imms: Vec<Arc<ImmutableMemtable>> =
                 self.imm.read().iter().filter(|other| !Arc::ptr_eq(other, imm)).cloned().collect();
-            for (key, mut entry) in hot {
+            // Frame every retained entry into the shared batch buffer first, then
+            // append the lot with one buffered write — the same single-write
+            // discipline as the group-commit path, so a big hot set does not turn
+            // into thousands of small writes under the WAL lock.
+            let mut retained: Vec<(Vec<u8>, MemEntry, u64)> = Vec::new();
+            wal.encoder.clear();
+            for (key, entry) in hot {
                 let shadowed_by_newer_imm = newer_imms.iter().any(|other| {
                     other
                         .memtable
@@ -116,20 +120,18 @@ impl DbInner {
                     demoted.push((key, entry));
                     continue;
                 }
-                let record = LogRecord {
-                    seqno: entry.seqno,
-                    kind: entry.kind,
-                    key: key.clone(),
-                    value: entry.value.clone(),
-                };
-                let offset = wal.writer.append(&record)?;
-                self.stats.add_wal_appends(1);
-                self.stats.add_wal_bytes_written(
-                    triad_wal::RECORD_HEADER_LEN as u64 + record.encoded_len() as u64,
-                );
-                entry.log_position = LogPosition { log_id: wal.id, offset };
+                let rel = wal.encoder.add_parts(entry.seqno, entry.kind, &key, &entry.value)?;
+                retained.push((key, entry, rel));
+            }
+            let WalState { writer, encoder, id, .. } = &mut *wal;
+            let start = writer.append_batch(encoder)?;
+            self.stats.add_wal_appends(retained.len() as u64);
+            self.stats.add_wal_bytes_written(encoder.encoded_bytes());
+            self.stats.add_hot_entries_retained(retained.len() as u64);
+            let log_id = *id;
+            for (key, mut entry, rel) in retained {
+                entry.log_position = LogPosition { log_id, offset: start + rel };
                 active_mem.insert_entry_if_older(&key, entry);
-                self.stats.add_hot_entries_retained(1);
             }
             wal.writer.flush()?;
             drop(wal);

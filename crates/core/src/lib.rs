@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+mod committer;
 mod compaction;
 mod db;
 mod flush;
@@ -49,7 +50,7 @@ pub mod version;
 pub use batch::{WriteBatch, WriteOptions};
 pub use db::Db;
 pub use iterator::DbIterator;
-pub use options::{BackgroundIoMode, Options, SyncMode, TriadConfig};
+pub use options::{BackgroundIoMode, GroupCommitConfig, Options, SyncMode, TriadConfig};
 pub use version::{FileMetadata, Version, VersionEdit};
 
 pub use triad_common::{Error, Result, StatSnapshot, Stats};

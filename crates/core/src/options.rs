@@ -22,6 +22,32 @@ pub enum SyncMode {
     SyncEvery(u64),
 }
 
+/// Configuration of the group-commit write pipeline.
+///
+/// Concurrent writers hand their batches to a *leader* that appends the whole
+/// group to the commit log with one buffered write and one flush/fsync, then all
+/// group members insert into the sharded memtable in parallel, outside the WAL
+/// lock. The caps bound how much one leader may absorb before it commits, keeping
+/// tail latency in check under extreme fan-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// `false` selects the legacy serialized write path (every batch encoded,
+    /// appended, counted and inserted under the WAL mutex, with its own
+    /// flush/fsync). Kept as the in-run baseline for the write-scaling benchmark.
+    pub enabled: bool,
+    /// Maximum number of write batches one commit group may carry.
+    pub max_group_batches: usize,
+    /// Maximum total key+value bytes one commit group may carry. The leader's own
+    /// batch always joins regardless, so oversized single batches still commit.
+    pub max_group_bytes: usize,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig { enabled: true, max_group_batches: 64, max_group_bytes: 1024 * 1024 }
+    }
+}
+
 /// Whether background flushing and compaction run at all.
 ///
 /// `Disabled` reproduces the paper's Figure 2 experiment ("RocksDB No BG I/O"): when
@@ -166,6 +192,8 @@ pub struct Options {
     pub bloom_bits_per_key: usize,
     /// Commit-log durability mode.
     pub sync_mode: SyncMode,
+    /// Group-commit write pipeline configuration.
+    pub group_commit: GroupCommitConfig,
     /// Whether background I/O runs (Figure 2 uses `Disabled`).
     pub background_io: BackgroundIoMode,
     /// Number of background compaction threads.
@@ -187,6 +215,7 @@ impl Default for Options {
             block_size: 4 * 1024,
             bloom_bits_per_key: 10,
             sync_mode: SyncMode::NoSync,
+            group_commit: GroupCommitConfig::default(),
             background_io: BackgroundIoMode::Enabled,
             compaction_threads: 1,
             triad: TriadConfig::baseline(),
@@ -247,6 +276,14 @@ impl Options {
         }
         if self.l0_compaction_trigger == 0 {
             return Err(Error::InvalidArgument("l0_compaction_trigger must be non-zero".into()));
+        }
+        if self.group_commit.enabled {
+            if self.group_commit.max_group_batches == 0 {
+                return Err(Error::InvalidArgument("max_group_batches must be non-zero".into()));
+            }
+            if self.group_commit.max_group_bytes == 0 {
+                return Err(Error::InvalidArgument("max_group_bytes must be non-zero".into()));
+            }
         }
         Ok(())
     }
@@ -315,6 +352,25 @@ mod tests {
 
         let options = Options { l0_compaction_trigger: 0, ..Options::default() };
         assert!(options.validate().is_err());
+
+        let mut options = Options::default();
+        options.group_commit.max_group_batches = 0;
+        assert!(options.validate().is_err());
+
+        let mut options = Options::default();
+        options.group_commit.max_group_bytes = 0;
+        assert!(options.validate().is_err());
+        // The caps are irrelevant when the grouped pipeline is off.
+        options.group_commit.enabled = false;
+        options.validate().unwrap();
+    }
+
+    #[test]
+    fn group_commit_defaults_are_enabled_and_bounded() {
+        let config = GroupCommitConfig::default();
+        assert!(config.enabled, "the grouped pipeline is the default write path");
+        assert!(config.max_group_batches >= 2, "a group must be able to amortize");
+        assert!(config.max_group_bytes >= 64 * 1024);
     }
 
     #[test]

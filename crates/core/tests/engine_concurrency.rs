@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::thread;
 
 use common::{key_for, open_small};
-use triad_core::{Db, TriadConfig};
+use triad_core::{Db, SyncMode, TriadConfig, WriteBatch, WriteOptions};
 
 fn concurrent_workload(db: Arc<Db>, threads: u64, ops_per_thread: u64) {
     let mut handles = Vec::new();
@@ -124,6 +124,169 @@ fn readers_run_concurrently_with_writers_and_background_work() {
     for i in 0..500u64 {
         assert!(db.get(key_for(i)).unwrap().is_some());
     }
+    db.close().unwrap();
+}
+
+/// The core group-commit contract, audited end to end: N threads interleave
+/// multi-op batches; (a) every acknowledged batch owns a contiguous seqno range,
+/// the ranges are globally dense (no gaps, no duplicates) and per-thread ordered;
+/// (b) a reopened database recovers every acknowledged write.
+#[test]
+fn group_commit_seqnos_are_dense_ordered_and_recoverable() {
+    let threads = 8u64;
+    let batches_per_thread = 250u64;
+    let (db, dir) = open_small("group-seqnos", |options| {
+        options.l0_compaction_trigger = 2;
+    });
+    let options = db.options().clone();
+    assert!(options.group_commit.enabled, "the grouped pipeline must be the default");
+    let db = Arc::new(db);
+
+    // Each thread issues batches of varying size over its own key slice and
+    // records (last_seqno, batch_len, final value per key) for every Ok.
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let db = Arc::clone(&db);
+        handles.push(thread::spawn(move || {
+            let mut acked: Vec<(u64, u64)> = Vec::new();
+            let mut expected: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = Default::default();
+            for i in 0..batches_per_thread {
+                let len = 1 + (t + i) % 4;
+                let mut batch = WriteBatch::new();
+                for op in 0..len {
+                    let key = key_for(t * 1_000_000 + (i * 4 + op) % 500);
+                    let value = format!("t{t}-b{i}-o{op}");
+                    batch.put(key.clone(), value.clone().into_bytes());
+                    expected.insert(key, value.into_bytes());
+                }
+                let end = db.write_committed(batch, WriteOptions::default()).unwrap();
+                acked.push((end, len));
+            }
+            (acked, expected)
+        }));
+    }
+    let mut all_ranges: Vec<(u64, u64)> = Vec::new();
+    let mut expected_values: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = Default::default();
+    for handle in handles {
+        let (acked, expected) = handle.join().unwrap();
+        // (a) per-thread ordering: a thread's later batch commits with a larger
+        // sequence number than its earlier one.
+        for window in acked.windows(2) {
+            assert!(
+                window[1].0 > window[0].0,
+                "per-thread seqnos must be monotonically increasing: {window:?}"
+            );
+        }
+        all_ranges.extend(acked.iter().copied());
+        // Threads own disjoint key slices and write them in program order, so
+        // each thread's last value per key is the globally expected one.
+        expected_values.extend(expected);
+    }
+    // (a) global density: the ranges [end-len+1, end] partition 1..=total exactly.
+    let total_ops: u64 = all_ranges.iter().map(|(_, len)| len).sum();
+    all_ranges.sort_unstable();
+    let mut next_expected = 1u64;
+    for (end, len) in &all_ranges {
+        let first = end + 1 - len;
+        assert_eq!(
+            first, next_expected,
+            "seqno ranges must be contiguous and non-overlapping across the whole run"
+        );
+        next_expected = end + 1;
+    }
+    assert_eq!(next_expected - 1, total_ops, "every op consumed exactly one seqno");
+    assert_eq!(db.last_seqno(), total_ops, "published last_seqno covers every acknowledged op");
+
+    let stats = db.stats();
+    assert_eq!(stats.user_writes, total_ops);
+    assert_eq!(
+        stats.write_group_batches,
+        threads * batches_per_thread,
+        "every acknowledged batch rode in exactly one commit group"
+    );
+    assert!(stats.write_groups >= 1);
+    assert!(stats.write_group_max_size >= 1);
+
+    // (b) every acknowledged write survives a reopen.
+    db.close().unwrap();
+    drop(db);
+    let db = Db::open(&dir, options).unwrap();
+    for (key, value) in &expected_values {
+        assert_eq!(
+            db.get(key).unwrap().as_ref(),
+            Some(value),
+            "acknowledged key {:?} lost or stale across restart",
+            String::from_utf8_lossy(key)
+        );
+    }
+    let recovered = db.last_seqno();
+    assert!(
+        recovered >= total_ops,
+        "recovered last_seqno {recovered} must cover all {total_ops} acknowledged ops"
+    );
+    db.close().unwrap();
+}
+
+/// Under a synced concurrent workload, group commit must acknowledge writes with
+/// strictly fewer fsyncs than batches: one fsync covers the whole group, and the
+/// amortization shows up in the dedicated counters.
+#[test]
+fn grouped_writers_amortize_fsyncs_under_sync_every_write() {
+    let threads = 8u64;
+    let batches_per_thread = 200u64;
+    let (db, _dir) = open_small("group-fsync-amortize", |options| {
+        options.sync_mode = SyncMode::SyncEveryWrite;
+        // Keep rotations out of the run so every fsync belongs to a commit group.
+        options.memtable_size = 64 * 1024 * 1024;
+        options.max_log_size = 64 * 1024 * 1024;
+    });
+    let db = Arc::new(db);
+    // Whether a group with more than one batch forms is up to thread timing; on
+    // a host where an fsync is nearly free the first round could conceivably
+    // group nothing. Re-run the workload (bounded) until grouping is observed —
+    // the accounting assertions below then hold deterministically.
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let db = Arc::clone(&db);
+            handles.push(thread::spawn(move || {
+                for i in 0..batches_per_thread {
+                    db.put(key_for(t * 1_000 + i % 100), format!("v{i}").into_bytes()).unwrap();
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        if db.stats().write_group_max_size >= 2 || rounds == 5 {
+            break;
+        }
+    }
+    let stats = db.stats();
+    let total_batches = threads * batches_per_thread * rounds;
+    assert_eq!(stats.write_group_batches, total_batches);
+    assert!(
+        stats.wal_syncs < total_batches,
+        "group commit must issue strictly fewer fsyncs ({}) than acknowledged batches ({})",
+        stats.wal_syncs,
+        total_batches
+    );
+    // With SyncEveryWrite every group syncs exactly once, so the books balance:
+    // syncs issued + syncs amortized away = batches acknowledged.
+    assert_eq!(
+        stats.wal_syncs + stats.wal_syncs_amortized,
+        total_batches,
+        "sync accounting must balance (syncs={}, amortized={})",
+        stats.wal_syncs,
+        stats.wal_syncs_amortized
+    );
+    assert!(
+        stats.write_group_max_size >= 2,
+        "at least one group must have carried more than one batch"
+    );
+    assert!(stats.fsyncs_per_grouped_batch() < 1.0);
     db.close().unwrap();
 }
 

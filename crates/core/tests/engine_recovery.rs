@@ -4,7 +4,7 @@ mod common;
 
 use common::{key_for, temp_dir, value_for};
 use triad_common::failpoint::{FailpointAction, FailpointRegistry};
-use triad_core::{Db, Options, TriadConfig};
+use triad_core::{Db, Options, SyncMode, TriadConfig};
 
 fn reopen(dir: &std::path::Path, options: &Options) -> Db {
     Db::open(dir, options.clone()).unwrap()
@@ -258,6 +258,93 @@ fn injected_compaction_failures_do_not_corrupt_data() {
     for i in 0..500u64 {
         assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 3)));
     }
+    db.close().unwrap();
+}
+
+/// Injects a failure in the exact crash window of the group-commit pipeline —
+/// after the group's WAL append (and fsync) but before any memtable insert — and
+/// asserts the two invariants the pipeline promises: no acknowledged write is
+/// ever lost, and no sequence number is ever issued twice (the failed group's
+/// range is consumed, so later acknowledged writes cannot collide with the
+/// orphaned records a recovery replay may resurrect).
+#[test]
+fn crash_between_group_wal_append_and_memtable_insert_loses_nothing_acknowledged() {
+    let dir = temp_dir("group-commit-crash-window");
+    let mut options = Options::small_for_tests();
+    // Acknowledged ⇒ fsynced, so the durability claim below is unconditional.
+    options.sync_mode = SyncMode::SyncEveryWrite;
+    let failpoints = FailpointRegistry::new();
+    let failed_key = key_for(5);
+    let acked_after_failure;
+    {
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        for i in 0..5u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        let seqno_before_failure = db.last_seqno();
+        assert_eq!(seqno_before_failure, 5);
+
+        // The next write dies between its WAL append and its memtable insert.
+        failpoints.arm("commit.after_group_wal_append", FailpointAction::ErrorTimes(1));
+        let err = db.put(&failed_key, b"never-acknowledged").unwrap_err();
+        assert!(
+            matches!(err, triad_core::Error::Injected(_)),
+            "the injected failure must surface to the (un-acknowledged) writer: {err}"
+        );
+        assert_eq!(failpoints.hits("commit.after_group_wal_append"), 1);
+        // Nothing was published: the failed write is invisible...
+        assert_eq!(db.last_seqno(), seqno_before_failure);
+        assert_eq!(db.get(&failed_key).unwrap(), None, "a failed write must not be readable");
+
+        // ...and the engine keeps working. Crucially, the failed group consumed
+        // its seqno range (its records sit in the durable WAL), so these later
+        // acknowledged writes must commit *past* it — no phantom reuse that a
+        // replay could resolve in favour of the dead group.
+        let mut batch = triad_core::WriteBatch::new();
+        for i in 10..20u64 {
+            batch.put(key_for(i), value_for(i, 2));
+        }
+        let end = db.write_committed(batch, triad_core::WriteOptions::default()).unwrap();
+        assert!(
+            end > seqno_before_failure + 1,
+            "acknowledged writes after the failure must skip the failed group's range \
+             (got end seqno {end})"
+        );
+        acked_after_failure = end;
+        db.close().unwrap();
+    }
+
+    let db = Db::open(&dir, options).unwrap();
+    // Every acknowledged write survived.
+    for i in 0..5u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)), "acked key {i} lost");
+    }
+    for i in 10..20u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 2)), "acked key {i} lost");
+    }
+    // The failed write was appended and fsynced before the injected crash, so
+    // recovery replays it: the standard WAL contract that an *unacknowledged*
+    // write may still commit. What it must never do is displace an acked one.
+    assert_eq!(
+        db.get(&failed_key).unwrap().as_deref(),
+        Some(&b"never-acknowledged"[..]),
+        "the durable-but-unacknowledged record is replayed from the WAL"
+    );
+    // No phantom seqnos: recovery's horizon covers everything in the logs, and
+    // fresh writes allocate strictly above it.
+    let recovered = db.last_seqno();
+    assert!(recovered >= acked_after_failure);
+    let next = db
+        .write_committed(
+            {
+                let mut batch = triad_core::WriteBatch::new();
+                batch.put(b"post-recovery".to_vec(), b"ok".to_vec());
+                batch
+            },
+            triad_core::WriteOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(next, recovered + 1, "post-recovery seqnos continue densely");
     db.close().unwrap();
 }
 

@@ -143,6 +143,58 @@ impl Memtable {
         self.approximate_size.load(Ordering::Relaxed)
     }
 
+    /// Inserts or overwrites `key` unless the memtable already holds a *newer*
+    /// version of it.
+    ///
+    /// The group-commit write path applies the batches of one commit group from
+    /// several threads concurrently, so two updates of the same key can reach the
+    /// memtable out of sequence-number order; the older one must not clobber the
+    /// newer. A skipped update still bumps the per-key update counter — the write
+    /// happened, and TRIAD-MEM's hotness signal counts writes, not winners (the
+    /// serialized path bumps it too, by overwriting and being overwritten).
+    ///
+    /// Returns the new approximate size of the memtable in bytes.
+    pub fn insert_versioned(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        seqno: SeqNo,
+        kind: ValueKind,
+        log_position: LogPosition,
+    ) -> usize {
+        let shard = &self.shards[self.shard_for(key)];
+        let mut map = shard.write();
+        self.total_updates.fetch_add(1, Ordering::Relaxed);
+        match map.get_mut(key) {
+            Some(existing) if existing.seqno > seqno => {
+                existing.updates = existing.updates.saturating_add(1);
+            }
+            Some(existing) => {
+                let old_size = existing.approximate_size(key.len());
+                existing.value = value.to_vec();
+                existing.seqno = seqno;
+                existing.kind = kind;
+                existing.updates = existing.updates.saturating_add(1);
+                existing.log_position = log_position;
+                let new_size = existing.approximate_size(key.len());
+                if new_size >= old_size {
+                    self.approximate_size.fetch_add(new_size - old_size, Ordering::Relaxed);
+                } else {
+                    self.approximate_size.fetch_sub(old_size - new_size, Ordering::Relaxed);
+                }
+            }
+            None => {
+                let entry =
+                    MemEntry { value: value.to_vec(), seqno, kind, updates: 1, log_position };
+                let size = entry.approximate_size(key.len());
+                map.insert(key.to_vec(), entry);
+                self.approximate_size.fetch_add(size, Ordering::Relaxed);
+                self.entry_count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.approximate_size.load(Ordering::Relaxed)
+    }
+
     /// Re-inserts a complete [`MemEntry`] (used when TRIAD-MEM retains hot keys in
     /// the new memtable after a flush), preserving its update counter.
     pub fn insert_entry(&self, key: &[u8], entry: MemEntry) {
@@ -334,6 +386,27 @@ mod tests {
         assert_eq!(raw.seqno, 10);
         assert_eq!(raw.log_position, pos(1, 9 * 40), "log position tracks the newest record");
         assert_eq!(memtable.total_updates(), 10);
+    }
+
+    #[test]
+    fn insert_versioned_never_lets_an_older_update_win() {
+        let memtable = Memtable::new();
+        memtable.insert_versioned(b"k", b"newer", 9, ValueKind::Put, pos(1, 80));
+        // The straggler of the same commit group arrives late: value ignored,
+        // hotness still counted.
+        memtable.insert_versioned(b"k", b"older", 5, ValueKind::Put, pos(1, 0));
+        let raw = memtable.get_raw(b"k").unwrap();
+        assert_eq!(raw.value, b"newer");
+        assert_eq!(raw.seqno, 9);
+        assert_eq!(raw.log_position, pos(1, 80));
+        assert_eq!(raw.updates, 2, "the losing update still counts as a write");
+        assert_eq!(memtable.total_updates(), 2);
+        // In order it behaves exactly like `insert`.
+        memtable.insert_versioned(b"k", b"newest", 12, ValueKind::Delete, pos(2, 0));
+        let raw = memtable.get_raw(b"k").unwrap();
+        assert_eq!(raw.seqno, 12);
+        assert_eq!(raw.kind, ValueKind::Delete);
+        assert_eq!(raw.updates, 3);
     }
 
     #[test]

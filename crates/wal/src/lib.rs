@@ -33,8 +33,8 @@ mod record;
 mod writer;
 
 pub use reader::{decode_record_in_buffer, LogReader, RecoveredRecord, TailStatus};
-pub use record::LogRecord;
-pub use writer::LogWriter;
+pub use record::{encode_record_parts, LogRecord};
+pub use writer::{BatchEncoder, LogWriter};
 
 use std::path::{Path, PathBuf};
 

@@ -31,11 +31,16 @@ impl LogRecord {
     /// Serializes the record payload (excluding the CRC/length framing).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
-        varint::encode_u64(&mut out, self.seqno);
-        out.push(self.kind.as_u8());
-        varint::encode_length_prefixed(&mut out, &self.key);
-        varint::encode_length_prefixed(&mut out, &self.value);
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Serializes the record payload into `out`, appending to its current contents.
+    ///
+    /// The group-commit path encodes many records back to back into one reusable
+    /// buffer; this is the allocation-free building block it uses.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        encode_record_parts(out, self.seqno, self.kind, &self.key, &self.value);
     }
 
     /// Upper bound on the encoded payload length.
@@ -73,6 +78,24 @@ impl LogRecord {
     }
 }
 
+/// Serializes a record payload from borrowed parts, appending to `out`.
+///
+/// Byte-identical to [`LogRecord::encode`] for the same fields; lets the
+/// group-commit leader frame a writer's batch without first cloning every key
+/// and value into an owned [`LogRecord`].
+pub fn encode_record_parts(
+    out: &mut Vec<u8>,
+    seqno: SeqNo,
+    kind: ValueKind,
+    key: &[u8],
+    value: &[u8],
+) {
+    varint::encode_u64(out, seqno);
+    out.push(kind.as_u8());
+    varint::encode_length_prefixed(out, key);
+    varint::encode_length_prefixed(out, value);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +108,18 @@ mod tests {
         let decoded = LogRecord::decode(&payload).expect("decodes");
         assert_eq!(decoded, record);
         assert_eq!(decoded.user_bytes(), 8);
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let a = LogRecord::put(3, b"first".to_vec(), b"one".to_vec());
+        let b = LogRecord::delete(4, b"second".to_vec());
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        let split = buf.len();
+        b.encode_into(&mut buf);
+        assert_eq!(&buf[..split], a.encode().as_slice());
+        assert_eq!(&buf[split..], b.encode().as_slice());
     }
 
     #[test]

@@ -10,6 +10,102 @@ use triad_common::{Error, Result};
 use crate::record::LogRecord;
 use crate::RECORD_HEADER_LEN;
 
+/// Computes the framing header for a record payload: `(masked CRC, length)`,
+/// both little-endian. The CRC covers the length field and the payload. This is
+/// the single definition of the on-disk frame; the per-record and batched
+/// append paths must stay byte-identical, so both go through here.
+fn frame_header(payload: &[u8]) -> Result<([u8; 4], [u8; 4])> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| Error::InvalidArgument("commit log record exceeds 4 GiB".to_string()))?;
+    let len_bytes = len.to_le_bytes();
+    let crc = checksum::extend(checksum::crc32c(&len_bytes), payload);
+    Ok((checksum::mask(crc).to_le_bytes(), len_bytes))
+}
+
+/// A reusable buffer that frames many [`LogRecord`]s for one batched append.
+///
+/// The group-commit write path encodes a whole group of write batches into a
+/// single `BatchEncoder` and hands it to [`LogWriter::append_batch`], turning N
+/// small framed writes into one `write_all`. The internal buffers are retained
+/// across [`clear`](BatchEncoder::clear) calls, so a long-lived encoder stops
+/// allocating once it has seen its largest group.
+#[derive(Debug, Default)]
+pub struct BatchEncoder {
+    /// Fully framed bytes (CRC + length + payload per record), ready to write.
+    framed: Vec<u8>,
+    /// Scratch space for one record's payload, reused between records.
+    scratch: Vec<u8>,
+    /// Offset of each record's frame relative to the start of the buffer.
+    offsets: Vec<u64>,
+}
+
+impl BatchEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets all encoded records but keeps the allocated capacity.
+    pub fn clear(&mut self) {
+        self.framed.clear();
+        self.offsets.clear();
+    }
+
+    /// Frames `record` and returns its offset relative to the batch start.
+    ///
+    /// The absolute file offset is this value plus the start offset returned by
+    /// [`LogWriter::append_batch`].
+    pub fn add(&mut self, record: &LogRecord) -> Result<u64> {
+        self.add_parts(record.seqno, record.kind, &record.key, &record.value)
+    }
+
+    /// Frames a record given as borrowed parts — the clone-free variant of
+    /// [`add`](Self::add) used when the key and value live in a caller's batch.
+    pub fn add_parts(
+        &mut self,
+        seqno: triad_common::types::SeqNo,
+        kind: triad_common::types::ValueKind,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<u64> {
+        self.scratch.clear();
+        crate::record::encode_record_parts(&mut self.scratch, seqno, kind, key, value);
+        let (crc_bytes, len_bytes) = frame_header(&self.scratch)?;
+
+        let start = self.framed.len() as u64;
+        self.framed.extend_from_slice(&crc_bytes);
+        self.framed.extend_from_slice(&len_bytes);
+        self.framed.extend_from_slice(&self.scratch);
+        self.offsets.push(start);
+        Ok(start)
+    }
+
+    /// Number of records framed so far.
+    pub fn record_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Returns `true` when no records are framed.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Total framed bytes (headers included) — exactly what the append will write.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.framed.len() as u64
+    }
+
+    /// Offsets of every framed record relative to the batch start, in add order.
+    pub fn relative_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The framed bytes.
+    pub fn framed_bytes(&self) -> &[u8] {
+        &self.framed
+    }
+}
+
 /// An append-only writer for a single commit log file.
 ///
 /// The writer buffers records in user space; [`LogWriter::flush`] pushes them to the
@@ -24,6 +120,9 @@ pub struct LogWriter {
     offset: u64,
     /// Number of records appended.
     records: u64,
+    /// Set when a write failed partway: the file's tail (and therefore `offset`)
+    /// is no longer trustworthy, so every further append is refused.
+    poisoned: bool,
 }
 
 impl LogWriter {
@@ -38,7 +137,14 @@ impl LogWriter {
             .create_new(true)
             .open(&path)
             .map_err(|e| Error::io(format!("creating commit log {}", path.display()), e))?;
-        Ok(LogWriter { id, path, file: BufWriter::new(file), offset: 0, records: 0 })
+        Ok(LogWriter {
+            id,
+            path,
+            file: BufWriter::new(file),
+            offset: 0,
+            records: 0,
+            poisoned: false,
+        })
     }
 
     /// The id of this log file.
@@ -72,25 +178,61 @@ impl LogWriter {
 
     /// Appends a pre-encoded payload; used when replaying entries verbatim.
     pub fn append_payload(&mut self, payload: &[u8]) -> Result<u64> {
+        self.check_usable()?;
         let start = self.offset;
-        let len = u32::try_from(payload.len())
-            .map_err(|_| Error::InvalidArgument("commit log record exceeds 4 GiB".to_string()))?;
-        let len_bytes = len.to_le_bytes();
-        let mut crc = checksum::crc32c(&len_bytes);
-        crc = checksum::extend(crc, payload);
-        let masked = checksum::mask(crc);
+        let (crc_bytes, len_bytes) = frame_header(payload)?;
 
         self.file
-            .write_all(&masked.to_le_bytes())
+            .write_all(&crc_bytes)
             .and_then(|_| self.file.write_all(&len_bytes))
             .and_then(|_| self.file.write_all(payload))
             .map_err(|e| {
+                self.poisoned = true;
                 Error::io(format!("appending to commit log {}", self.path.display()), e)
             })?;
 
         self.offset += (RECORD_HEADER_LEN + payload.len()) as u64;
         self.records += 1;
         Ok(start)
+    }
+
+    /// Appends every record framed in `batch` with a single buffered write.
+    ///
+    /// Returns the file offset at which the batch starts; record `i` of the batch
+    /// lives at `start + batch.relative_offsets()[i]`. This is the group-commit
+    /// fast path: one `write_all` for the whole group instead of one per record.
+    pub fn append_batch(&mut self, batch: &BatchEncoder) -> Result<u64> {
+        self.check_usable()?;
+        let start = self.offset;
+        if batch.is_empty() {
+            return Ok(start);
+        }
+        self.file.write_all(batch.framed_bytes()).map_err(|e| {
+            self.poisoned = true;
+            Error::io(format!("appending batch to commit log {}", self.path.display()), e)
+        })?;
+        self.offset += batch.encoded_bytes();
+        self.records += batch.record_count() as u64;
+        Ok(start)
+    }
+
+    /// Refuses further appends after a failed write. A partial `write_all`
+    /// leaves an unknown number of bytes in the file, so `offset` can no longer
+    /// be trusted: appending more records would hand out log positions shifted
+    /// from where the bytes actually land, silently corrupting offset-addressed
+    /// reads of *later, acknowledged* writes. An explicit error until the log is
+    /// rotated is strictly safer.
+    fn check_usable(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::io(
+                format!(
+                    "appending to commit log {} after an earlier failed write",
+                    self.path.display()
+                ),
+                std::io::Error::other("commit log writer poisoned"),
+            ));
+        }
+        Ok(())
     }
 
     /// Flushes buffered records to the operating system.
@@ -182,6 +324,83 @@ mod tests {
         assert_eq!(writer.size(), (RECORD_HEADER_LEN + payload_len) as u64);
         let sealed_size = writer.seal().unwrap();
         assert_eq!(sealed_size, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn append_batch_matches_record_by_record_appends() {
+        let dir = temp_dir("batch");
+        let records: Vec<LogRecord> = (0..50u64)
+            .map(|i| {
+                if i % 7 == 0 {
+                    LogRecord::delete(i, format!("key-{i}").into_bytes())
+                } else {
+                    LogRecord::put(i, format!("key-{i}").into_bytes(), vec![b'v'; i as usize % 64])
+                }
+            })
+            .collect();
+
+        // Reference: one append per record.
+        let serial_path = log_file_path(&dir, 10);
+        let mut serial = LogWriter::create(&serial_path, 10).unwrap();
+        let mut serial_offsets = Vec::new();
+        for record in &records {
+            serial_offsets.push(serial.append(record).unwrap());
+        }
+        serial.sync().unwrap();
+
+        // One batched append, in two groups to exercise a non-zero start offset.
+        let batch_path = log_file_path(&dir, 11);
+        let mut batched = LogWriter::create(&batch_path, 11).unwrap();
+        let mut encoder = BatchEncoder::new();
+        let mut batch_offsets = Vec::new();
+        for group in records.chunks(17) {
+            encoder.clear();
+            for record in group {
+                encoder.add(record).unwrap();
+            }
+            let start = batched.append_batch(&encoder).unwrap();
+            batch_offsets.extend(encoder.relative_offsets().iter().map(|rel| start + rel));
+        }
+        batched.sync().unwrap();
+
+        assert_eq!(batched.record_count(), records.len() as u64);
+        assert_eq!(batched.size(), serial.size());
+        assert_eq!(batch_offsets, serial_offsets, "batched offsets must match serial appends");
+        assert_eq!(
+            std::fs::read(&batch_path).unwrap(),
+            std::fs::read(&serial_path).unwrap(),
+            "batched framing must be byte-identical to serial framing"
+        );
+
+        // Every record is offset-addressable and the log recovers in full.
+        let reader = LogReader::open(&batch_path).unwrap();
+        for (record, offset) in records.iter().zip(&batch_offsets) {
+            assert_eq!(&reader.read_at(*offset).unwrap(), record);
+        }
+        let recovered: Vec<_> = reader.iter().unwrap().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(recovered.len(), records.len());
+    }
+
+    #[test]
+    fn empty_batch_append_is_a_no_op() {
+        let dir = temp_dir("empty-batch");
+        let mut writer = LogWriter::create(log_file_path(&dir, 12), 12).unwrap();
+        let encoder = BatchEncoder::new();
+        assert_eq!(writer.append_batch(&encoder).unwrap(), 0);
+        assert_eq!(writer.size(), 0);
+        assert_eq!(writer.record_count(), 0);
+    }
+
+    #[test]
+    fn batch_encoder_clear_retains_capacity() {
+        let mut encoder = BatchEncoder::new();
+        encoder.add(&LogRecord::put(1, b"k".to_vec(), vec![0u8; 512])).unwrap();
+        assert_eq!(encoder.record_count(), 1);
+        assert!(encoder.encoded_bytes() > 512);
+        encoder.clear();
+        assert!(encoder.is_empty());
+        assert_eq!(encoder.encoded_bytes(), 0);
+        assert!(encoder.framed_bytes().is_empty());
     }
 
     #[test]
