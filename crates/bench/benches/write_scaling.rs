@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the front-door write path: the group-commit
-//! pipeline (default) vs the legacy serialized path, single-threaded and under
-//! a small concurrent burst. The full sweep with fsyncs lives in the
-//! `fig_write_scaling` binary; these benches track per-write overhead.
+//! Criterion micro-benchmarks for the front-door write path: the pipelined
+//! commit (default) vs the serial grouped commit vs the legacy serialized path,
+//! single-threaded and under a small concurrent burst. The full sweep with
+//! fsyncs lives in the `fig_write_scaling` binary; these benches track
+//! per-write overhead.
 
 use std::sync::Arc;
 
@@ -9,7 +10,12 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use triad_core::{Db, Options};
 
-fn bench_db(name: &str, grouped: bool) -> (Arc<Db>, std::path::PathBuf) {
+/// `(label, group_commit.enabled, group_commit.pipelined)` for the three
+/// write-path generations.
+const MODES: [(&str, bool, bool); 3] =
+    [("pipelined", true, true), ("grouped", true, false), ("legacy", false, false)];
+
+fn bench_db(name: &str, enabled: bool, pipelined: bool) -> (Arc<Db>, std::path::PathBuf) {
     let dir = std::env::temp_dir().join(format!("triad-bench-ws-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut options = Options {
@@ -17,13 +23,14 @@ fn bench_db(name: &str, grouped: bool) -> (Arc<Db>, std::path::PathBuf) {
         max_log_size: 512 * 1024 * 1024,
         ..Options::default()
     };
-    options.group_commit.enabled = grouped;
+    options.group_commit.enabled = enabled;
+    options.group_commit.pipelined = pipelined;
     (Arc::new(Db::open(&dir, options).unwrap()), dir)
 }
 
 fn bench_single_thread(c: &mut Criterion) {
-    for (label, grouped) in [("grouped", true), ("legacy", false)] {
-        let (db, dir) = bench_db(&format!("single-{label}"), grouped);
+    for (label, enabled, pipelined) in MODES {
+        let (db, dir) = bench_db(&format!("single-{label}"), enabled, pipelined);
         let value = vec![0x5au8; 200];
         let mut i = 0u64;
         c.bench_function(&format!("write/{label}_1_thread_put"), |b| {
@@ -41,8 +48,8 @@ fn bench_single_thread(c: &mut Criterion) {
 fn bench_concurrent_burst(c: &mut Criterion) {
     const THREADS: usize = 4;
     const OPS_PER_THREAD: u64 = 64;
-    for (label, grouped) in [("grouped", true), ("legacy", false)] {
-        let (db, dir) = bench_db(&format!("burst-{label}"), grouped);
+    for (label, enabled, pipelined) in MODES {
+        let (db, dir) = bench_db(&format!("burst-{label}"), enabled, pipelined);
         let mut round = 0u64;
         c.bench_function(&format!("write/{label}_4_thread_burst_256_puts"), |b| {
             b.iter(|| {

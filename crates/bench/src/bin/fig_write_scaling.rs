@@ -1,6 +1,8 @@
-//! Sweeps writer threads 1→16 under NoSync and SyncEveryWrite, comparing the
-//! group-commit pipeline against the legacy serialized write path, and emits the
-//! perf-trajectory file `BENCH_write_scaling.json` with both sets of numbers.
+//! Sweeps writer threads 1→16 under NoSync and SyncEveryWrite across the three
+//! write-path generations — `legacy` (serialized), `grouped` (PR 3 commit
+//! groups, fsync under the WAL lock) and `pipelined` (append decoupled from the
+//! sync stage) — and emits the perf-trajectory file `BENCH_write_scaling.json`
+//! with all three sets of numbers plus the acceptance gate.
 //!
 //! Flags: `--full` for paper-scale op counts (default is a quick CI-scale run;
 //! `--quick` is accepted and is the default), `--out PATH` to redirect the JSON.
@@ -32,8 +34,12 @@ fn main() {
         // The gate is recorded in the JSON either way; a quick-scale run on a
         // noisy machine should not hard-fail CI smoke.
         eprintln!(
-            "warning: acceptance gate not met in this run (speedup {:.2}x, {:.3} fsyncs/batch)",
-            acceptance.speedup, acceptance.fsyncs_per_batch
+            "warning: acceptance gate not met in this run ({:.2}x vs legacy, {:.2}x vs grouped, \
+             {:.3} fsyncs/batch, {} overlapped)",
+            acceptance.speedup,
+            acceptance.pipelined_vs_grouped,
+            acceptance.fsyncs_per_batch,
+            acceptance.overlapped_syncs
         );
     }
 }

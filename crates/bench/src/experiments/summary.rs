@@ -93,14 +93,18 @@ pub fn run(scale: Scale) -> triad_common::Result<(Table, Vec<Comparison>)> {
     );
 
     // The front-door write pipeline behind those numbers: how much the
-    // group-commit path amortized per workload (TRIAD-configured runs).
+    // group-commit path amortized and overlapped per workload (TRIAD runs).
     let mut pipeline = Table::new(&[
         "workload",
         "commit groups",
         "avg batches/group",
         "max group",
+        "depth",
         "fsyncs",
-        "fsyncs amortized",
+        "amortized",
+        "overlapped",
+        "append µs*",
+        "sync wait µs*",
     ]);
     for comparison in &comparisons {
         let r = &comparison.triad;
@@ -114,15 +118,20 @@ pub fn run(scale: Scale) -> triad_common::Result<(Table, Vec<Comparison>)> {
             r.write_groups.to_string(),
             format!("{avg:.2}"),
             r.write_group_max_size.to_string(),
+            r.wal_pipeline_max_depth.to_string(),
             r.wal_syncs.to_string(),
             r.wal_syncs_amortized.to_string(),
+            r.wal_syncs_overlapped.to_string(),
+            r.wal_append_us.to_string(),
+            r.wal_sync_wait_us.to_string(),
         ]);
     }
     print_table(
         "Group-commit pipeline during the TRIAD runs",
         &pipeline,
-        "not a paper figure: repository-side instrumentation of the leader/follower \
-         write path (see fig_write_scaling for the dedicated sweep)",
+        "not a paper figure: repository-side instrumentation of the pipelined \
+         leader/follower write path (*sampled sums, 1 in 16 groups timed; see \
+         fig_write_scaling for the dedicated three-mode sweep)",
     );
     Ok((table, comparisons))
 }

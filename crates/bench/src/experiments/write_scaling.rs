@@ -1,23 +1,37 @@
-//! Write-scaling: the group-commit pipeline vs the legacy serialized write path.
+//! Write-scaling: pipelined vs grouped vs legacy front-door write paths.
 //!
 //! This is not a figure from the paper — it is the repository's own perf
 //! trajectory for the front-door write path. The sweep runs a put-only workload
 //! at 1→16 writer threads under `SyncMode::NoSync` and `SyncMode::SyncEveryWrite`,
-//! once with the grouped pipeline (the default) and once with
-//! `group_commit.enabled = false` (the pre-group-commit write path, preserved as
-//! the in-run baseline), so every report contains its own before/after numbers.
+//! across the three generations of the commit path:
 //!
-//! The acceptance gate for the group-commit PR: at ≥ 8 writers with
-//! `SyncEveryWrite`, grouped throughput must be ≥ 2× legacy, with strictly fewer
-//! fsyncs than acknowledged write batches.
+//! * `legacy` — the serialized pre-group-commit path (`group_commit.enabled =
+//!   false`): every record encoded, appended, counted and inserted under the WAL
+//!   mutex with its own flush/fsync.
+//! * `grouped` — PR 3's leader/follower commit groups (`pipelined = false`): one
+//!   buffered append and one flush/fsync per group, but the WAL lock is held
+//!   across the fsync, so groups serialize end-to-end.
+//! * `pipelined` — the current default: the append stage releases the lock
+//!   before the sync stage runs, so group N+1 appends (and inserts) while group
+//!   N's fsync is in flight, and one fsync retires every group it covered
+//!   (`overlapped` counts groups that needed no fsync of their own).
 //!
-//! Reading the NoSync side: group commit amortizes the flush/fsync and
-//! parallelizes memtable inserts across member threads, so its NoSync gains
-//! need real cores. On a single-core host the sweep instead charges the
-//! pipeline for its leader→follower scheduler hand-offs while the legacy
-//! mutex convoy runs as a tight serial loop, so grouped NoSync numbers there
-//! reflect wake-up cost, not the pipeline's multi-core behaviour. The durable
-//! sweep is meaningful on any host: one group fsync covers the whole group.
+//! The acceptance gate, evaluated at 8 writers under `SyncEveryWrite`: pipelined
+//! beats legacy ≥ 2×, issues < 1 fsync per acknowledged batch, is at least as
+//! fast as grouped on the same host, and demonstrably overlapped
+//! (`overlapped > 0`).
+//!
+//! Reading the NoSync side: group commit amortizes the flush and parallelizes
+//! memtable inserts across member threads, so its NoSync gains need real cores.
+//! On a single-core host the sweep instead charges the pipeline for its
+//! leader→follower hand-offs while the legacy mutex convoy runs as a tight
+//! serial loop. The adaptive spin-then-park wake-up (followers poll a readiness
+//! flag briefly before touching the condvar) trims that hand-off on multi-core
+//! hosts; on one core the spin cannot succeed — the producer cannot run — so
+//! grouped/pipelined NoSync numbers there still reflect scheduler wake-up cost,
+//! not the pipeline's multi-core behaviour. The durable sweep is meaningful on
+//! any host: an fsync blocks the leader, the scheduler runs the next one, and
+//! the overlap machinery does its work.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -28,6 +42,47 @@ use triad_core::{Db, Options, SyncMode};
 use crate::report::{print_table, Table};
 use crate::runner::Scale;
 
+/// Which generation of the write path a sweep point measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Serialized pre-group-commit path (`group_commit.enabled = false`).
+    Legacy,
+    /// PR 3 commit groups with the fsync under the WAL lock (`pipelined = false`).
+    Grouped,
+    /// The pipelined commit: append stage decoupled from the sync stage.
+    Pipelined,
+}
+
+impl PipelineMode {
+    /// Every mode, in the order the sweep runs them.
+    pub fn all() -> [PipelineMode; 3] {
+        [PipelineMode::Legacy, PipelineMode::Grouped, PipelineMode::Pipelined]
+    }
+
+    /// The label used in tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineMode::Legacy => "legacy",
+            PipelineMode::Grouped => "grouped",
+            PipelineMode::Pipelined => "pipelined",
+        }
+    }
+
+    fn apply(self, options: &mut Options) {
+        match self {
+            PipelineMode::Legacy => options.group_commit.enabled = false,
+            PipelineMode::Grouped => {
+                options.group_commit.enabled = true;
+                options.group_commit.pipelined = false;
+            }
+            PipelineMode::Pipelined => {
+                options.group_commit.enabled = true;
+                options.group_commit.pipelined = true;
+            }
+        }
+    }
+}
+
 /// One measured configuration of the sweep.
 #[derive(Debug, Clone)]
 pub struct WriteScalingPoint {
@@ -35,7 +90,7 @@ pub struct WriteScalingPoint {
     pub sync_mode: &'static str,
     /// Number of concurrent writer threads.
     pub threads: usize,
-    /// `"grouped"` (group-commit pipeline) or `"legacy"` (serialized baseline).
+    /// `"pipelined"`, `"grouped"` or `"legacy"`.
     pub pipeline: &'static str,
     /// Thousands of acknowledged single-put batches per second.
     pub kops: f64,
@@ -51,6 +106,10 @@ pub struct WriteScalingPoint {
     pub avg_group_batches: f64,
     /// Largest commit group observed, in batches.
     pub max_group_batches: u64,
+    /// Groups that needed durability but retired on a neighbour's fsync.
+    pub wal_syncs_overlapped: u64,
+    /// Deepest commit pipeline observed (groups in flight at once).
+    pub pipeline_max_depth: u64,
 }
 
 /// The PR's acceptance numbers, computed from the sweep itself.
@@ -60,18 +119,29 @@ pub struct WriteScalingAcceptance {
     pub threads: usize,
     /// Legacy throughput at the gate point (kops).
     pub legacy_kops: f64,
-    /// Grouped throughput at the gate point (kops).
+    /// Grouped (serial group commit) throughput at the gate point (kops).
     pub grouped_kops: f64,
-    /// `grouped_kops / legacy_kops`.
+    /// Pipelined throughput at the gate point (kops).
+    pub pipelined_kops: f64,
+    /// `pipelined_kops / legacy_kops`.
     pub speedup: f64,
-    /// Grouped fsyncs per acknowledged batch at the gate point.
+    /// `pipelined_kops / grouped_kops` — the marginal win of this PR.
+    pub pipelined_vs_grouped: f64,
+    /// Pipelined fsyncs per acknowledged batch at the gate point.
     pub fsyncs_per_batch: f64,
+    /// Overlapped syncs observed at the gate point (must be > 0: the fsync was
+    /// demonstrably overlapped with later appends).
+    pub overlapped_syncs: u64,
 }
 
 impl WriteScalingAcceptance {
-    /// Whether the PR's perf gate holds: ≥ 2× throughput and < 1 fsync/batch.
+    /// Whether the PR's perf gate holds: ≥ 2× over legacy, < 1 fsync/batch, no
+    /// regression against the serial grouped commit, and observed overlap.
     pub fn holds(&self) -> bool {
-        self.speedup >= 2.0 && self.fsyncs_per_batch < 1.0
+        self.speedup >= 2.0
+            && self.fsyncs_per_batch < 1.0
+            && self.pipelined_vs_grouped >= 1.0
+            && self.overlapped_syncs > 0
     }
 }
 
@@ -88,7 +158,7 @@ pub fn thread_sweep() -> [usize; 5] {
     [1, 2, 4, 8, 16]
 }
 
-fn bench_db_options(sync_mode: SyncMode, grouped: bool) -> Options {
+fn bench_db_options(sync_mode: SyncMode, mode: PipelineMode) -> Options {
     // The sweep measures the write *path*, not flush/compaction: keep the
     // memory component large enough that no rotation fires during a point.
     let mut options = Options {
@@ -97,7 +167,7 @@ fn bench_db_options(sync_mode: SyncMode, grouped: bool) -> Options {
         sync_mode,
         ..Options::default()
     };
-    options.group_commit.enabled = grouped;
+    mode.apply(&mut options);
     options
 }
 
@@ -105,7 +175,7 @@ fn run_point(
     scale: Scale,
     sync_mode: SyncMode,
     threads: usize,
-    grouped: bool,
+    mode: PipelineMode,
 ) -> triad_common::Result<WriteScalingPoint> {
     let ops_per_thread = match sync_mode {
         // An fsync costs ~100 µs on commodity SSD-backed filesystems; keep the
@@ -113,15 +183,10 @@ fn run_point(
         SyncMode::SyncEveryWrite => scale.ops(400, 5_000),
         _ => scale.ops(10_000, 200_000),
     };
-    let label = format!(
-        "write-scaling-{}-{}t-{}",
-        sync_label(sync_mode),
-        threads,
-        if grouped { "grouped" } else { "legacy" }
-    );
+    let label = format!("write-scaling-{}-{}t-{}", sync_label(sync_mode), threads, mode.label());
     let dir = std::env::temp_dir().join(format!("triad-{label}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let db = Arc::new(Db::open(&dir, bench_db_options(sync_mode, grouped))?);
+    let db = Arc::new(Db::open(&dir, bench_db_options(sync_mode, mode))?);
 
     let before = db.stats();
     let started = Instant::now();
@@ -151,7 +216,7 @@ fn run_point(
     Ok(WriteScalingPoint {
         sync_mode: sync_label(sync_mode),
         threads,
-        pipeline: if grouped { "grouped" } else { "legacy" },
+        pipeline: mode.label(),
         kops: acked_batches as f64 / elapsed.as_secs_f64() / 1_000.0,
         acked_batches,
         wal_syncs: delta.wal_syncs,
@@ -159,6 +224,8 @@ fn run_point(
         write_groups: delta.write_groups,
         avg_group_batches: delta.avg_write_group_batches(),
         max_group_batches: delta.write_group_max_size,
+        wal_syncs_overlapped: delta.wal_syncs_overlapped,
+        pipeline_max_depth: delta.wal_pipeline_max_depth,
     })
 }
 
@@ -169,8 +236,8 @@ pub fn run(
     let mut points = Vec::new();
     for sync_mode in [SyncMode::NoSync, SyncMode::SyncEveryWrite] {
         for threads in thread_sweep() {
-            for grouped in [false, true] {
-                points.push(run_point(scale, sync_mode, threads, grouped)?);
+            for mode in PipelineMode::all() {
+                points.push(run_point(scale, sync_mode, threads, mode)?);
             }
         }
     }
@@ -184,6 +251,8 @@ pub fn run(
         "groups",
         "avg batches/group",
         "max group",
+        "overlapped",
+        "depth",
     ]);
     for point in &points {
         table.add_row(vec![
@@ -195,6 +264,8 @@ pub fn run(
             point.write_groups.to_string(),
             format!("{:.2}", point.avg_group_batches),
             point.max_group_batches.to_string(),
+            point.wal_syncs_overlapped.to_string(),
+            point.pipeline_max_depth.to_string(),
         ]);
     }
 
@@ -212,21 +283,30 @@ pub fn run(
     };
     let legacy = find("legacy");
     let grouped = find("grouped");
+    let pipelined = find("pipelined");
     let acceptance = WriteScalingAcceptance {
         threads: gate_threads,
         legacy_kops: legacy.kops,
         grouped_kops: grouped.kops,
-        speedup: grouped.kops / legacy.kops.max(1e-9),
-        fsyncs_per_batch: grouped.fsyncs_per_batch,
+        pipelined_kops: pipelined.kops,
+        speedup: pipelined.kops / legacy.kops.max(1e-9),
+        pipelined_vs_grouped: pipelined.kops / grouped.kops.max(1e-9),
+        fsyncs_per_batch: pipelined.fsyncs_per_batch,
+        overlapped_syncs: pipelined.wal_syncs_overlapped,
     };
 
     print_table(
-        "Write scaling: group commit vs legacy serialized writes (put-only)",
+        "Write scaling: pipelined vs grouped vs legacy serialized writes (put-only)",
         &table,
         &format!(
-            "gate at {} writers, SyncEveryWrite: {:.2}x speedup (need >= 2x), \
-             {:.3} fsyncs/batch (need < 1)",
-            acceptance.threads, acceptance.speedup, acceptance.fsyncs_per_batch
+            "gate at {} writers, SyncEveryWrite: {:.2}x over legacy (need >= 2x), \
+             {:.2}x over grouped (need >= 1x), {:.3} fsyncs/batch (need < 1), \
+             {} overlapped syncs (need > 0)",
+            acceptance.threads,
+            acceptance.speedup,
+            acceptance.pipelined_vs_grouped,
+            acceptance.fsyncs_per_batch,
+            acceptance.overlapped_syncs
         ),
     );
     Ok((table, points, acceptance))
@@ -253,7 +333,8 @@ pub fn write_json(
             "    {{\"sync_mode\": \"{}\", \"threads\": {}, \"pipeline\": \"{}\", \
              \"kops\": {:.2}, \"acked_batches\": {}, \"wal_syncs\": {}, \
              \"fsyncs_per_batch\": {:.4}, \"write_groups\": {}, \
-             \"avg_group_batches\": {:.3}, \"max_group_batches\": {}}}{}\n",
+             \"avg_group_batches\": {:.3}, \"max_group_batches\": {}, \
+             \"overlapped_syncs\": {}, \"pipeline_max_depth\": {}}}{}\n",
             p.sync_mode,
             p.threads,
             p.pipeline,
@@ -264,6 +345,8 @@ pub fn write_json(
             p.write_groups,
             p.avg_group_batches,
             p.max_group_batches,
+            p.wal_syncs_overlapped,
+            p.pipeline_max_depth,
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
@@ -273,12 +356,18 @@ pub fn write_json(
     out.push_str("    \"sync_mode\": \"SyncEveryWrite\",\n");
     out.push_str(&format!("    \"legacy_kops\": {:.2},\n", acceptance.legacy_kops));
     out.push_str(&format!("    \"grouped_kops\": {:.2},\n", acceptance.grouped_kops));
-    out.push_str(&format!("    \"speedup\": {:.3},\n", acceptance.speedup));
+    out.push_str(&format!("    \"pipelined_kops\": {:.2},\n", acceptance.pipelined_kops));
+    out.push_str(&format!("    \"speedup_vs_legacy\": {:.3},\n", acceptance.speedup));
     out.push_str(&format!(
-        "    \"grouped_fsyncs_per_batch\": {:.4},\n",
+        "    \"pipelined_vs_grouped\": {:.3},\n",
+        acceptance.pipelined_vs_grouped
+    ));
+    out.push_str(&format!(
+        "    \"pipelined_fsyncs_per_batch\": {:.4},\n",
         acceptance.fsyncs_per_batch
     ));
-    out.push_str(&format!("    \"meets_2x_and_sub_1_fsync\": {}\n", acceptance.holds()));
+    out.push_str(&format!("    \"overlapped_syncs\": {},\n", acceptance.overlapped_syncs));
+    out.push_str(&format!("    \"meets_gate\": {}\n", acceptance.holds()));
     out.push_str("  }\n");
     out.push_str("}\n");
     std::fs::write(path, out)

@@ -134,6 +134,14 @@ pub struct ExperimentResult {
     pub wal_syncs: u64,
     /// Fsyncs avoided because a group fsync covered additional batches.
     pub wal_syncs_amortized: u64,
+    /// Durable groups retired by a neighbour's fsync (pipelined overlap).
+    pub wal_syncs_overlapped: u64,
+    /// Deepest commit pipeline observed (groups in flight at once).
+    pub wal_pipeline_max_depth: u64,
+    /// Sampled microseconds spent in the append stage (1-in-16 groups timed).
+    pub wal_append_us: u64,
+    /// Sampled microseconds spent waiting on group durability (same sampling).
+    pub wal_sync_wait_us: u64,
 }
 
 impl ExperimentResult {
@@ -239,6 +247,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> triad_common::Result<Experim
         write_group_max_size: delta.write_group_max_size,
         wal_syncs: delta.wal_syncs,
         wal_syncs_amortized: delta.wal_syncs_amortized,
+        wal_syncs_overlapped: delta.wal_syncs_overlapped,
+        wal_pipeline_max_depth: delta.wal_pipeline_max_depth,
+        wal_append_us: delta.wal_append_us,
+        wal_sync_wait_us: delta.wal_sync_wait_us,
     })
 }
 

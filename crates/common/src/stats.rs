@@ -10,6 +10,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// One in this many commit groups is wall-clock timed for the sampled
+/// `wal_append_us` / `wal_sync_wait_us` counters (see [`Stats::sample_timing`]).
+pub const TIMING_SAMPLE_EVERY: u64 = 16;
+
 /// Shared, thread-safe statistics registry.
 ///
 /// All counters are monotonically increasing; derive rates or deltas by snapshotting
@@ -34,6 +38,15 @@ pub struct Stats {
     write_group_batches: AtomicU64,
     write_group_max_size: AtomicU64,
     wal_syncs_amortized: AtomicU64,
+
+    // Pipelined commit (append / sync stage decoupling).
+    wal_syncs_overlapped: AtomicU64,
+    wal_pipeline_max_depth: AtomicU64,
+    wal_append_us: AtomicU64,
+    wal_sync_wait_us: AtomicU64,
+    /// Round-robin tick deciding which commit groups get timed; not a metric
+    /// itself and deliberately absent from [`StatSnapshot`].
+    timing_tick: AtomicU64,
 
     // Flushing.
     flush_count: AtomicU64,
@@ -115,6 +128,21 @@ impl Stats {
         /// Records fsyncs *avoided* by group commit: for a synced group of `k`
         /// batches, `k - 1` batches became durable without their own fsync.
         wal_syncs_amortized => add_wal_syncs_amortized, wal_syncs_amortized;
+        /// Records commit groups that required durability but found the watermark
+        /// already past their end offset — another in-flight group's fsync covered
+        /// them while they were appending or inserting. Strictly positive only
+        /// when the pipelined commit actually overlapped an fsync with later work.
+        wal_syncs_overlapped => add_wal_syncs_overlapped, wal_syncs_overlapped;
+        /// Records *sampled* microseconds spent inside the append stage of the
+        /// pipelined commit (drain + encode + buffered append, under the append
+        /// lock). One in [`TIMING_SAMPLE_EVERY`] groups is timed, so this is an
+        /// observability signal, not a total.
+        wal_append_us => add_wal_append_us, wal_append_us;
+        /// Records *sampled* microseconds a commit group spent waiting for (or
+        /// issuing) the fsync that made it durable — the log-induced stall the
+        /// pipeline hides behind the next group's append. Same sampling as
+        /// `wal_append_us`.
+        wal_sync_wait_us => add_wal_sync_wait_us, wal_sync_wait_us;
         /// Records completed flushes of the memory component.
         flush_count => add_flush_count, flush_count;
         /// Records flushes avoided by the TRIAD-MEM small-memtable rule.
@@ -177,6 +205,26 @@ impl Stats {
         self.write_group_max_size.load(Ordering::Relaxed)
     }
 
+    /// Records the number of commit groups simultaneously in flight (appended
+    /// but not yet complete — still syncing, inserting or registering their
+    /// publication), keeping the running maximum. Depth > 1 is the direct
+    /// evidence that group N+1 appended while group N was still in flight.
+    pub fn record_pipeline_depth(&self, depth: u64) {
+        self.wal_pipeline_max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Returns the deepest commit pipeline observed so far, in groups.
+    pub fn wal_pipeline_max_depth(&self) -> u64 {
+        self.wal_pipeline_max_depth.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` for one in [`TIMING_SAMPLE_EVERY`] calls; the write path
+    /// uses this to decide whether to time a commit group, keeping clock reads
+    /// off the common path.
+    pub fn sample_timing(&self) -> bool {
+        self.timing_tick.fetch_add(1, Ordering::Relaxed) % TIMING_SAMPLE_EVERY == 0
+    }
+
     /// Convenience helper to record time spent flushing.
     pub fn add_flush_duration(&self, elapsed: Duration) {
         self.add_flush_micros(elapsed.as_micros() as u64);
@@ -203,6 +251,10 @@ impl Stats {
             write_group_batches: self.write_group_batches(),
             write_group_max_size: self.write_group_max_size(),
             wal_syncs_amortized: self.wal_syncs_amortized(),
+            wal_syncs_overlapped: self.wal_syncs_overlapped(),
+            wal_pipeline_max_depth: self.wal_pipeline_max_depth(),
+            wal_append_us: self.wal_append_us(),
+            wal_sync_wait_us: self.wal_sync_wait_us(),
             flush_count: self.flush_count(),
             small_flush_skips: self.small_flush_skips(),
             bytes_flushed: self.bytes_flushed(),
@@ -246,6 +298,13 @@ pub struct StatSnapshot {
     /// Largest commit group observed, in batches — a high-water mark, not a sum.
     pub write_group_max_size: u64,
     pub wal_syncs_amortized: u64,
+    pub wal_syncs_overlapped: u64,
+    /// Deepest commit pipeline observed, in groups — a high-water mark, not a sum.
+    pub wal_pipeline_max_depth: u64,
+    /// Sampled microseconds in the append stage (1 in [`TIMING_SAMPLE_EVERY`] groups).
+    pub wal_append_us: u64,
+    /// Sampled microseconds waiting on group durability (same sampling).
+    pub wal_sync_wait_us: u64,
     pub flush_count: u64,
     pub small_flush_skips: u64,
     pub bytes_flushed: u64,
@@ -272,13 +331,15 @@ pub struct StatSnapshot {
 impl StatSnapshot {
     /// Computes the delta between this snapshot and an earlier one.
     ///
-    /// Every counter is subtracted except `write_group_max_size`, which is a
-    /// high-water mark: the delta carries the later snapshot's maximum verbatim.
+    /// Every counter is subtracted except `write_group_max_size` and
+    /// `wal_pipeline_max_depth`, which are high-water marks: the delta carries the
+    /// later snapshot's maxima verbatim.
     pub fn delta_since(&self, earlier: &StatSnapshot) -> StatSnapshot {
         macro_rules! sub {
             ($($field:ident),* $(,)?) => {
                 StatSnapshot {
                     write_group_max_size: self.write_group_max_size,
+                    wal_pipeline_max_depth: self.wal_pipeline_max_depth,
                     $($field: self.$field.saturating_sub(earlier.$field)),*
                 }
             };
@@ -296,6 +357,9 @@ impl StatSnapshot {
             write_groups,
             write_group_batches,
             wal_syncs_amortized,
+            wal_syncs_overlapped,
+            wal_append_us,
+            wal_sync_wait_us,
             flush_count,
             small_flush_skips,
             bytes_flushed,
@@ -481,6 +545,36 @@ mod tests {
         assert_eq!(delta.write_groups, 1);
         assert_eq!(delta.write_group_batches, 1);
         assert_eq!(delta.write_group_max_size, 7);
+    }
+
+    #[test]
+    fn pipelined_commit_counters() {
+        let stats = Stats::new();
+        stats.add_wal_syncs_overlapped(3);
+        stats.add_wal_append_us(120);
+        stats.add_wal_sync_wait_us(900);
+        stats.record_pipeline_depth(2);
+        stats.record_pipeline_depth(5);
+        stats.record_pipeline_depth(1);
+        assert_eq!(stats.wal_pipeline_max_depth(), 5, "depth is a high-water mark");
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.wal_syncs_overlapped, 3);
+        assert_eq!(snap.wal_append_us, 120);
+        assert_eq!(snap.wal_sync_wait_us, 900);
+        assert_eq!(snap.wal_pipeline_max_depth, 5);
+
+        // Deltas subtract the additive counters but carry the depth mark verbatim.
+        stats.add_wal_syncs_overlapped(1);
+        let delta = stats.snapshot().delta_since(&snap);
+        assert_eq!(delta.wal_syncs_overlapped, 1);
+        assert_eq!(delta.wal_append_us, 0);
+        assert_eq!(delta.wal_pipeline_max_depth, 5);
+
+        // The sampling tick fires exactly once per TIMING_SAMPLE_EVERY calls.
+        let fresh = Stats::new();
+        let sampled = (0..TIMING_SAMPLE_EVERY * 4).filter(|_| fresh.sample_timing()).count();
+        assert_eq!(sampled, 4);
     }
 
     #[test]

@@ -31,11 +31,14 @@ use triad_sstable::{
 };
 use triad_wal::{
     log_file_name, log_file_path, parse_log_file_name, BatchEncoder, LogReader, LogRecord,
-    LogWriter,
+    LogSyncHandle, LogWriter,
 };
 
 use crate::batch::{BatchOp, WriteBatch, WriteOptions};
-use crate::committer::{Committer, Direction, InsertBarrier, InsertTicket, WriterSlot};
+use crate::committer::{
+    Committer, Direction, InsertBarrier, InsertTicket, PublicationSequencer, WriterSlot,
+};
+use crate::durability::{DurabilityWatermark, SyncOutcome};
 use crate::iterator::DbIterator;
 use crate::manifest::VersionSet;
 use crate::options::{BackgroundIoMode, Options, SyncMode};
@@ -59,6 +62,9 @@ pub(crate) struct WalState {
     /// small-flush log rewrites). Living here puts it under the WAL lock, which
     /// is exactly when it may be used.
     pub(crate) encoder: BatchEncoder,
+    /// Publication ticket of the next pipelined commit group, assigned under the
+    /// append lock so tickets follow append order exactly.
+    pub(crate) next_group_index: u64,
 }
 
 /// A memory component that has been sealed and is waiting to be flushed.
@@ -164,13 +170,29 @@ pub(crate) struct DbInner {
     pub(crate) wal: Mutex<WalState>,
     /// The group-commit queue: leader election and writer hand-off.
     pub(crate) committer: Committer,
-    /// Held (after the WAL lock, never the other way) while a commit group's
-    /// memtable inserts are in flight. Scan captures and forced rotations take it
-    /// to wait those inserts out: a scan must never observe half a write batch,
-    /// and a rotation must never seal a memtable a group is still inserting into
-    /// (its entries would be flushed from an incomplete snapshot while the WAL
-    /// records that back them are retired).
-    pub(crate) commit_gate: Mutex<()>,
+    /// Retires pipelined commit groups in append order: `last_seqno` may only
+    /// move through contiguous group ranges even when a later group's inserts
+    /// (or fsync) finish first.
+    pub(crate) publisher: PublicationSequencer,
+    /// Which appended commit-log bytes are durable; the pipelined sync stage.
+    pub(crate) watermark: DurabilityWatermark,
+    /// Commit groups currently in flight (appended, not yet complete). Feeds the
+    /// `wal_pipeline_max_depth` high-water mark.
+    pipeline_depth: AtomicU64,
+    /// Size of the active commit log as of the last pipelined append, so the
+    /// per-group rotation check can stay off the append lock; re-verified under
+    /// the lock before any actual rotation.
+    wal_size_hint: AtomicU64,
+    /// Held shared (after the WAL lock, never the other way) by every commit
+    /// group from its WAL append until its publication. Scan captures, forced
+    /// rotations and the leader-side rotation take it exclusively to drain the
+    /// pipeline: a scan must never observe half a write batch, and a rotation
+    /// must never seal a memtable a group is still inserting into (its entries
+    /// would be flushed from an incomplete snapshot while the WAL records that
+    /// back them are retired). On the non-pipelined grouped path the write side
+    /// also takes it exclusively, which is what serialized groups end-to-end
+    /// before the pipelined commit existed.
+    pub(crate) commit_gate: RwLock<()>,
     /// The active memory component.
     pub(crate) mem: RwLock<Arc<Memtable>>,
     /// Sealed memory components awaiting flush, oldest first.
@@ -272,9 +294,14 @@ impl Db {
                 writes_since_sync: 0,
                 next_seqno: last_seqno + 1,
                 encoder: BatchEncoder::new(),
+                next_group_index: 0,
             }),
             committer: Committer::new(),
-            commit_gate: Mutex::new(()),
+            publisher: PublicationSequencer::new(),
+            watermark: DurabilityWatermark::new(wal_id),
+            pipeline_depth: AtomicU64::new(0),
+            wal_size_hint: AtomicU64::new(0),
+            commit_gate: RwLock::new(()),
             mem: RwLock::new(Arc::new(Memtable::new())),
             imm: RwLock::new(Vec::new()),
             versions: Mutex::new(versions),
@@ -403,11 +430,15 @@ impl Db {
 
     /// The largest published sequence number. It only moves once the covering
     /// WAL prefix is at least as durable as the engine's sync policy promises
-    /// *and* the covered writes are visible in the memtable.
+    /// *and* the covered writes are visible in the memtable — and it moves
+    /// strictly in commit-group order, through contiguous group ranges, even
+    /// when a later group's inserts finish first.
     ///
-    /// Publication is per commit group: a group member's `write` call may return
-    /// a moment before the group's leader publishes the range (the member's own
-    /// writes are already readable), so compare against seqnos returned by
+    /// Publication is per commit group and completion-based: a group member's
+    /// `write` call may return a moment before the group's range is applied
+    /// here (the member's own writes are already readable, and on the pipelined
+    /// path a group whose predecessor is still in flight registers its range
+    /// and moves on), so compare against seqnos returned by
     /// [`write_committed`](Db::write_committed) only after concurrent writers
     /// have quiesced.
     pub fn last_seqno(&self) -> SeqNo {
@@ -582,8 +613,41 @@ struct WalPhase<'a> {
     /// Total framed bytes appended for the group.
     wal_bytes: u64,
     /// Holds scans and forced rotations out of the insert phase. Acquired under
-    /// the WAL lock and released only after `last_seqno` is published.
-    gate: parking_lot::MutexGuard<'a, ()>,
+    /// the WAL lock and released only after `last_seqno` is published. Exclusive
+    /// on this (non-pipelined) path: groups stay serialized end-to-end.
+    gate: parking_lot::RwLockWriteGuard<'a, ()>,
+}
+
+/// The outcome of a pipelined commit group's append stage. Unlike [`WalPhase`],
+/// the group is *not yet* as durable as the sync policy demands when this is
+/// handed out — durability is the sync stage's job, tracked by the watermark.
+struct PipelinedPhase<'a> {
+    /// The memory component that was active while the group was appended.
+    mem: Arc<Memtable>,
+    /// Id of the commit log the group went into.
+    log_id: u64,
+    /// First sequence number of the group (slot 0's first operation).
+    first_seqno: SeqNo,
+    /// Last sequence number of the group — published once the group retires.
+    group_end: SeqNo,
+    /// Per-slot absolute record offsets, parallel to the group vector.
+    slot_offsets: Vec<Vec<u64>>,
+    /// Whether this group must be fsynced before anyone acknowledges it.
+    need_sync: bool,
+    /// The group's durability target: the cumulative appended watermark right
+    /// after its append.
+    sync_target: u64,
+    /// Fsyncs the appended-to log without the append lock.
+    sync_handle: LogSyncHandle,
+    /// Total framed bytes appended for the group.
+    wal_bytes: u64,
+    /// Publication ticket; groups retire strictly in this order.
+    group_index: u64,
+    /// Whether this group was picked for wall-clock timing (sampled counters).
+    timed: bool,
+    /// Shared pipeline membership: held from the append until publication, so
+    /// an exclusive gate acquisition means "the pipeline is drained".
+    gate: parking_lot::RwLockReadGuard<'a, ()>,
 }
 
 impl DbInner {
@@ -619,15 +683,29 @@ impl DbInner {
             Direction::Insert(ticket) => {
                 Self::apply_group_inserts(&slot, &ticket);
                 let end = ticket.first_seqno + slot.batch.ops.len() as u64 - 1;
+                let acked_on_insert = ticket.acked_on_insert;
                 ticket.barrier.arrive();
-                // No second park: a follower that received an insert ticket can
-                // only complete successfully (group-wide failures are delivered
-                // as `Done` *instead of* a ticket), so its result is known here.
-                // The leader publishes `last_seqno` and releases the commit gate
-                // once the whole group has arrived; until then the batch is
-                // readable by this thread (its inserts are done) but a scan
-                // capture still waits on the gate, preserving batch atomicity.
-                Ok(end)
+                if acked_on_insert {
+                    // No second park: the group's WAL write was already as
+                    // durable as promised when the ticket was issued, so a
+                    // follower can only complete successfully from here
+                    // (group-wide failures arrive as `Done` *instead of* a
+                    // ticket). The leader publishes `last_seqno` and releases
+                    // the commit gate once the whole group has arrived; until
+                    // then the batch is readable by this thread (its inserts
+                    // are done) but a scan capture still waits on the gate,
+                    // preserving batch atomicity.
+                    Ok(end)
+                } else {
+                    // Pipelined sync group: the fsync is still in flight, and a
+                    // sync-required write must never acknowledge before the
+                    // durability watermark passes its end offset. Park again
+                    // for the leader's verdict.
+                    match slot.wait_for_direction() {
+                        Direction::Done(result) => result,
+                        _ => unreachable!("a second direction can only be Done"),
+                    }
+                }
             }
             Direction::Done(result) => result,
         }
@@ -635,6 +713,11 @@ impl DbInner {
 
     /// Drives one commit group as its leader, then hands leadership over.
     fn lead_commit_group(&self, own: Arc<WriterSlot>) -> Result<SeqNo> {
+        if self.options.group_commit.pipelined {
+            // The pipelined path hands leadership off the moment its append
+            // stage releases the append lock, not when the group retires.
+            return self.commit_group_pipelined(own);
+        }
         let result = self.commit_group(own);
         // Leadership must transfer even when the group failed, or every queued
         // writer would park forever.
@@ -653,28 +736,7 @@ impl DbInner {
 
         // Stats are batched: one add per counter for the whole group, after the
         // WAL lock is gone.
-        let mut user_bytes = 0u64;
-        let mut puts = 0u64;
-        let mut deletes = 0u64;
-        let mut records = 0u64;
-        for slot in &group {
-            records += slot.batch.ops.len() as u64;
-            for BatchOp { kind, key, value } in &slot.batch.ops {
-                user_bytes += (key.len() + value.len()) as u64;
-                match kind {
-                    ValueKind::Put => puts += 1,
-                    ValueKind::Delete => deletes += 1,
-                }
-            }
-        }
-        self.stats.add_wal_appends(records);
-        self.stats.add_wal_bytes_written(phase.wal_bytes);
-        self.stats.add_user_bytes_written(user_bytes);
-        self.stats.add_user_writes(puts);
-        self.stats.add_user_deletes(deletes);
-        self.stats.add_write_groups(1);
-        self.stats.add_write_group_batches(group.len() as u64);
-        self.stats.record_write_group_size(group.len() as u64);
+        self.record_group_stats(&group, phase.wal_bytes);
         if phase.synced {
             self.stats.add_wal_syncs(1);
             self.stats.add_wal_syncs_amortized(group.len() as u64 - 1);
@@ -705,6 +767,9 @@ impl DbInner {
                 offsets: offsets.next().expect("one offset vector per slot"),
                 mem: Arc::clone(&phase.mem),
                 barrier: Arc::clone(&barrier),
+                // The WAL phase already flushed/fsynced per the sync policy, so
+                // a follower may acknowledge as soon as its inserts land.
+                acked_on_insert: true,
             };
             if index == 0 {
                 // The leader's own batch, applied on this thread.
@@ -729,6 +794,23 @@ impl DbInner {
         // small-flush-skip rewrite off follower threads). The gate is released
         // first: rotation re-takes the WAL lock, and a forced rotation blocked on
         // the gate while holding that lock would deadlock against us.
+        self.maybe_rotate()?;
+        Ok(own_end)
+    }
+
+    /// Leader-side rotation check shared by the grouped and pipelined commit
+    /// paths: a lock-free pre-check against the memtable's size and the
+    /// `wal_size_hint` (maintained by both WAL phases), then — only when a
+    /// trigger fires — re-verification and rotation under the WAL lock (another
+    /// leader may have rotated first). Keeping the common no-rotation case off
+    /// the WAL lock matters on the pipelined path, where the next group's
+    /// leader is appending under it right now.
+    fn maybe_rotate(&self) -> Result<()> {
+        if self.mem.read().approximate_size() < self.options.memtable_size
+            && (self.wal_size_hint.load(Ordering::Relaxed) as usize) < self.options.max_log_size
+        {
+            return Ok(());
+        }
         let mut wal = self.wal.lock();
         let mem = self.mem.read().clone();
         let mem_size = mem.approximate_size();
@@ -737,7 +819,7 @@ impl DbInner {
         {
             self.rotate_locked(&mut wal, &mem, mem_size)?;
         }
-        Ok(own_end)
+        Ok(())
     }
 
     /// Delivers a group-wide failure: followers get a wrapped copy, the leader
@@ -747,6 +829,33 @@ impl DbInner {
             slot.finish(Err(Error::Background(format!("group commit failed: {error}"))));
         }
         Err(error)
+    }
+
+    /// Batched per-group statistics, shared by the grouped and pipelined paths:
+    /// one add per counter for the whole group, after the WAL lock is gone.
+    fn record_group_stats(&self, group: &[Arc<WriterSlot>], wal_bytes: u64) {
+        let mut user_bytes = 0u64;
+        let mut puts = 0u64;
+        let mut deletes = 0u64;
+        let mut records = 0u64;
+        for slot in group {
+            records += slot.batch.ops.len() as u64;
+            for BatchOp { kind, key, value } in &slot.batch.ops {
+                user_bytes += (key.len() + value.len()) as u64;
+                match kind {
+                    ValueKind::Put => puts += 1,
+                    ValueKind::Delete => deletes += 1,
+                }
+            }
+        }
+        self.stats.add_wal_appends(records);
+        self.stats.add_wal_bytes_written(wal_bytes);
+        self.stats.add_user_bytes_written(user_bytes);
+        self.stats.add_user_writes(puts);
+        self.stats.add_user_deletes(deletes);
+        self.stats.add_write_groups(1);
+        self.stats.add_write_group_batches(group.len() as u64);
+        self.stats.record_write_group_size(group.len() as u64);
     }
 
     /// The locked section of a commit group: drain the queue, pre-assign the
@@ -801,15 +910,290 @@ impl DbInner {
         } else {
             wal.writer.flush()?;
         }
+        self.wal_size_hint.store(wal.writer.size(), Ordering::Relaxed);
 
         // Take the insert gate *before* releasing the WAL lock, so no rotation or
-        // scan capture can slip between the group's append and its inserts. This
-        // never blocks: gate holders always acquire WAL-then-gate, so none can be
-        // mid-acquisition while we hold the WAL lock.
+        // scan capture can slip between the group's append and its inserts. Gate
+        // holders always acquire WAL-then-gate, so nothing can be mid-acquisition
+        // while we hold the WAL lock; at most the previous group still holds it
+        // through its insert phase.
         let log_id = wal.id;
-        let gate = self.commit_gate.lock();
+        let gate = self.commit_gate.write();
         drop(wal);
         Ok(WalPhase { mem, log_id, first_seqno, group_end, slot_offsets, synced, wal_bytes, gate })
+    }
+
+    /// The append stage of a pipelined commit group — the only part under the
+    /// append (WAL) lock, and deliberately free of durable I/O: drain the queue,
+    /// pre-assign the seqno range, encode, append with one buffered write, flush
+    /// to the OS, record the durability target and take a pipeline membership on
+    /// the gate. The moment this returns, the next group's leader can append —
+    /// this group's fsync (if any) happens behind the released lock.
+    ///
+    /// The markers below delimit the region CI grep-guards against fsync calls:
+    /// holding the append lock across one would re-serialize the commit path.
+    fn pipelined_append_phase<'a>(
+        &'a self,
+        group: &mut Vec<Arc<WriterSlot>>,
+    ) -> Result<PipelinedPhase<'a>> {
+        let config = &self.options.group_commit;
+        // PIPELINE-APPEND-STAGE-BEGIN (no durable-sync calls in this region)
+        let mut wal = self.wal.lock();
+        self.committer.drain(group, config.max_group_batches, config.max_group_bytes);
+        let mem = self.mem.read().clone();
+        let first_seqno = wal.next_seqno;
+
+        wal.encoder.clear();
+        let mut seqno = first_seqno;
+        let mut slot_offsets: Vec<Vec<u64>> = Vec::with_capacity(group.len());
+        for slot in group.iter() {
+            let mut rel = Vec::with_capacity(slot.batch.ops.len());
+            for BatchOp { kind, key, value } in &slot.batch.ops {
+                rel.push(wal.encoder.add_parts(seqno, *kind, key, value)?);
+                seqno += 1;
+            }
+            slot_offsets.push(rel);
+        }
+        let group_end = seqno - 1;
+        let wal_bytes = wal.encoder.encoded_bytes();
+        // Consume the range *before* attempting the append, exactly as on the
+        // grouped path: a failed write can leave complete frames durable, and a
+        // re-issued range could let recovery prefer dead data over a later
+        // acknowledged write. A seqno gap on failure is harmless.
+        wal.next_seqno = group_end + 1;
+        let WalState { writer, encoder, .. } = &mut *wal;
+        let start = writer.append_batch(encoder)?;
+        for rel in &mut slot_offsets {
+            for offset in rel.iter_mut() {
+                *offset += start;
+            }
+        }
+        // Push the frames to the OS now: a concurrent group's fsync covers every
+        // byte the OS has, so ours can retire on another group's watermark
+        // advance without any further I/O from this thread.
+        wal.writer.flush()?;
+
+        wal.writes_since_sync += group_end + 1 - first_seqno;
+        let force_sync = group.iter().any(|slot| slot.opts.sync);
+        let need_sync = match self.options.sync_mode {
+            SyncMode::SyncEveryWrite => true,
+            SyncMode::SyncEvery(n) => force_sync || wal.writes_since_sync >= n,
+            SyncMode::NoSync => force_sync,
+        };
+        if need_sync {
+            wal.writes_since_sync = 0;
+        }
+        let sync_target = self.watermark.record_append(wal.id, wal_bytes);
+        self.wal_size_hint.store(wal.writer.size(), Ordering::Relaxed);
+        let group_index = wal.next_group_index;
+        wal.next_group_index += 1;
+        let depth = self.pipeline_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.record_pipeline_depth(depth);
+        let log_id = wal.id;
+        let sync_handle = wal.writer.sync_handle();
+        // Pipeline membership before the append lock goes: an exclusive gate
+        // acquisition (scan capture, rotation) means every in-flight group has
+        // published. Never blocks here — every exclusive acquirer holds the WAL
+        // lock first, and we hold it.
+        let gate = self.commit_gate.read();
+        drop(wal);
+        // PIPELINE-APPEND-STAGE-END
+        Ok(PipelinedPhase {
+            mem,
+            log_id,
+            first_seqno,
+            group_end,
+            slot_offsets,
+            need_sync,
+            sync_target,
+            sync_handle,
+            wal_bytes,
+            group_index,
+            timed: false,
+            gate,
+        })
+    }
+
+    /// Drives one pipelined commit group: short append stage, immediate
+    /// leadership hand-off, then parallel inserts, the durability watermark and
+    /// in-order publication — all without an engine-wide lock.
+    fn commit_group_pipelined(&self, own: Arc<WriterSlot>) -> Result<SeqNo> {
+        let mut group: Vec<Arc<WriterSlot>> = vec![own];
+        let timed = self.stats.sample_timing();
+        let append_started = timed.then(std::time::Instant::now);
+        let mut phase = match self.pipelined_append_phase(&mut group) {
+            Ok(phase) => phase,
+            Err(e) => {
+                self.committer.handoff();
+                return self.fail_group(&group, e);
+            }
+        };
+        phase.timed = timed;
+        if let Some(started) = append_started {
+            self.stats.add_wal_append_us(started.elapsed().as_micros() as u64);
+        }
+        // The append lock is free: hand leadership over *now*, so the next
+        // group's leader appends behind us while this group is still syncing,
+        // inserting and publishing. This is the overlap the pipeline exists for.
+        self.committer.handoff();
+
+        // The crash windows the recovery tests probe. First: the group is
+        // appended (and OS-flushed) but nothing has reached the memtable.
+        if let Err(e) = self.failpoints.check("commit.after_group_wal_append") {
+            return self.abandon_group(phase, &group, e);
+        }
+        // Second, for durable groups only: appended but not yet fsynced — the
+        // window a machine crash may lose, which must never cover an acked write.
+        if phase.need_sync {
+            if let Err(e) = self.failpoints.check("commit.before_group_wal_sync") {
+                return self.abandon_group(phase, &group, e);
+            }
+        }
+
+        // Insert phase: every member applies its own batch concurrently. NoSync
+        // members acknowledge themselves the moment their inserts land; members
+        // of a durable group park again for the post-fsync verdict.
+        let barrier = InsertBarrier::new(group.len());
+        let mut own_end = phase.group_end;
+        let mut next_first = phase.first_seqno;
+        let mut offsets = std::mem::take(&mut phase.slot_offsets).into_iter();
+        for (index, slot) in group.iter().enumerate() {
+            let first = next_first;
+            next_first += slot.batch.ops.len() as u64;
+            let ticket = InsertTicket {
+                log_id: phase.log_id,
+                first_seqno: first,
+                offsets: offsets.next().expect("one offset vector per slot"),
+                mem: Arc::clone(&phase.mem),
+                barrier: Arc::clone(&barrier),
+                acked_on_insert: !phase.need_sync,
+            };
+            if index == 0 {
+                // The leader's own batch, applied on this thread.
+                own_end = next_first - 1;
+                Self::apply_group_inserts(slot, &ticket);
+                ticket.barrier.arrive();
+            } else {
+                slot.begin_insert(ticket);
+            }
+        }
+
+        // Durability stage, overlapping the followers' inserts — and, crucially,
+        // the *next* group's append. Either the watermark already passed our end
+        // offset (an in-flight neighbour's fsync covered us: the overlapped
+        // case) or we queue for the fsync lock and issue one fsync that retires
+        // every group appended so far.
+        let mut sync_failure: Option<Error> = None;
+        if phase.need_sync {
+            let sync_started = phase.timed.then(std::time::Instant::now);
+            match self.watermark.ensure_durable(
+                phase.log_id,
+                phase.sync_target,
+                &phase.sync_handle,
+                &self.committer,
+            ) {
+                Ok(SyncOutcome::Synced) => {
+                    self.stats.add_wal_syncs(1);
+                    self.stats.add_wal_syncs_amortized(group.len() as u64 - 1);
+                }
+                Ok(SyncOutcome::AlreadyDurable) => {
+                    self.stats.add_wal_syncs_overlapped(1);
+                    self.stats.add_wal_syncs_amortized(group.len() as u64);
+                }
+                Err(e) => sync_failure = Some(e),
+            }
+            if let Some(started) = sync_started {
+                self.stats.add_wal_sync_wait_us(started.elapsed().as_micros() as u64);
+            }
+        }
+        barrier.wait_drained();
+
+        if let Some(e) = sync_failure {
+            // The inserts are in the memtable but nothing was acknowledged or
+            // published — the standard contract that an unacknowledged write may
+            // or may not survive. The parked followers get the failure verdict.
+            return self.abandon_group(phase, &group, e);
+        }
+
+        // Stats are recorded only for groups that made it past every failure
+        // window: an abandoned group acknowledged nothing, so counting its
+        // batches would inflate throughput counters and unbalance the
+        // `wal_syncs + wal_syncs_amortized == batches` books.
+        self.record_group_stats(&group, phase.wal_bytes);
+
+        // Durable-group followers parked after inserting; release them now that
+        // the watermark has passed the whole group. A sync-required write is
+        // never acknowledged before this point.
+        if phase.need_sync {
+            let mut first = phase.first_seqno;
+            for (index, slot) in group.iter().enumerate() {
+                let end = first + slot.batch.ops.len() as u64 - 1;
+                first = end + 1;
+                if index > 0 {
+                    slot.finish(Ok(end));
+                }
+            }
+        }
+
+        // Publication: strictly in append order, even when this group finished
+        // before an earlier one — `last_seqno` moves through contiguous group
+        // ranges only, so a published seqno never outruns the WAL-and-memtable
+        // prefix that backs it. Completion-based: if a predecessor is still in
+        // flight this just registers our group end and moves on (the
+        // predecessor applies it when it retires); nobody parks here. The gate
+        // membership is released afterwards, letting a draining rotation or
+        // scan capture proceed — by the time such a drain wins the gate, every
+        // membered group has completed, so the ready set is fully applied.
+        self.publisher.complete(phase.group_index, Some(phase.group_end), |group_end| {
+            self.last_seqno.store(group_end, Ordering::Release);
+        });
+        // Depth counts *physically* in-flight groups (appended, not yet done),
+        // so it decrements on completion — not on in-order retirement, which
+        // can lag arbitrarily behind a slow head-of-line group and would turn
+        // the metric into a publication-backlog gauge.
+        self.pipeline_depth.fetch_sub(1, Ordering::Relaxed);
+        drop(phase.gate);
+
+        // Rotation check, leader-side only. `rotate_locked` drains the pipeline
+        // (exclusive gate) before sealing, so in-flight groups always finish
+        // into the memtable they appended against.
+        self.maybe_rotate()?;
+        Ok(own_end)
+    }
+
+    /// Abandons a pipelined group after its append stage: the seqno range and
+    /// the publication ticket are consumed (the appended records may be replayed
+    /// by recovery, so neither may ever be re-issued), nothing is published, and
+    /// every follower is failed.
+    fn abandon_group(
+        &self,
+        phase: PipelinedPhase<'_>,
+        group: &[Arc<WriterSlot>],
+        error: Error,
+    ) -> Result<SeqNo> {
+        // Retire our publication ticket without publishing, or every later
+        // group's seqno would wait forever on the gap. Draining may still apply
+        // *successors'* pending publications, so the closure publishes those.
+        self.publisher.complete(phase.group_index, None, |group_end| {
+            self.last_seqno.store(group_end, Ordering::Release);
+        });
+        self.pipeline_depth.fetch_sub(1, Ordering::Relaxed);
+        let need_sync = phase.need_sync;
+        drop(phase.gate);
+        // The append stage reset `writes_since_sync` on the promise that this
+        // group's sync stage would run; it never did. Re-arm the SyncEvery(n)
+        // deadline so the next group syncs immediately — otherwise a transient
+        // fsync failure would silently stretch the durability interval to up to
+        // 2n-1 writes. (Taken after the gate is released: WAL-then-gate is the
+        // global order, so the WAL lock must never be acquired while holding a
+        // gate membership.)
+        if need_sync {
+            if let SyncMode::SyncEvery(n) = self.options.sync_mode {
+                let mut wal = self.wal.lock();
+                wal.writes_since_sync = wal.writes_since_sync.max(n);
+            }
+        }
+        self.fail_group(group, error)
     }
 
     /// Applies one group member's batch to the memtable. Runs on the member's own
@@ -900,6 +1284,15 @@ impl DbInner {
         mem: &Arc<Memtable>,
         mem_size: usize,
     ) -> Result<()> {
+        // Drain the commit pipeline before touching the log or the memtable: no
+        // in-flight group may still be inserting into the memtable being sealed
+        // or awaiting durability on the log being retired. In-flight groups
+        // never need the WAL lock we hold (their fsync goes through a shared
+        // handle, publication through the sequencer), so they always progress to
+        // publication and release their gate membership; new groups cannot enter
+        // because appending needs the WAL lock. On the non-pipelined paths the
+        // gate is always free here, so this is a no-op acquisition.
+        let _drain = self.commit_gate.write();
         let triad = &self.options.triad;
 
         // TRIAD-MEM's FLUSH_TH rule: the flush trigger fired (typically because the
@@ -930,12 +1323,23 @@ impl DbInner {
                     LogPosition { log_id: new_id, offset: start + rel },
                 );
             }
-            new_writer.flush()?;
+            // Sync, not just flush: the old log below may hold the only durable
+            // copy of sync-acknowledged keys, and it is about to be deleted. The
+            // rewrite must be on disk before its predecessor goes — this is also
+            // what entitles `note_rotation` to treat the rotation as a durable
+            // boundary for the pipelined watermark.
+            new_writer.sync()?;
             let old_id = wal.id;
             let old_writer = std::mem::replace(&mut wal.writer, new_writer);
             wal.id = new_id;
             wal.writes_since_sync = 0;
             drop(old_writer);
+            // The old log's bytes are moot (deleted below, fresh values rewritten
+            // durably into the new log) and the pipeline is drained, so the
+            // watermark can retire everything appended so far and switch to the
+            // new log.
+            self.watermark.note_rotation(new_id);
+            self.wal_size_hint.store(wal.writer.size(), Ordering::Relaxed);
             // The old log was never sealed into an immutable memtable and backs no
             // table, so nothing can reference it: safe to delete inline.
             self.remove_file_counted(&log_file_path(&self.path, old_id), true);
@@ -953,6 +1357,8 @@ impl DbInner {
             wal.id = new_id;
             wal.writes_since_sync = 0;
             drop(old_writer);
+            self.watermark.note_rotation(new_id);
+            self.wal_size_hint.store(0, Ordering::Relaxed);
             self.remove_file_counted(&log_file_path(&self.path, old_id), true);
             *self.mem.write() = Arc::new(Memtable::new());
             self.stats.add_wal_rotations(1);
@@ -967,7 +1373,11 @@ impl DbInner {
         let old_writer = std::mem::replace(&mut wal.writer, new_writer);
         wal.id = new_id;
         wal.writes_since_sync = 0;
+        // Sealing fsyncs the outgoing log: with the pipeline drained, this is the
+        // durable boundary — every byte ever appended is now durable.
         old_writer.seal()?;
+        self.watermark.note_rotation(new_id);
+        self.wal_size_hint.store(0, Ordering::Relaxed);
 
         let sealed = Arc::new(ImmutableMemtable { memtable: Arc::clone(mem), wal_id: old_id });
         self.imm.write().push(sealed);
@@ -980,10 +1390,11 @@ impl DbInner {
     /// Seals the current memtable even if it is not full (used by `Db::flush`).
     pub(crate) fn force_rotate(&self) -> Result<()> {
         let mut wal = self.wal.lock();
-        // Wait out any commit group still applying its memtable inserts (WAL-lock
-        // then gate, the global ordering): sealing mid-insert would flush an
-        // incomplete snapshot of the group while its WAL records are retired.
-        let _gate = self.commit_gate.lock();
+        // Drain the commit pipeline (WAL-lock then gate, the global ordering):
+        // sealing mid-insert would flush an incomplete snapshot of a group while
+        // the WAL records that back it are retired, and in-flight groups may
+        // still owe the old log an fsync.
+        let _gate = self.commit_gate.write();
         let mem = self.mem.read().clone();
         if mem.is_empty() {
             return Ok(());
@@ -996,6 +1407,8 @@ impl DbInner {
         wal.id = new_id;
         wal.writes_since_sync = 0;
         old_writer.seal()?;
+        self.watermark.note_rotation(new_id);
+        self.wal_size_hint.store(0, Ordering::Relaxed);
         if self.options.background_io == BackgroundIoMode::Disabled {
             self.remove_file_counted(&log_file_path(&self.path, old_id), true);
             *self.mem.write() = Arc::new(Memtable::new());

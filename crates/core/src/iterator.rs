@@ -37,17 +37,19 @@ impl DbIterator {
     ) -> Result<DbIterator> {
         let mut sources: Vec<EntryIter> = Vec::new();
 
-        // Capture the memory component under the WAL lock plus the commit gate.
-        // The WAL lock serialises rotations, the serialized write path and the
-        // flush hot-write-back; the gate (always taken after the WAL lock, never
-        // before) waits out any commit group whose memtable inserts are still in
-        // flight — on the grouped pipeline those run *outside* the WAL lock, so
-        // the lock alone no longer guarantees a batch-atomic capture. With both
-        // held, no write batch can be half-applied while the active memtable is
-        // materialised, and the sealed list captured alongside is consistent
-        // with it. (Sealed memtables are immutable, so their contents can be
-        // materialised after the locks are released, and they only ever hold
-        // whole batches — rotation waits on the same gate.) The merge
+        // Capture the memory component under the WAL lock plus an exclusive
+        // acquisition of the commit gate. The WAL lock serialises rotations, the
+        // serialized write path and the flush hot-write-back; the gate (always
+        // taken after the WAL lock, never before) drains the commit pipeline —
+        // every in-flight group holds a shared gate membership from its WAL
+        // append until its publication, and on the grouped pipeline memtable
+        // inserts run *outside* the WAL lock, so the lock alone no longer
+        // guarantees a batch-atomic capture. With both held, no write batch can
+        // be half-applied while the active memtable is materialised, and the
+        // sealed list captured alongside is consistent with it. (Sealed
+        // memtables are immutable, so their contents can be materialised after
+        // the locks are released, and they only ever hold whole batches —
+        // rotation drains the same gate.) The merge
         // orders identical user keys by sequence number, newest first, so the
         // dedup stage keeps the newest captured version no matter which source
         // supplied it; memtable entries are deliberately *not* filtered by a
@@ -56,7 +58,7 @@ impl DbIterator {
         // entirely, not reveal an older version.
         let (mem_entries, imm) = {
             let _wal = db.wal.lock();
-            let _gate = db.commit_gate.lock();
+            let _gate = db.commit_gate.write();
             let mem_entries = db.mem.read().snapshot_as_entries();
             let imm: Vec<Arc<crate::db::ImmutableMemtable>> = db.imm.read().clone();
             (mem_entries, imm)

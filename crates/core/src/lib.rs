@@ -40,6 +40,7 @@ pub mod batch;
 mod committer;
 mod compaction;
 mod db;
+mod durability;
 mod flush;
 pub mod iterator;
 pub mod manifest;

@@ -29,12 +29,24 @@ pub enum SyncMode {
 /// group members insert into the sharded memtable in parallel, outside the WAL
 /// lock. The caps bound how much one leader may absorb before it commits, keeping
 /// tail latency in check under extreme fan-in.
+///
+/// With [`pipelined`](GroupCommitConfig::pipelined) set (the default), the commit
+/// is further split into a short *append stage* and a decoupled *sync stage*
+/// tracked by a durability watermark: group N+1's leader appends the moment
+/// group N releases the append lock — while group N's fsync is still in flight —
+/// and one fsync retires every group it covered. Clearing the flag keeps the
+/// serial grouped commit (append + fsync under one lock hold) as an in-run
+/// baseline for the write-scaling benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupCommitConfig {
     /// `false` selects the legacy serialized write path (every batch encoded,
     /// appended, counted and inserted under the WAL mutex, with its own
     /// flush/fsync). Kept as the in-run baseline for the write-scaling benchmark.
     pub enabled: bool,
+    /// `true` overlaps group N+1's WAL append with group N's fsync (the append
+    /// lock is never held across an fsync); `false` keeps the serial grouped
+    /// commit of the previous generation. Ignored when `enabled` is `false`.
+    pub pipelined: bool,
     /// Maximum number of write batches one commit group may carry.
     pub max_group_batches: usize,
     /// Maximum total key+value bytes one commit group may carry. The leader's own
@@ -44,7 +56,12 @@ pub struct GroupCommitConfig {
 
 impl Default for GroupCommitConfig {
     fn default() -> Self {
-        GroupCommitConfig { enabled: true, max_group_batches: 64, max_group_bytes: 1024 * 1024 }
+        GroupCommitConfig {
+            enabled: true,
+            pipelined: true,
+            max_group_batches: 64,
+            max_group_bytes: 1024 * 1024,
+        }
     }
 }
 
@@ -369,6 +386,7 @@ mod tests {
     fn group_commit_defaults_are_enabled_and_bounded() {
         let config = GroupCommitConfig::default();
         assert!(config.enabled, "the grouped pipeline is the default write path");
+        assert!(config.pipelined, "the pipelined commit is the default sync strategy");
         assert!(config.max_group_batches >= 2, "a group must be able to amortize");
         assert!(config.max_group_bytes >= 64 * 1024);
     }

@@ -290,6 +290,133 @@ fn grouped_writers_amortize_fsyncs_under_sync_every_write() {
     db.close().unwrap();
 }
 
+/// The pipelined commit's acceptance contract, observed end to end: with small
+/// commit groups and many synced writers, group N+1 must append while group N's
+/// fsync is in flight (pipeline depth > 1) and at least one group must retire on
+/// a neighbour's fsync without issuing its own (`wal_syncs_overlapped`). The
+/// sync-accounting books must still balance, publication must stay in group
+/// order, and every acknowledged write must survive a reopen.
+#[test]
+fn pipelined_sync_writers_overlap_fsyncs_and_publish_in_order() {
+    let threads = 8u64;
+    let batches_per_thread = 60u64;
+    let (db, dir) = open_small("pipelined-overlap", |options| {
+        options.sync_mode = SyncMode::SyncEveryWrite;
+        // Small groups force several groups into flight at once instead of one
+        // group absorbing every writer; rotations stay out of the run.
+        options.group_commit.max_group_batches = 2;
+        options.memtable_size = 64 * 1024 * 1024;
+        options.max_log_size = 64 * 1024 * 1024;
+    });
+    let options = db.options().clone();
+    assert!(options.group_commit.pipelined, "the pipelined commit must be the default");
+    let db = Arc::new(db);
+
+    // Overlap needs two groups racing through append↔fsync at the right moment;
+    // repeat the workload (bounded) until the counter proves it happened.
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let db = Arc::clone(&db);
+            handles.push(thread::spawn(move || {
+                for i in 0..batches_per_thread {
+                    db.put(key_for(t * 1_000 + i % 64), format!("r{i}").into_bytes()).unwrap();
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        if db.stats().wal_syncs_overlapped >= 1 || rounds == 30 {
+            break;
+        }
+    }
+    let stats = db.stats();
+    let total_batches = threads * batches_per_thread * rounds;
+    assert_eq!(stats.write_group_batches, total_batches);
+    assert!(
+        stats.wal_syncs_overlapped >= 1,
+        "at least one group must have retired on a neighbour's fsync \
+         (syncs={}, overlapped={}, rounds={rounds})",
+        stats.wal_syncs,
+        stats.wal_syncs_overlapped
+    );
+    assert!(
+        stats.wal_pipeline_max_depth >= 2,
+        "overlap requires at least two groups in flight, saw depth {}",
+        stats.wal_pipeline_max_depth
+    );
+    assert!(stats.wal_syncs < total_batches, "fsyncs must amortize across groups");
+    // Every sync-required batch either triggered the group fsync or rode one:
+    // syncs issued + syncs amortized away = batches acknowledged.
+    assert_eq!(
+        stats.wal_syncs + stats.wal_syncs_amortized,
+        total_batches,
+        "sync accounting must balance (syncs={}, amortized={}, overlapped={})",
+        stats.wal_syncs,
+        stats.wal_syncs_amortized,
+        stats.wal_syncs_overlapped
+    );
+    // Publication stayed in group order: after quiescing, the published seqno
+    // covers exactly every acknowledged operation.
+    assert_eq!(db.last_seqno(), total_batches, "last_seqno must cover all acked ops in order");
+
+    // Acknowledged ⇒ fsynced: every key survives a reopen.
+    db.close().unwrap();
+    drop(db);
+    let db = Db::open(&dir, options).unwrap();
+    for t in 0..threads {
+        for k in 0..64u64.min(batches_per_thread) {
+            assert!(
+                db.get(key_for(t * 1_000 + k)).unwrap().is_some(),
+                "acked key {t}/{k} lost across restart"
+            );
+        }
+    }
+    db.close().unwrap();
+}
+
+/// The non-pipelined grouped path (PR 3's serial commit) stays selectable as the
+/// in-run baseline and keeps its invariants: batches ride groups, fsyncs
+/// amortize, and — because append and fsync share one lock hold — nothing ever
+/// overlaps.
+#[test]
+fn grouped_mode_without_pipelining_stays_serial_and_correct() {
+    let threads = 4u64;
+    let batches_per_thread = 100u64;
+    let (db, _dir) = open_small("grouped-serial", |options| {
+        options.sync_mode = SyncMode::SyncEveryWrite;
+        options.group_commit.pipelined = false;
+        options.memtable_size = 64 * 1024 * 1024;
+        options.max_log_size = 64 * 1024 * 1024;
+    });
+    let db = Arc::new(db);
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let db = Arc::clone(&db);
+        handles.push(thread::spawn(move || {
+            for i in 0..batches_per_thread {
+                db.put(key_for(t * 1_000 + i % 50), format!("v{i}").into_bytes()).unwrap();
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let stats = db.stats();
+    let total_batches = threads * batches_per_thread;
+    assert_eq!(stats.write_group_batches, total_batches);
+    assert_eq!(stats.wal_syncs + stats.wal_syncs_amortized, total_batches);
+    assert_eq!(
+        stats.wal_syncs_overlapped, 0,
+        "the serial grouped commit can never overlap an fsync"
+    );
+    assert_eq!(db.last_seqno(), total_batches);
+    db.close().unwrap();
+}
+
 #[test]
 fn close_during_heavy_write_traffic_is_clean() {
     let (db, _dir) = open_small("close-race", |options| {

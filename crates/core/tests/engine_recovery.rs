@@ -348,6 +348,94 @@ fn crash_between_group_wal_append_and_memtable_insert_loses_nothing_acknowledged
     db.close().unwrap();
 }
 
+/// Injects a failure in the *new* crash window the pipelined commit opens —
+/// after the group's WAL append (bytes in the OS, not yet fsynced) but before
+/// the sync stage runs — and asserts the pipeline's promises: a sync-required
+/// write is never acknowledged before the durability watermark passes it (so
+/// nothing acked can be lost), the failed group's seqno range is consumed
+/// exactly once (no collision after reopen), and later writes commit densely.
+#[test]
+fn crash_between_pipelined_append_and_fsync_loses_nothing_acknowledged() {
+    let dir = temp_dir("pipelined-crash-window");
+    let mut options = Options::small_for_tests();
+    options.sync_mode = SyncMode::SyncEveryWrite;
+    assert!(options.group_commit.pipelined, "this probes the pipelined window");
+    let failpoints = FailpointRegistry::new();
+    let failed_key = key_for(5);
+    let acked_after_failure;
+    {
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        for i in 0..5u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        let seqno_before_failure = db.last_seqno();
+        assert_eq!(seqno_before_failure, 5);
+
+        // The next write dies after its append but before its fsync: the exact
+        // window the pipeline opened by taking the fsync off the append lock.
+        failpoints.arm("commit.before_group_wal_sync", FailpointAction::ErrorTimes(1));
+        let err = db.put(&failed_key, b"never-acknowledged").unwrap_err();
+        assert!(
+            matches!(err, triad_core::Error::Injected(_)),
+            "the injected failure must surface to the unacknowledged writer: {err}"
+        );
+        assert_eq!(failpoints.hits("commit.before_group_wal_sync"), 1);
+        // Nothing acked, nothing published, nothing readable: the failed write
+        // never reached the memtable and never got its fsync.
+        assert_eq!(db.last_seqno(), seqno_before_failure);
+        assert_eq!(db.get(&failed_key).unwrap(), None, "a failed write must not be readable");
+
+        // The failed group consumed its seqno range (its frames sit in the OS
+        // and may become durable incidentally), so later acknowledged writes
+        // must commit strictly past it.
+        let mut batch = triad_core::WriteBatch::new();
+        for i in 10..20u64 {
+            batch.put(key_for(i), value_for(i, 2));
+        }
+        let end = db.write_committed(batch, triad_core::WriteOptions::default()).unwrap();
+        assert!(
+            end > seqno_before_failure + 1,
+            "acknowledged writes after the failure must skip the failed group's range \
+             (got end seqno {end})"
+        );
+        acked_after_failure = end;
+        db.close().unwrap();
+    }
+
+    let db = Db::open(&dir, options).unwrap();
+    // Every sync-acked write survived.
+    for i in 0..5u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)), "acked key {i} lost");
+    }
+    for i in 10..20u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 2)), "acked key {i} lost");
+    }
+    // The failed record was flushed to the OS before the injected crash and the
+    // close-time sync made the log durable, so recovery replays it: the standard
+    // contract that an *unacknowledged* write may still commit. What it must
+    // never do is displace an acked write or re-use a seqno.
+    assert_eq!(
+        db.get(&failed_key).unwrap().as_deref(),
+        Some(&b"never-acknowledged"[..]),
+        "the durable-but-unacknowledged record is replayed from the WAL"
+    );
+    // Seqnos stay dense and collision-free across the reopen.
+    let recovered = db.last_seqno();
+    assert!(recovered >= acked_after_failure);
+    let next = db
+        .write_committed(
+            {
+                let mut batch = triad_core::WriteBatch::new();
+                batch.put(b"post-recovery".to_vec(), b"ok".to_vec());
+                batch
+            },
+            triad_core::WriteOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(next, recovered + 1, "post-recovery seqnos continue densely");
+    db.close().unwrap();
+}
+
 #[test]
 fn recovery_tolerates_a_torn_commit_log_tail() {
     let dir = temp_dir("torn-log");

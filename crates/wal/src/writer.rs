@@ -3,6 +3,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use triad_common::checksum;
 use triad_common::{Error, Result};
@@ -106,16 +107,63 @@ impl BatchEncoder {
     }
 }
 
+/// A shared reference to a log file that only ever writes through it.
+///
+/// [`LogWriter`] buffers appends in a `BufWriter` over this wrapper while keeping a
+/// second [`Arc`] to the same [`File`] for [`LogSyncHandle`]: `write`/`flush` go
+/// through `&File` (which implements [`Write`]), and `sync_data` takes `&self`, so a
+/// sync handle can fsync the file concurrently with buffered appends without any
+/// lock on the writer itself.
+#[derive(Debug)]
+struct SharedFile(Arc<File>);
+
+impl Write for SharedFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        (&*self.0).write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        (&*self.0).flush()
+    }
+}
+
+/// A clonable handle that can fsync a commit log without exclusive access to its
+/// [`LogWriter`].
+///
+/// This is what makes a *pipelined* commit possible: the writer's append lock is
+/// released after the buffered append + OS flush, and the durability stage issues
+/// the fsync through this handle while the next group is already appending. The
+/// fsync covers every byte written to the file before the `sync_data` call, i.e.
+/// everything a preceding [`LogWriter::flush`] pushed to the OS.
+#[derive(Debug, Clone)]
+pub struct LogSyncHandle {
+    path: PathBuf,
+    file: Arc<File>,
+}
+
+impl LogSyncHandle {
+    /// Fsyncs the log file (data only; the engine never relies on metadata sync
+    /// for commit-log durability — file length is recovered by scanning frames).
+    pub fn sync(&self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| Error::io(format!("syncing commit log {}", self.path.display()), e))
+    }
+}
+
 /// An append-only writer for a single commit log file.
 ///
 /// The writer buffers records in user space; [`LogWriter::flush`] pushes them to the
 /// OS and [`LogWriter::sync`] additionally issues an `fsync`. The engine decides how
-/// often to call each based on its durability configuration.
+/// often to call each based on its durability configuration. For pipelined commits,
+/// [`LogWriter::sync_handle`] hands out a shared handle that fsyncs the same file
+/// without holding the writer.
 #[derive(Debug)]
 pub struct LogWriter {
     id: u64,
     path: PathBuf,
-    file: BufWriter<File>,
+    file: BufWriter<SharedFile>,
+    shared: Arc<File>,
     /// Offset at which the next record will start.
     offset: u64,
     /// Number of records appended.
@@ -137,14 +185,23 @@ impl LogWriter {
             .create_new(true)
             .open(&path)
             .map_err(|e| Error::io(format!("creating commit log {}", path.display()), e))?;
+        let shared = Arc::new(file);
         Ok(LogWriter {
             id,
             path,
-            file: BufWriter::new(file),
+            file: BufWriter::new(SharedFile(Arc::clone(&shared))),
+            shared,
             offset: 0,
             records: 0,
             poisoned: false,
         })
+    }
+
+    /// Returns a handle that can fsync this log without exclusive access to the
+    /// writer. Only bytes already [`flush`](LogWriter::flush)ed to the OS are
+    /// guaranteed to be covered by a sync issued through the handle.
+    pub fn sync_handle(&self) -> LogSyncHandle {
+        LogSyncHandle { path: self.path.clone(), file: Arc::clone(&self.shared) }
     }
 
     /// The id of this log file.
@@ -245,8 +302,7 @@ impl LogWriter {
     /// Flushes and fsyncs the log file, guaranteeing durability of all appended records.
     pub fn sync(&mut self) -> Result<()> {
         self.flush()?;
-        self.file
-            .get_ref()
+        self.shared
             .sync_data()
             .map_err(|e| Error::io(format!("syncing commit log {}", self.path.display()), e))
     }
@@ -257,8 +313,7 @@ impl LogWriter {
     /// store of CL-SSTables.
     pub fn seal(mut self) -> Result<u64> {
         self.flush()?;
-        self.file
-            .get_ref()
+        self.shared
             .sync_data()
             .map_err(|e| Error::io(format!("sealing commit log {}", self.path.display()), e))?;
         Ok(self.offset)
@@ -401,6 +456,27 @@ mod tests {
         assert!(encoder.is_empty());
         assert_eq!(encoder.encoded_bytes(), 0);
         assert!(encoder.framed_bytes().is_empty());
+    }
+
+    #[test]
+    fn sync_handle_syncs_flushed_bytes_without_the_writer() {
+        let dir = temp_dir("sync-handle");
+        let path = log_file_path(&dir, 20);
+        let mut writer = LogWriter::create(&path, 20).unwrap();
+        let handle = writer.sync_handle();
+        let record = LogRecord::put(1, b"pipelined".to_vec(), b"commit".to_vec());
+        writer.append(&record).unwrap();
+        writer.flush().unwrap();
+        // The handle needs no access to the writer; a concurrent thread could be
+        // appending the next group while this fsync is in flight.
+        handle.sync().unwrap();
+        let reader = LogReader::open(&path).unwrap();
+        let recovered: Vec<_> = reader.iter().unwrap().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].record, record);
+        // The handle stays valid (and harmless) after the writer is gone.
+        drop(writer);
+        handle.sync().unwrap();
     }
 
     #[test]
