@@ -21,6 +21,12 @@
 //! fast as grouped on the same host, and demonstrably overlapped
 //! (`overlapped > 0`).
 //!
+//! Every point also records a per-commit latency histogram (p50/p99/p999, in
+//! microseconds, via `triad_common::LatencyHistogram`): group commit and the
+//! pipeline buy their throughput by parking followers behind a leader, and the
+//! histogram is where that trade shows up — the ROADMAP's open item on
+//! pipeline latency vs throughput.
+//!
 //! Reading the NoSync side: group commit amortizes the flush and parallelizes
 //! memtable inserts across member threads, so its NoSync gains need real cores.
 //! On a single-core host the sweep instead charges the pipeline for its
@@ -37,6 +43,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
+use triad_common::LatencyHistogram;
 use triad_core::{Db, Options, SyncMode};
 
 use crate::report::{print_table, Table};
@@ -110,6 +117,14 @@ pub struct WriteScalingPoint {
     pub wal_syncs_overlapped: u64,
     /// Deepest commit pipeline observed (groups in flight at once).
     pub pipeline_max_depth: u64,
+    /// Median acknowledged-commit latency, in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile commit latency, in microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile commit latency, in microseconds.
+    pub p999_us: f64,
+    /// Worst observed commit latency, in microseconds.
+    pub max_us: f64,
 }
 
 /// The PR's acceptance numbers, computed from the sweep itself.
@@ -189,17 +204,26 @@ fn run_point(
     let db = Arc::new(Db::open(&dir, bench_db_options(sync_mode, mode))?);
 
     let before = db.stats();
+    // Per-acknowledged-commit latency, recorded in nanoseconds by every writer
+    // into one shared HDR-style histogram (recording is a relaxed fetch_add, so
+    // sharing does not serialize the writers). This is the pipeline trade the
+    // ROADMAP asks to quantify: grouping/pipelining buys throughput by making
+    // some writers wait on a leader, which shows up here as tail latency.
+    let latency = Arc::new(LatencyHistogram::new());
     let started = Instant::now();
     let mut handles = Vec::new();
     for t in 0..threads {
         let db = Arc::clone(&db);
+        let latency = Arc::clone(&latency);
         handles.push(std::thread::spawn(move || -> triad_common::Result<()> {
             let value = vec![0x5au8; 200];
             for i in 0..ops_per_thread {
                 // Disjoint per-thread key slices, revisited round-robin: pure
                 // write traffic with realistic overwrite pressure.
                 let key = format!("key-{t:02}-{:06}", i % 4_096);
+                let commit_started = Instant::now();
                 db.put(key.as_bytes(), &value)?;
+                latency.record(commit_started.elapsed().as_nanos() as u64);
             }
             Ok(())
         }));
@@ -226,6 +250,10 @@ fn run_point(
         max_group_batches: delta.write_group_max_size,
         wal_syncs_overlapped: delta.wal_syncs_overlapped,
         pipeline_max_depth: delta.wal_pipeline_max_depth,
+        p50_us: latency.percentile(50.0) as f64 / 1_000.0,
+        p99_us: latency.percentile(99.0) as f64 / 1_000.0,
+        p999_us: latency.percentile(99.9) as f64 / 1_000.0,
+        max_us: latency.max() as f64 / 1_000.0,
     })
 }
 
@@ -247,6 +275,9 @@ pub fn run(
         "threads",
         "pipeline",
         "kops",
+        "p50 us",
+        "p99 us",
+        "p999 us",
         "fsyncs/batch",
         "groups",
         "avg batches/group",
@@ -260,6 +291,9 @@ pub fn run(
             point.threads.to_string(),
             point.pipeline.to_string(),
             format!("{:.1}", point.kops),
+            format!("{:.1}", point.p50_us),
+            format!("{:.1}", point.p99_us),
+            format!("{:.1}", point.p999_us),
             format!("{:.3}", point.fsyncs_per_batch),
             point.write_groups.to_string(),
             format!("{:.2}", point.avg_group_batches),
@@ -327,6 +361,10 @@ pub fn write_json(
         if scale == Scale::Full { "full" } else { "quick" }
     ));
     out.push_str("  \"unit\": \"kops = 1000 acknowledged single-put batches per second\",\n");
+    out.push_str(
+        "  \"latency_unit\": \"latency_us = per-commit acknowledgement latency percentiles, \
+         microseconds (HDR-style fixed-bucket histogram)\",\n",
+    );
     out.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -334,7 +372,9 @@ pub fn write_json(
              \"kops\": {:.2}, \"acked_batches\": {}, \"wal_syncs\": {}, \
              \"fsyncs_per_batch\": {:.4}, \"write_groups\": {}, \
              \"avg_group_batches\": {:.3}, \"max_group_batches\": {}, \
-             \"overlapped_syncs\": {}, \"pipeline_max_depth\": {}}}{}\n",
+             \"overlapped_syncs\": {}, \"pipeline_max_depth\": {}, \
+             \"latency_us\": {{\"p50\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}, \
+             \"max\": {:.1}}}}}{}\n",
             p.sync_mode,
             p.threads,
             p.pipeline,
@@ -347,6 +387,10 @@ pub fn write_json(
             p.max_group_batches,
             p.wal_syncs_overlapped,
             p.pipeline_max_depth,
+            p.p50_us,
+            p.p99_us,
+            p.p999_us,
+            p.max_us,
             if i + 1 == points.len() { "" } else { "," },
         ));
     }

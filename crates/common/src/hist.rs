@@ -1,0 +1,246 @@
+//! A fixed-bucket, HDR-style latency histogram.
+//!
+//! Latency distributions span several orders of magnitude, so linear buckets
+//! either waste memory or lose tail resolution. This histogram uses the
+//! HdrHistogram bucketing scheme with a fixed layout: values are grouped by
+//! their power-of-two magnitude, and each magnitude is split into 32 linear
+//! sub-buckets, giving a constant ~3% relative error across the whole range
+//! with a few hundred `u64` counters. Recording is one relaxed `fetch_add`,
+//! so concurrent writer threads can share one histogram without coordination.
+//!
+//! Values are unitless; callers pick the unit and must read results in the
+//! same unit (the write-scaling bench records nanoseconds and divides by
+//! 1000 when reporting microsecond percentiles).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two magnitude (a power of two). 32 gives a
+/// worst-case relative error of 1/32 ≈ 3%, plenty for p50/p99/p999 reporting.
+const SUB_BUCKETS: u64 = 32;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BUCKET_BITS: u32 = 5;
+/// Number of power-of-two magnitudes tracked above the exact range. Together
+/// with the sub-buckets this covers values up to `SUB_BUCKETS << MAGNITUDES`,
+/// ~2.2 * 10^12 — over half an hour even at nanosecond resolution (larger
+/// values clamp into the top bucket).
+const MAGNITUDES: u32 = 36;
+/// Total bucket count: the exact range `[0, SUB_BUCKETS)` plus
+/// `SUB_BUCKETS / 2` buckets for each additional magnitude.
+const BUCKETS: usize = (SUB_BUCKETS + (MAGNITUDES as u64) * (SUB_BUCKETS / 2)) as usize;
+
+/// A thread-safe latency histogram with fixed HDR-style buckets.
+///
+/// ```
+/// use triad_common::hist::LatencyHistogram;
+/// let hist = LatencyHistogram::new();
+/// for v in [10, 20, 30, 40, 1000] {
+///     hist.record(v);
+/// }
+/// assert_eq!(hist.count(), 5);
+/// assert!(hist.percentile(50.0) >= 20 && hist.percentile(50.0) <= 31);
+/// assert!(hist.percentile(99.9) >= 960);
+/// ```
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Index of the bucket holding `value`.
+///
+/// Values below [`SUB_BUCKETS`] are exact (bucket = value). Above, each
+/// power-of-two magnitude contributes `SUB_BUCKETS / 2` buckets whose width
+/// doubles with the magnitude — the classic HdrHistogram layout.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    // Magnitude 0 is the exact range; higher magnitudes shift the sub-bucket
+    // window up. `leading_zeros` is defined here because value >= SUB_BUCKETS.
+    let magnitude = 63 - value.leading_zeros() - (SUB_BUCKET_BITS - 1);
+    let sub = (value >> magnitude) - SUB_BUCKETS / 2;
+    let index = SUB_BUCKETS + (magnitude as u64 - 1) * (SUB_BUCKETS / 2) + sub;
+    (index as usize).min(BUCKETS - 1)
+}
+
+/// Smallest value that lands in bucket `index` (used to report percentiles:
+/// the reported quantile is a lower bound within ~3% of the true value).
+fn bucket_floor(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let magnitude = (index - SUB_BUCKETS) / (SUB_BUCKETS / 2) + 1;
+    let sub = (index - SUB_BUCKETS) % (SUB_BUCKETS / 2) + SUB_BUCKETS / 2;
+    sub << magnitude
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Thread-safe and wait-free.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The value at percentile `p` (e.g. `50.0`, `99.0`, `99.9`): a lower
+    /// bound within one bucket width (~3%) of the true quantile. Returns 0
+    /// when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // The epsilon absorbs binary-float slop (0.999 * 1000 is a hair above
+        // 999.0, and ceiling that to 1000 would skip a whole bucket).
+        let rank = (((p / 100.0) * total as f64 - 1e-9).ceil().max(1.0) as u64).min(total);
+        if rank == total {
+            // The top rank is the recorded maximum, known exactly.
+            return self.max();
+        }
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // The top bucket's floor can undershoot the recorded max.
+                return bucket_floor(index).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Mean of the recorded observations, using each bucket's floor (0 when
+    /// empty).
+    pub fn mean(&self) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut sum = 0f64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                sum += bucket_floor(index) as f64 * n as f64;
+            }
+        }
+        sum / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let hist = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            hist.record(v);
+        }
+        assert_eq!(hist.count(), SUB_BUCKETS);
+        assert_eq!(hist.percentile(100.0), SUB_BUCKETS - 1);
+        // Every value below SUB_BUCKETS occupies its own bucket.
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_floor(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_floor_is_a_tight_lower_bound() {
+        for value in [0u64, 1, 31, 32, 33, 100, 1_000, 12_345, 1_000_000, 123_456_789] {
+            let floor = bucket_floor(bucket_index(value));
+            assert!(floor <= value, "floor {floor} must not exceed {value}");
+            // Relative error bounded by one sub-bucket width.
+            assert!(
+                (value - floor) as f64 <= value as f64 / (SUB_BUCKETS as f64 / 2.0) + 1.0,
+                "floor {floor} too far below {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_in_value() {
+        let mut last = 0usize;
+        for value in 0..100_000u64 {
+            let index = bucket_index(value);
+            assert!(index >= last, "bucket index regressed at {value}");
+            last = index;
+        }
+    }
+
+    #[test]
+    fn percentiles_of_a_known_distribution() {
+        let hist = LatencyHistogram::new();
+        // 1000 observations: 990 at ~100, 9 at ~10_000, 1 at ~1_000_000.
+        for _ in 0..990 {
+            hist.record(100);
+        }
+        for _ in 0..9 {
+            hist.record(10_000);
+        }
+        hist.record(1_000_000);
+        assert_eq!(hist.count(), 1_000);
+        let p50 = hist.percentile(50.0);
+        assert!((96..=100).contains(&p50), "p50 {p50} should be ~100");
+        let p99 = hist.percentile(99.0);
+        assert!((96..=100).contains(&p99), "p99 {p99} should still be ~100");
+        let p999 = hist.percentile(99.9);
+        assert!((9_216..=10_000).contains(&p999), "p999 {p999} should be ~10_000");
+        assert_eq!(hist.percentile(100.0), hist.max().min(1_000_000));
+        assert!(hist.mean() > 100.0 && hist.mean() < 2_000.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.percentile(99.0), 0);
+        assert_eq!(hist.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let hist = Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let hist = Arc::clone(&hist);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    hist.record(t * 1_000 + i % 500);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(hist.count(), 40_000);
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`checksum`] — a software CRC32C implementation used to frame on-disk records.
 //! * [`stats`] — the atomic statistics registry from which write amplification,
 //!   read amplification and background-I/O time are derived.
+//! * [`hist`] — a fixed-bucket HDR-style latency histogram for the benches.
+//! * [`retention`] — the snapshot registry telling the memtable which
+//!   superseded versions MVCC snapshots can still see.
 //! * [`failpoint`] — a tiny failure-injection facility used by recovery tests.
 //!
 //! Nothing in this crate performs I/O or spawns threads; it is deliberately the
@@ -20,10 +23,14 @@
 pub mod checksum;
 pub mod error;
 pub mod failpoint;
+pub mod hist;
+pub mod retention;
 pub mod stats;
 pub mod types;
 pub mod varint;
 
 pub use error::{Error, Result};
+pub use hist::LatencyHistogram;
+pub use retention::SnapshotRetention;
 pub use stats::{StatSnapshot, Stats};
 pub use types::{InternalKey, SeqNo, ValueKind};

@@ -1,0 +1,154 @@
+//! Snapshot retention: which superseded versions must stay reachable.
+//!
+//! TRIAD's memory component absorbs updates *in place* — one slot per key — so
+//! without help an MVCC snapshot could never read a key that was overwritten
+//! after the snapshot was taken: the old version would simply be gone from
+//! memory. The [`SnapshotRetention`] registry closes that gap. Every open
+//! snapshot registers its sequence number here; the memtable consults the
+//! registry on every overwrite and, when some open snapshot can still see the
+//! version about to be shadowed, preserves it on the slot's prior-version list
+//! instead of discarding it.
+//!
+//! The registry keeps two relaxed atomics mirroring the open set, so the write
+//! path pays one atomic load per overwrite (and zero extra work when no
+//! snapshot is open, the overwhelmingly common case):
+//!
+//! * [`max_open`](SnapshotRetention::max_open) — the *newest* open snapshot
+//!   (0 when none). A shadowed version with `seqno <= max_open` may be needed
+//!   by some snapshot and must be retained.
+//! * [`oldest_open`](SnapshotRetention::oldest_open) — the *oldest* open
+//!   snapshot ([`u64::MAX`] when none). A retained version whose *successor*
+//!   is already visible to even the oldest snapshot can never be read again
+//!   and is pruned.
+//!
+//! Registration is serialized against memtable inserts by the engine (the
+//! commit gate / WAL lock), so an insert can never observe a registry that is
+//! missing a just-opened snapshot. Deregistration may race inserts freely:
+//! stale atomics only ever err toward retaining *more*, never less.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::types::SeqNo;
+
+/// Registry of open snapshot sequence numbers, with lock-free visibility
+/// bounds for the write path. See the module docs for the retention protocol.
+#[derive(Debug, Default)]
+pub struct SnapshotRetention {
+    /// Open snapshot seqnos with reference counts (two snapshots may share a
+    /// seqno).
+    open: Mutex<BTreeMap<SeqNo, usize>>,
+    /// Largest open snapshot seqno; 0 when none is open.
+    max_open: AtomicU64,
+    /// Smallest open snapshot seqno; `u64::MAX` when none is open.
+    oldest_open: AtomicU64,
+}
+
+impl SnapshotRetention {
+    /// Creates an empty registry (no snapshots open).
+    pub fn new() -> Self {
+        SnapshotRetention {
+            open: Mutex::new(BTreeMap::new()),
+            max_open: AtomicU64::new(0),
+            oldest_open: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Registers an open snapshot at `seqno`. Callers must serialize this
+    /// against memtable inserts (the engine holds the commit gate exclusively)
+    /// so retention can never miss a freshly opened snapshot.
+    pub fn register(&self, seqno: SeqNo) {
+        let mut open = self.open.lock().expect("snapshot registry poisoned");
+        *open.entry(seqno).or_insert(0) += 1;
+        self.publish_bounds(&open);
+    }
+
+    /// Removes one registration of `seqno` (snapshot dropped). May race
+    /// inserts: a stale bound only retains more than necessary.
+    pub fn deregister(&self, seqno: SeqNo) {
+        let mut open = self.open.lock().expect("snapshot registry poisoned");
+        if let Some(count) = open.get_mut(&seqno) {
+            *count -= 1;
+            if *count == 0 {
+                open.remove(&seqno);
+            }
+        }
+        self.publish_bounds(&open);
+    }
+
+    fn publish_bounds(&self, open: &BTreeMap<SeqNo, usize>) {
+        let max = open.keys().next_back().copied().unwrap_or(0);
+        let min = open.keys().next().copied().unwrap_or(u64::MAX);
+        self.max_open.store(max, Ordering::Relaxed);
+        self.oldest_open.store(min, Ordering::Relaxed);
+    }
+
+    /// The newest open snapshot seqno, or 0 when none is open. A version being
+    /// shadowed must be retained iff its seqno is `<= max_open()`.
+    pub fn max_open(&self) -> SeqNo {
+        self.max_open.load(Ordering::Relaxed)
+    }
+
+    /// The oldest open snapshot seqno, or `u64::MAX` when none is open. A
+    /// retained version whose successor's seqno is `<= oldest_open()` is dead.
+    pub fn oldest_open(&self) -> SeqNo {
+        self.oldest_open.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct seqnos currently registered (diagnostics).
+    pub fn open_count(&self) -> usize {
+        self.open.lock().expect("snapshot registry poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_retains_nothing() {
+        let retention = SnapshotRetention::new();
+        assert_eq!(retention.max_open(), 0);
+        assert_eq!(retention.oldest_open(), u64::MAX);
+        assert_eq!(retention.open_count(), 0);
+    }
+
+    #[test]
+    fn bounds_track_the_open_set() {
+        let retention = SnapshotRetention::new();
+        retention.register(10);
+        retention.register(25);
+        retention.register(17);
+        assert_eq!(retention.max_open(), 25);
+        assert_eq!(retention.oldest_open(), 10);
+        assert_eq!(retention.open_count(), 3);
+
+        retention.deregister(10);
+        assert_eq!(retention.oldest_open(), 17);
+        retention.deregister(25);
+        assert_eq!(retention.max_open(), 17);
+        retention.deregister(17);
+        assert_eq!(retention.max_open(), 0);
+        assert_eq!(retention.oldest_open(), u64::MAX);
+    }
+
+    #[test]
+    fn duplicate_seqnos_are_reference_counted() {
+        let retention = SnapshotRetention::new();
+        retention.register(5);
+        retention.register(5);
+        retention.deregister(5);
+        assert_eq!(retention.max_open(), 5, "one registration of seqno 5 is still open");
+        retention.deregister(5);
+        assert_eq!(retention.max_open(), 0);
+    }
+
+    #[test]
+    fn deregistering_unknown_seqno_is_a_no_op() {
+        let retention = SnapshotRetention::new();
+        retention.register(3);
+        retention.deregister(99);
+        assert_eq!(retention.max_open(), 3);
+    }
+}

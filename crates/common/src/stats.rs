@@ -71,6 +71,7 @@ pub struct Stats {
     table_probes: AtomicU64,
     block_reads: AtomicU64,
     bloom_negatives: AtomicU64,
+    snapshots_created: AtomicU64,
 
     // Garbage collection of obsolete files.
     gc_files_deleted: AtomicU64,
@@ -183,6 +184,8 @@ impl Stats {
         block_reads => add_block_reads, block_reads;
         /// Records table probes skipped thanks to a bloom-filter negative.
         bloom_negatives => add_bloom_negatives, bloom_negatives;
+        /// Records MVCC snapshots opened via `Db::snapshot`.
+        snapshots_created => add_snapshots_created, snapshots_created;
         /// Records obsolete table files (SSTables and CL indexes) physically deleted.
         gc_files_deleted => add_gc_files_deleted, gc_files_deleted;
         /// Records obsolete commit logs physically deleted.
@@ -273,6 +276,7 @@ impl Stats {
             table_probes: self.table_probes(),
             block_reads: self.block_reads(),
             bloom_negatives: self.bloom_negatives(),
+            snapshots_created: self.snapshots_created(),
             gc_files_deleted: self.gc_files_deleted(),
             gc_logs_deleted: self.gc_logs_deleted(),
             gc_delete_failures: self.gc_delete_failures(),
@@ -323,6 +327,7 @@ pub struct StatSnapshot {
     pub table_probes: u64,
     pub block_reads: u64,
     pub bloom_negatives: u64,
+    pub snapshots_created: u64,
     pub gc_files_deleted: u64,
     pub gc_logs_deleted: u64,
     pub gc_delete_failures: u64,
@@ -378,6 +383,7 @@ impl StatSnapshot {
             table_probes,
             block_reads,
             bloom_negatives,
+            snapshots_created,
             gc_files_deleted,
             gc_logs_deleted,
             gc_delete_failures,

@@ -23,7 +23,7 @@ use parking_lot::{Mutex, RwLock};
 
 use triad_common::failpoint::FailpointRegistry;
 use triad_common::types::{Entry, SeqNo, ValueKind};
-use triad_common::{Error, Result, StatSnapshot, Stats};
+use triad_common::{Error, Result, SnapshotRetention, StatSnapshot, Stats};
 use triad_memtable::{LogPosition, Memtable};
 use triad_sstable::{
     cl_index_file_path, parse_table_file_name, sst_file_path, TableBuilder, TableBuilderOptions,
@@ -42,6 +42,7 @@ use crate::durability::{DurabilityWatermark, SyncOutcome};
 use crate::iterator::DbIterator;
 use crate::manifest::VersionSet;
 use crate::options::{BackgroundIoMode, Options, SyncMode};
+use crate::snapshot::Snapshot;
 use crate::table_cache::TableCache;
 use crate::version::{FileMetadata, Version, VersionEdit};
 
@@ -201,6 +202,10 @@ pub(crate) struct DbInner {
     pub(crate) versions: Mutex<VersionSet>,
     /// Cached copy of the current version for the read path.
     pub(crate) current_version: RwLock<Arc<Version>>,
+    /// Open MVCC snapshots, by seqno. Shared with every memtable this engine
+    /// creates, so an overwrite knows whether the version it shadows must be
+    /// preserved for a snapshot-bounded read (see [`SnapshotRetention`]).
+    pub(crate) retention: Arc<SnapshotRetention>,
     /// Files retired from the version chain, awaiting garbage collection.
     gc: Mutex<GcQueue>,
     /// `true` while the GC queue is non-empty; lets dropping readers decide
@@ -282,6 +287,7 @@ impl Db {
         let current_version = versions.current();
 
         let (work_tx, work_rx) = crossbeam_channel::unbounded();
+        let retention = Arc::new(SnapshotRetention::new());
         let inner = Arc::new(DbInner {
             table_cache: TableCache::new(path.clone(), Arc::clone(&stats)),
             path,
@@ -302,10 +308,11 @@ impl Db {
             pipeline_depth: AtomicU64::new(0),
             wal_size_hint: AtomicU64::new(0),
             commit_gate: RwLock::new(()),
-            mem: RwLock::new(Arc::new(Memtable::new())),
+            mem: RwLock::new(Arc::new(Memtable::with_retention(Arc::clone(&retention)))),
             imm: RwLock::new(Vec::new()),
             versions: Mutex::new(versions),
             current_version: RwLock::new(current_version),
+            retention,
             gc: Mutex::new(GcQueue::default()),
             gc_pending: Arc::new(AtomicBool::new(false)),
             last_seqno: AtomicU64::new(last_seqno),
@@ -456,6 +463,24 @@ impl Db {
         self.scan_range(None, None)
     }
 
+    /// Opens an MVCC snapshot: a frozen, consistent view of the database as of
+    /// the moment of the call.
+    ///
+    /// The returned [`Snapshot`] pins a published sequence number together with
+    /// everything needed to read at it — the memory components and the current
+    /// [`Version`]. The sequence number always sits on a *commit-group
+    /// boundary*: the snapshot is taken with the commit pipeline drained, so it
+    /// can never observe half a write batch, data that was never acknowledged
+    /// under the engine's durability policy, or a torn commit group. Reads
+    /// through the snapshot ([`Snapshot::get`], [`Snapshot::scan`]) are
+    /// seqno-bounded and unaffected by later writes, flushes or compactions;
+    /// files and superseded versions the snapshot can still see stay alive
+    /// until the handle is dropped, at which point garbage collection reclaims
+    /// whatever only the snapshot was pinning.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::open(&self.inner)
+    }
+
     /// Returns an iterator over the live key/value pairs with user keys in
     /// `[start, end)`; either bound may be omitted.
     ///
@@ -504,17 +529,23 @@ impl Db {
     /// The set of file names the engine expects in its directory for the current
     /// state: live tables and CL indexes, their backing commit logs, the logs of
     /// sealed-but-unflushed memtables, the active commit log, the live manifest and
-    /// the `CURRENT` pointer.
+    /// the `CURRENT` pointer — plus every file still referenced by a *pinned*
+    /// version (an open [`Snapshot`] or in-flight iterator holds retired files
+    /// alive, and they are expected on disk until the pin drops).
     ///
-    /// Once all readers have finished and [`collect_garbage`](Db::collect_garbage)
-    /// reports an empty queue, a directory listing equals exactly this set — the
-    /// invariant the file-lifetime tests assert (no leaks, no premature deletes).
+    /// Once all readers and snapshots have finished and
+    /// [`collect_garbage`](Db::collect_garbage) reports an empty queue, a
+    /// directory listing equals exactly this set — the invariant the
+    /// file-lifetime tests assert (no leaks, no premature deletes).
     pub fn expected_live_files(&self) -> BTreeSet<String> {
-        let (version, manifest_name) = {
-            let versions = self.inner.versions.lock();
-            (versions.current(), versions.live_manifest_name())
+        let (versions, manifest_name) = {
+            let mut set = self.inner.versions.lock();
+            (set.live_versions(), set.live_manifest_name())
         };
-        let mut names = version.referenced_file_names();
+        let mut names = BTreeSet::new();
+        for version in versions {
+            names.append(&mut version.referenced_file_names());
+        }
         names.insert(manifest_name);
         names.insert("CURRENT".to_string());
         names.insert(log_file_name(self.inner.wal.lock().id));
@@ -1360,7 +1391,7 @@ impl DbInner {
             self.watermark.note_rotation(new_id);
             self.wal_size_hint.store(0, Ordering::Relaxed);
             self.remove_file_counted(&log_file_path(&self.path, old_id), true);
-            *self.mem.write() = Arc::new(Memtable::new());
+            *self.mem.write() = self.fresh_memtable();
             self.stats.add_wal_rotations(1);
             return Ok(());
         }
@@ -1381,7 +1412,7 @@ impl DbInner {
 
         let sealed = Arc::new(ImmutableMemtable { memtable: Arc::clone(mem), wal_id: old_id });
         self.imm.write().push(sealed);
-        *self.mem.write() = Arc::new(Memtable::new());
+        *self.mem.write() = self.fresh_memtable();
         self.stats.add_wal_rotations(1);
         let _ = self.work_tx.send(WorkItem::Flush);
         Ok(())
@@ -1411,12 +1442,12 @@ impl DbInner {
         self.wal_size_hint.store(0, Ordering::Relaxed);
         if self.options.background_io == BackgroundIoMode::Disabled {
             self.remove_file_counted(&log_file_path(&self.path, old_id), true);
-            *self.mem.write() = Arc::new(Memtable::new());
+            *self.mem.write() = self.fresh_memtable();
             return Ok(());
         }
         let sealed = Arc::new(ImmutableMemtable { memtable: Arc::clone(&mem), wal_id: old_id });
         self.imm.write().push(sealed);
-        *self.mem.write() = Arc::new(Memtable::new());
+        *self.mem.write() = self.fresh_memtable();
         let _ = self.work_tx.send(WorkItem::Flush);
         Ok(())
     }
@@ -1440,17 +1471,38 @@ impl DbInner {
     /// Pins the current version: the returned guard keeps every file the version
     /// references safe from garbage collection until it is dropped.
     pub(crate) fn pin_current_version(&self) -> PinnedVersion {
+        self.pin_version(self.current_version.read().clone())
+    }
+
+    /// Pins an explicit version (used by snapshot iterators, which must read the
+    /// version their snapshot captured, not whatever is current now).
+    pub(crate) fn pin_version(&self, version: Arc<Version>) -> PinnedVersion {
         PinnedVersion {
-            version: Some(self.current_version.read().clone()),
+            version: Some(version),
             work_tx: self.work_tx.clone(),
             gc_pending: Arc::clone(&self.gc_pending),
         }
     }
 
+    /// A fresh active memtable wired to this engine's snapshot registry, so its
+    /// overwrites preserve versions that open snapshots can still see.
+    pub(crate) fn fresh_memtable(&self) -> Arc<Memtable> {
+        Arc::new(Memtable::with_retention(Arc::clone(&self.retention)))
+    }
+
     /// Point lookup against the pinned current version. A missing table file is a
     /// hard error (corruption): garbage collection never deletes a file that a
     /// live version still references.
+    ///
+    /// The markers below delimit the region CI grep-guards against seqno-bounded
+    /// probes: this is the read-*newest* fast path, and bounding it by a
+    /// just-loaded sequence number would reintroduce the missed-key race PR 2
+    /// fixed (the memtable keeps one slot per key, so "too new" means invisible,
+    /// not "an older version exists here"). Seqno-bounded reads live exclusively
+    /// on the snapshot path ([`crate::snapshot::Snapshot`]), where the retention
+    /// registry guarantees the bounded probe can always find its version.
     pub(crate) fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        // HOT-READ-NEWEST-BEGIN (no seqno-bounded probes in this region)
         self.stats.add_user_reads(1);
         // Reads return the newest committed version, with no sequence-number
         // ceiling: the memtable keeps one slot per key and compaction's dedup
@@ -1494,9 +1546,10 @@ impl DbInner {
             }
         }
         Ok(None)
+        // HOT-READ-NEWEST-END
     }
 
-    fn resolve_entry(&self, entry: Entry) -> Option<Vec<u8>> {
+    pub(crate) fn resolve_entry(&self, entry: Entry) -> Option<Vec<u8>> {
         match entry.key.kind {
             ValueKind::Put => {
                 self.stats.add_user_read_hits(1);

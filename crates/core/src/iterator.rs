@@ -2,11 +2,13 @@
 
 use std::sync::Arc;
 
-use triad_common::types::{Entry, ValueKind};
+use triad_common::types::{Entry, SeqNo, ValueKind};
 use triad_common::Result;
-use triad_sstable::{DedupIterator, EntryIter, MergingIterator};
+use triad_memtable::Memtable;
+use triad_sstable::{bounded_to_seqno, DedupIterator, EntryIter, MergingIterator};
 
-use crate::db::DbInner;
+use crate::db::{DbInner, ImmutableMemtable};
+use crate::version::Version;
 
 /// An iterator over every live key/value pair in the database, in key order.
 ///
@@ -77,6 +79,45 @@ impl DbIterator {
             for file in &pin.levels[level] {
                 let table = db.table_cache.get_or_open(file)?;
                 sources.push(table.entries()?);
+            }
+        }
+        let merged = MergingIterator::new(sources)?;
+        Ok(DbIterator { inner: DedupIterator::new(Box::new(merged), false), start, end, _pin: pin })
+    }
+
+    /// Creates an iterator over a snapshot's captured components, bounded at the
+    /// snapshot's sequence number.
+    ///
+    /// No lock is taken here, in contrast to [`with_bounds`](Self::with_bounds):
+    /// the snapshot seqno sits on a commit-group boundary, so bounding every
+    /// source at it yields a batch-atomic view by construction — a concurrent
+    /// group's writes all carry seqnos above the bound, and any version the
+    /// snapshot can see that such a write shadows is preserved on the memtable's
+    /// prior list (the snapshot registered itself before the bound was chosen).
+    /// Table sources are bounded *before* the dedup stage, so the survivor per
+    /// user key is the newest version visible at the snapshot. The version is
+    /// the one the snapshot pinned — never the current one, whose compactions
+    /// may already have deduped away versions the snapshot still needs.
+    pub(crate) fn with_snapshot(
+        db: &Arc<DbInner>,
+        mem: &Arc<Memtable>,
+        imm: &[Arc<ImmutableMemtable>],
+        version: Arc<Version>,
+        seqno: SeqNo,
+        start: Option<Vec<u8>>,
+        end: Option<Vec<u8>>,
+    ) -> Result<DbIterator> {
+        let mut sources: Vec<EntryIter> = Vec::new();
+        sources.push(Box::new(mem.snapshot_as_entries_at(seqno).into_iter().map(Ok)));
+        for sealed in imm.iter().rev() {
+            let entries = sealed.memtable.snapshot_as_entries_at(seqno);
+            sources.push(Box::new(entries.into_iter().map(Ok)));
+        }
+        let pin = db.pin_version(version);
+        for level in 0..pin.num_levels() {
+            for file in &pin.levels[level] {
+                let table = db.table_cache.get_or_open(file)?;
+                sources.push(bounded_to_seqno(table.entries()?, seqno));
             }
         }
         let merged = MergingIterator::new(sources)?;

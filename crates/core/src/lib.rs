@@ -45,6 +45,7 @@ mod flush;
 pub mod iterator;
 pub mod manifest;
 pub mod options;
+pub mod snapshot;
 pub mod table_cache;
 pub mod version;
 
@@ -52,6 +53,7 @@ pub use batch::{WriteBatch, WriteOptions};
 pub use db::Db;
 pub use iterator::DbIterator;
 pub use options::{BackgroundIoMode, GroupCommitConfig, Options, SyncMode, TriadConfig};
+pub use snapshot::Snapshot;
 pub use version::{FileMetadata, Version, VersionEdit};
 
 pub use triad_common::{Error, Result, StatSnapshot, Stats};

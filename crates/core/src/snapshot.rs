@@ -1,0 +1,174 @@
+//! MVCC snapshots: frozen, consistent views of the database.
+//!
+//! A [`Snapshot`] is a *pin* on three things at once:
+//!
+//! 1. **A published sequence number** sitting on a commit-group boundary. The
+//!    snapshot is opened under the WAL lock plus an exclusive acquisition of
+//!    the commit gate, which drains the commit pipeline: every appended group
+//!    has published (or been abandoned) by the time the seqno is read, and no
+//!    new group can append while the locks are held. A boundary seqno can
+//!    never split a write batch, and — because publication happens only after
+//!    a group is as durable as the engine's sync policy promises — it can
+//!    never cover unacknowledged, non-durable data either.
+//! 2. **The memory components**: the active memtable and the sealed list, by
+//!    `Arc`. The active memtable keeps absorbing writes afterwards, but the
+//!    snapshot registered itself in the shared
+//!    [`SnapshotRetention`](triad_common::SnapshotRetention) registry *before*
+//!    releasing the gate, so any later overwrite of a version the snapshot can
+//!    see preserves that version on the slot's prior list, where the
+//!    seqno-bounded probes ([`Memtable::get_at`],
+//!    [`Memtable::snapshot_entries_at`]) find it.
+//! 3. **The current [`Version`](crate::Version)** via an internal pin: every
+//!    table file, CL index and backing commit log the version references survives any
+//!    concurrent flush or compaction until the snapshot drops — garbage
+//!    collection consults the live-version registry, and a pinned version is
+//!    live. Compaction may dedup older versions out of *new* files, but the
+//!    snapshot never reads those; it reads the files of the version it pinned.
+//!
+//! Dropping the snapshot deregisters it (the next overwrite of each slot
+//! prunes retained versions nobody can read) and releases the version pin,
+//! nudging the collector to reclaim whatever only the snapshot was keeping.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use triad_common::types::SeqNo;
+use triad_common::Result;
+use triad_memtable::Memtable;
+
+use crate::db::{DbInner, ImmutableMemtable, PinnedVersion};
+use crate::iterator::DbIterator;
+
+/// A frozen, consistent view of the database at a commit-group boundary.
+///
+/// Obtained from [`Db::snapshot`](crate::Db::snapshot); reads through the
+/// handle are repeatable and unaffected by concurrent writes, flushes and
+/// compactions. The handle is `Send + Sync`; it may outlive arbitrary amounts
+/// of write traffic, at the cost of pinning the files and superseded in-memory
+/// versions it can still see.
+pub struct Snapshot {
+    db: Arc<DbInner>,
+    seqno: SeqNo,
+    /// The memory component that was active at the snapshot point. Later
+    /// writes land in it (or a successor) with larger seqnos; the bounded
+    /// probes below never see them.
+    mem: Arc<Memtable>,
+    /// The sealed memtables pending flush at the snapshot point, oldest first.
+    imm: Vec<Arc<ImmutableMemtable>>,
+    /// Keeps every file of the captured version safe from garbage collection.
+    pin: PinnedVersion,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot").field("seqno", &self.seqno).finish()
+    }
+}
+
+impl Snapshot {
+    /// Captures a snapshot of `db`. See the module docs for the protocol.
+    pub(crate) fn open(db: &Arc<DbInner>) -> Snapshot {
+        let (seqno, mem, imm, pin) = {
+            // WAL lock then exclusive commit gate — the engine's global lock
+            // order. With both held the pipeline is drained: `last_seqno` is a
+            // group boundary and every write at or below it is fully applied.
+            let _wal = db.wal.lock();
+            let _gate = db.commit_gate.write();
+            let seqno = db.last_seqno.load(Ordering::Acquire);
+            // Register *before* the gate opens: the first write group that could
+            // overwrite something this snapshot sees must already find it
+            // registered, or the shadowed version would be discarded.
+            db.retention.register(seqno);
+            let mem = db.mem.read().clone();
+            let imm: Vec<Arc<ImmutableMemtable>> = db.imm.read().clone();
+            let pin = db.pin_current_version();
+            (seqno, mem, imm, pin)
+        };
+        db.stats.add_snapshots_created(1);
+        Snapshot { db: Arc::clone(db), seqno, mem, imm, pin }
+    }
+
+    /// The snapshot's sequence number: the largest seqno whose effects are
+    /// visible through this handle. Always a commit-group boundary.
+    pub fn seqno(&self) -> SeqNo {
+        self.seqno
+    }
+
+    /// Returns the value `key` had at the snapshot point, or `None` if it did
+    /// not exist (or was deleted) then.
+    ///
+    /// The probe order mirrors the live read path — active memtable, sealed
+    /// memtables newest first, then the pinned version level by level — but
+    /// every probe is bounded by the snapshot seqno and consults retained
+    /// prior versions. The capture-time components are used, not the current
+    /// ones: a memtable sealed, flushed and even garbage-collected since the
+    /// snapshot was taken is still read here, in memory, through its `Arc`.
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Vec<u8>>> {
+        let key = key.as_ref();
+        let db = &self.db;
+        db.stats.add_user_reads(1);
+
+        // 1. The memtable that was active at the snapshot point.
+        db.stats.add_memtable_probes(1);
+        if let Some(entry) = self.mem.get_at(key, self.seqno) {
+            return Ok(db.resolve_entry(entry));
+        }
+        // 2. The sealed memtables of the snapshot point, newest first.
+        for sealed in self.imm.iter().rev() {
+            db.stats.add_memtable_probes(1);
+            if let Some(entry) = sealed.memtable.get_at(key, self.seqno) {
+                return Ok(db.resolve_entry(entry));
+            }
+        }
+        // 3. The pinned version, level by level. Within L0 files are probed
+        // newest first, and no older file can hold a newer visible version
+        // than a younger file (flush order), so the first bounded hit is the
+        // newest version the snapshot can see.
+        for level in 0..self.pin.num_levels() {
+            for file in self.pin.files_for_key(level, key) {
+                let table = db.table_cache.get_or_open(&file)?;
+                db.stats.add_table_probes(1);
+                if let Some(entry) = table.get(key, self.seqno)? {
+                    return Ok(db.resolve_entry(entry));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Returns an iterator over every key/value pair that was live at the
+    /// snapshot point, in key order.
+    pub fn scan(&self) -> Result<DbIterator> {
+        self.scan_range(None, None)
+    }
+
+    /// Returns an iterator over the snapshot's live key/value pairs with user
+    /// keys in `[start, end)`; either bound may be omitted.
+    ///
+    /// Unlike the live [`Db::scan_range`](crate::Db::scan_range), no lock is
+    /// taken: the snapshot seqno already sits on a commit-group boundary, so
+    /// the bounded view is batch-atomic by construction — a concurrent group's
+    /// writes all carry seqnos above the bound, and anything it overwrites that
+    /// the snapshot can see is preserved by the retention registry.
+    pub fn scan_range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<DbIterator> {
+        DbIterator::with_snapshot(
+            &self.db,
+            &self.mem,
+            &self.imm,
+            Arc::clone(self.pin.version()),
+            self.seqno,
+            start.map(|s| s.to_vec()),
+            end.map(|e| e.to_vec()),
+        )
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        // Deregistration first: subsequent overwrites stop retaining for this
+        // seqno and prune what only it could read. The field drops that follow
+        // release the memtables and the version pin; the pin's drop nudges the
+        // garbage collector if files are waiting.
+        self.db.retention.deregister(self.seqno);
+    }
+}

@@ -11,6 +11,15 @@
 //! * TRIAD-LOG uses the `(log id, offset)` pair to build CL-SSTable indexes without
 //!   rewriting values.
 //!
+//! In-place absorption is at odds with MVCC snapshots — a snapshot must read the
+//! version a key had when the snapshot was taken, even after ten overwrites. The
+//! memtable reconciles the two through a [`SnapshotRetention`] registry: when an
+//! overwrite would shadow a version some open snapshot can still see, the shadowed
+//! version moves to the slot's *prior list* instead of being discarded, and
+//! seqno-bounded probes ([`Memtable::get_at`], [`Memtable::snapshot_entries_at`])
+//! consult it. With no snapshot open (the common case) the prior list stays empty
+//! and the write path pays a single relaxed atomic load.
+//!
 //! The table is sharded internally; point operations lock a single shard while
 //! snapshots for flushing lock all shards briefly and merge their sorted contents.
 
@@ -25,10 +34,12 @@ pub use hotcold::{separate_keys, HotColdPolicy, HotColdSplit};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use triad_common::types::{Entry, InternalKey, SeqNo, ValueKind};
+use triad_common::SnapshotRetention;
 
 /// Where the newest update of a key lives in the commit log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,18 +78,32 @@ impl MemEntry {
     }
 }
 
+/// One key's slot: the live (newest) version plus any superseded versions an
+/// open snapshot can still see, ascending by seqno. The prior list is empty
+/// unless a snapshot was open when the key was overwritten, and it is pruned on
+/// every subsequent overwrite against the current snapshot registry.
+#[derive(Debug, Clone)]
+struct Slot {
+    live: MemEntry,
+    prior: Vec<MemEntry>,
+}
+
 /// Number of shards; a power of two so shard selection is a mask.
 const SHARD_COUNT: usize = 16;
 
-/// The memory component: a sorted, sharded map from user key to [`MemEntry`].
+/// The memory component: a sorted, sharded map from user key to its version slot.
 #[derive(Debug)]
 pub struct Memtable {
-    shards: Vec<RwLock<BTreeMap<Vec<u8>, MemEntry>>>,
+    shards: Vec<RwLock<BTreeMap<Vec<u8>, Slot>>>,
     approximate_size: AtomicUsize,
     entry_count: AtomicUsize,
     /// Total updates absorbed (including overwrites); used to compute the mean
     /// update frequency for the hot/cold policy.
     total_updates: AtomicU64,
+    /// Which superseded versions open MVCC snapshots can still see. Shared with
+    /// the engine's snapshot registry; a memtable created with [`Memtable::new`]
+    /// gets a private, always-empty registry and never retains anything.
+    retention: Arc<SnapshotRetention>,
 }
 
 impl Default for Memtable {
@@ -88,13 +113,21 @@ impl Default for Memtable {
 }
 
 impl Memtable {
-    /// Creates an empty memtable.
+    /// Creates an empty memtable with no snapshot retention (no registry is
+    /// shared, so overwrites always discard the shadowed version).
     pub fn new() -> Self {
+        Self::with_retention(Arc::new(SnapshotRetention::new()))
+    }
+
+    /// Creates an empty memtable wired to the engine's snapshot registry:
+    /// overwrites preserve versions that registered snapshots can still see.
+    pub fn with_retention(retention: Arc<SnapshotRetention>) -> Self {
         Memtable {
             shards: (0..SHARD_COUNT).map(|_| RwLock::new(BTreeMap::new())).collect(),
             approximate_size: AtomicUsize::new(0),
             entry_count: AtomicUsize::new(0),
             total_updates: AtomicU64::new(0),
+            retention,
         }
     }
 
@@ -102,7 +135,79 @@ impl Memtable {
         (triad_hll::hash64(key) as usize) & (SHARD_COUNT - 1)
     }
 
-    /// Inserts or overwrites `key`, absorbing the update in place.
+    /// Called with the shard lock held, immediately before `slot.live` is
+    /// overwritten by a strictly newer version: preserves the live version on
+    /// the prior list when an open snapshot can still see it.
+    fn retain_shadowed(&self, key_len: usize, slot: &mut Slot) {
+        let max_open = self.retention.max_open();
+        if max_open > 0 && slot.live.seqno <= max_open {
+            let retained = slot.live.clone();
+            self.approximate_size.fetch_add(retained.approximate_size(key_len), Ordering::Relaxed);
+            slot.prior.push(retained);
+        }
+    }
+
+    /// Called with the shard lock held, after `slot.live` was updated: drops
+    /// prior versions no open snapshot can read any more. A prior version `p`
+    /// is readable iff some open snapshot `S` satisfies
+    /// `p.seqno <= S < successor(p).seqno`; the check below is the conservative
+    /// relaxation using the registry's min/max bounds (it may keep a version a
+    /// precise check would drop, never the reverse).
+    fn prune_priors(&self, key_len: usize, slot: &mut Slot) {
+        if slot.prior.is_empty() {
+            return;
+        }
+        let max_open = self.retention.max_open();
+        let oldest_open = self.retention.oldest_open();
+        let mut idx = 0;
+        while idx < slot.prior.len() {
+            let successor = slot.prior.get(idx + 1).map_or(slot.live.seqno, |next| next.seqno);
+            let p = &slot.prior[idx];
+            let needed = p.seqno <= max_open && successor > oldest_open;
+            if needed {
+                idx += 1;
+            } else {
+                let dropped = slot.prior.remove(idx);
+                self.approximate_size
+                    .fetch_sub(dropped.approximate_size(key_len), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Overwrites `slot.live` in place, keeping the size accounting straight.
+    fn overwrite_live(&self, key_len: usize, slot: &mut Slot, new: MemEntry) {
+        let old_size = slot.live.approximate_size(key_len);
+        let new_size = new.approximate_size(key_len);
+        slot.live = new;
+        if new_size >= old_size {
+            self.approximate_size.fetch_add(new_size - old_size, Ordering::Relaxed);
+        } else {
+            self.approximate_size.fetch_sub(old_size - new_size, Ordering::Relaxed);
+        }
+    }
+
+    fn insert_new_slot(&self, map: &mut BTreeMap<Vec<u8>, Slot>, key: &[u8], entry: MemEntry) {
+        let size = entry.approximate_size(key.len());
+        map.insert(key.to_vec(), Slot { live: entry, prior: Vec::new() });
+        self.approximate_size.fetch_add(size, Ordering::Relaxed);
+        self.entry_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Called with the shard lock held: replaces `slot.live` with `entry`,
+    /// retaining the shadowed version for open snapshots when `entry` is
+    /// strictly newer, then pruning priors no snapshot can read. The single
+    /// implementation of the retention protocol; every overwrite path above
+    /// the slot level goes through here.
+    fn absorb_into_slot(&self, key_len: usize, slot: &mut Slot, entry: MemEntry) {
+        if entry.seqno > slot.live.seqno {
+            self.retain_shadowed(key_len, slot);
+        }
+        self.overwrite_live(key_len, slot, entry);
+        self.prune_priors(key_len, slot);
+    }
+
+    /// Inserts or overwrites `key`, absorbing the update in place (superseded
+    /// versions visible to an open snapshot are preserved on the prior list).
     ///
     /// Returns the new approximate size of the memtable in bytes.
     pub fn insert(
@@ -117,27 +222,15 @@ impl Memtable {
         let mut map = shard.write();
         self.total_updates.fetch_add(1, Ordering::Relaxed);
         match map.get_mut(key) {
-            Some(existing) => {
-                let old_size = existing.approximate_size(key.len());
-                existing.value = value.to_vec();
-                existing.seqno = seqno;
-                existing.kind = kind;
-                existing.updates = existing.updates.saturating_add(1);
-                existing.log_position = log_position;
-                let new_size = existing.approximate_size(key.len());
-                if new_size >= old_size {
-                    self.approximate_size.fetch_add(new_size - old_size, Ordering::Relaxed);
-                } else {
-                    self.approximate_size.fetch_sub(old_size - new_size, Ordering::Relaxed);
-                }
+            Some(slot) => {
+                let updates = slot.live.updates.saturating_add(1);
+                let entry = MemEntry { value: value.to_vec(), seqno, kind, updates, log_position };
+                self.absorb_into_slot(key.len(), slot, entry);
             }
             None => {
                 let entry =
                     MemEntry { value: value.to_vec(), seqno, kind, updates: 1, log_position };
-                let size = entry.approximate_size(key.len());
-                map.insert(key.to_vec(), entry);
-                self.approximate_size.fetch_add(size, Ordering::Relaxed);
-                self.entry_count.fetch_add(1, Ordering::Relaxed);
+                self.insert_new_slot(&mut map, key, entry);
             }
         }
         self.approximate_size.load(Ordering::Relaxed)
@@ -151,7 +244,10 @@ impl Memtable {
     /// memtable out of sequence-number order; the older one must not clobber the
     /// newer. A skipped update still bumps the per-key update counter — the write
     /// happened, and TRIAD-MEM's hotness signal counts writes, not winners (the
-    /// serialized path bumps it too, by overwriting and being overwritten).
+    /// serialized path bumps it too, by overwriting and being overwritten). A
+    /// skipped update is never a snapshot-visible version either: the seqnos
+    /// between it and the winner belong to the same commit group, and snapshot
+    /// seqnos always sit on group boundaries.
     ///
     /// Returns the new approximate size of the memtable in bytes.
     pub fn insert_versioned(
@@ -166,30 +262,18 @@ impl Memtable {
         let mut map = shard.write();
         self.total_updates.fetch_add(1, Ordering::Relaxed);
         match map.get_mut(key) {
-            Some(existing) if existing.seqno > seqno => {
-                existing.updates = existing.updates.saturating_add(1);
+            Some(slot) if slot.live.seqno > seqno => {
+                slot.live.updates = slot.live.updates.saturating_add(1);
             }
-            Some(existing) => {
-                let old_size = existing.approximate_size(key.len());
-                existing.value = value.to_vec();
-                existing.seqno = seqno;
-                existing.kind = kind;
-                existing.updates = existing.updates.saturating_add(1);
-                existing.log_position = log_position;
-                let new_size = existing.approximate_size(key.len());
-                if new_size >= old_size {
-                    self.approximate_size.fetch_add(new_size - old_size, Ordering::Relaxed);
-                } else {
-                    self.approximate_size.fetch_sub(old_size - new_size, Ordering::Relaxed);
-                }
+            Some(slot) => {
+                let updates = slot.live.updates.saturating_add(1);
+                let entry = MemEntry { value: value.to_vec(), seqno, kind, updates, log_position };
+                self.absorb_into_slot(key.len(), slot, entry);
             }
             None => {
                 let entry =
                     MemEntry { value: value.to_vec(), seqno, kind, updates: 1, log_position };
-                let size = entry.approximate_size(key.len());
-                map.insert(key.to_vec(), entry);
-                self.approximate_size.fetch_add(size, Ordering::Relaxed);
-                self.entry_count.fetch_add(1, Ordering::Relaxed);
+                self.insert_new_slot(&mut map, key, entry);
             }
         }
         self.approximate_size.load(Ordering::Relaxed)
@@ -200,18 +284,10 @@ impl Memtable {
     pub fn insert_entry(&self, key: &[u8], entry: MemEntry) {
         let shard = &self.shards[self.shard_for(key)];
         let mut map = shard.write();
-        let size = entry.approximate_size(key.len());
         self.total_updates.fetch_add(u64::from(entry.updates), Ordering::Relaxed);
-        if let Some(old) = map.insert(key.to_vec(), entry) {
-            let old_size = old.approximate_size(key.len());
-            if size >= old_size {
-                self.approximate_size.fetch_add(size - old_size, Ordering::Relaxed);
-            } else {
-                self.approximate_size.fetch_sub(old_size - size, Ordering::Relaxed);
-            }
-        } else {
-            self.approximate_size.fetch_add(size, Ordering::Relaxed);
-            self.entry_count.fetch_add(1, Ordering::Relaxed);
+        match map.get_mut(key) {
+            Some(slot) => self.absorb_into_slot(key.len(), slot, entry),
+            None => self.insert_new_slot(&mut map, key, entry),
         }
     }
 
@@ -225,28 +301,18 @@ impl Memtable {
         let shard = &self.shards[self.shard_for(key)];
         let mut map = shard.write();
         match map.get_mut(key) {
-            Some(existing) if existing.seqno >= entry.seqno => false,
-            Some(existing) => {
-                let old_size = existing.approximate_size(key.len());
-                let new_size = entry.approximate_size(key.len());
+            Some(slot) if slot.live.seqno >= entry.seqno => false,
+            Some(slot) => {
                 // Preserve the update counter the newer writes accumulated plus the
                 // hotness the entry carried over.
-                let combined_updates = existing.updates.saturating_add(entry.updates);
-                *existing = entry;
-                existing.updates = combined_updates;
-                if new_size >= old_size {
-                    self.approximate_size.fetch_add(new_size - old_size, Ordering::Relaxed);
-                } else {
-                    self.approximate_size.fetch_sub(old_size - new_size, Ordering::Relaxed);
-                }
+                let mut entry = entry;
+                entry.updates = slot.live.updates.saturating_add(entry.updates);
+                self.absorb_into_slot(key.len(), slot, entry);
                 true
             }
             None => {
-                let size = entry.approximate_size(key.len());
                 self.total_updates.fetch_add(u64::from(entry.updates), Ordering::Relaxed);
-                map.insert(key.to_vec(), entry);
-                self.approximate_size.fetch_add(size, Ordering::Relaxed);
-                self.entry_count.fetch_add(1, Ordering::Relaxed);
+                self.insert_new_slot(&mut map, key, entry);
                 true
             }
         }
@@ -264,31 +330,45 @@ impl Memtable {
         let shard = &self.shards[self.shard_for(key)];
         let mut map = shard.write();
         match map.get_mut(key) {
-            Some(entry) if entry.seqno == expected_seqno => {
-                entry.log_position = position;
+            Some(slot) if slot.live.seqno == expected_seqno => {
+                slot.live.log_position = position;
                 true
             }
             _ => false,
         }
     }
 
-    /// Returns the freshest version of `key` visible at `snapshot`, if present.
+    /// Returns the live (newest) version of `key` if its seqno is `<= snapshot`.
+    ///
+    /// This probe does *not* consult the prior-version list: it is the
+    /// read-newest fast path (callers pass `u64::MAX`). Snapshot reads use
+    /// [`get_at`](Memtable::get_at), which does.
     pub fn get(&self, key: &[u8], snapshot: SeqNo) -> Option<Entry> {
         let shard = &self.shards[self.shard_for(key)];
         let map = shard.read();
-        map.get(key).and_then(|entry| {
-            if entry.seqno <= snapshot {
-                Some(entry.to_entry(key))
+        map.get(key).and_then(|slot| {
+            if slot.live.seqno <= snapshot {
+                Some(slot.live.to_entry(key))
             } else {
                 None
             }
         })
     }
 
-    /// Returns the raw [`MemEntry`] for `key`, regardless of snapshot.
-    pub fn get_raw(&self, key: &[u8]) -> Option<MemEntry> {
+    /// Returns the newest version of `key` visible at `snapshot`, consulting
+    /// the retained prior versions. This is the snapshot read path: with the
+    /// snapshot registered in the shared [`SnapshotRetention`] before `snapshot`
+    /// was chosen, every version it can see is either the live one or preserved
+    /// on the prior list, so a bounded probe can never miss a key that existed
+    /// at the snapshot point.
+    pub fn get_at(&self, key: &[u8], snapshot: SeqNo) -> Option<Entry> {
         let shard = &self.shards[self.shard_for(key)];
-        shard.read().get(key).cloned()
+        let map = shard.read();
+        let slot = map.get(key)?;
+        if slot.live.seqno <= snapshot {
+            return Some(slot.live.to_entry(key));
+        }
+        slot.prior.iter().rev().find(|entry| entry.seqno <= snapshot).map(|e| e.to_entry(key))
     }
 
     /// Number of distinct keys currently held.
@@ -301,7 +381,8 @@ impl Memtable {
         self.len() == 0
     }
 
-    /// Approximate memory footprint in bytes.
+    /// Approximate memory footprint in bytes (snapshot-retained prior versions
+    /// included).
     pub fn approximate_size(&self) -> usize {
         self.approximate_size.load(Ordering::Relaxed)
     }
@@ -311,15 +392,42 @@ impl Memtable {
         self.total_updates.load(Ordering::Relaxed)
     }
 
-    /// Takes a sorted snapshot of every `(key, entry)` pair.
+    /// Takes a sorted snapshot of every `(key, live entry)` pair.
     ///
     /// Used by flushes; the memtable keeps serving reads while the snapshot is
-    /// processed because the caller holds the snapshot by value.
+    /// processed because the caller holds the snapshot by value. Prior versions
+    /// are deliberately absent: a flush persists the newest version of each key,
+    /// and open snapshots keep reading the retained versions through their own
+    /// `Arc` of this memtable.
     pub fn snapshot_entries(&self) -> Vec<(Vec<u8>, MemEntry)> {
         let mut all: Vec<(Vec<u8>, MemEntry)> = Vec::with_capacity(self.len());
         for shard in &self.shards {
             let map = shard.read();
-            all.extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
+            all.extend(map.iter().map(|(k, slot)| (k.clone(), slot.live.clone())));
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Takes a sorted snapshot of the newest version of each key visible at
+    /// `snapshot`, consulting retained prior versions. Keys whose oldest
+    /// retained version is still newer than `snapshot` are absent (they did not
+    /// exist at the snapshot point). Tombstones are included — the merge layers
+    /// above decide what a delete shadows.
+    pub fn snapshot_entries_at(&self, snapshot: SeqNo) -> Vec<(Vec<u8>, MemEntry)> {
+        let mut all: Vec<(Vec<u8>, MemEntry)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read();
+            for (key, slot) in map.iter() {
+                let visible = if slot.live.seqno <= snapshot {
+                    Some(&slot.live)
+                } else {
+                    slot.prior.iter().rev().find(|entry| entry.seqno <= snapshot)
+                };
+                if let Some(entry) = visible {
+                    all.push((key.clone(), entry.clone()));
+                }
+            }
         }
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all
@@ -330,13 +438,37 @@ impl Memtable {
         self.snapshot_entries().into_iter().map(|(key, entry)| entry.to_entry(&key)).collect()
     }
 
+    /// Like [`snapshot_as_entries`](Memtable::snapshot_as_entries), but bounded
+    /// at `snapshot` (the seqno-bounded source a snapshot scan merges).
+    pub fn snapshot_as_entries_at(&self, snapshot: SeqNo) -> Vec<Entry> {
+        self.snapshot_entries_at(snapshot)
+            .into_iter()
+            .map(|(key, entry)| entry.to_entry(&key))
+            .collect()
+    }
+
+    /// Returns the raw live [`MemEntry`] for `key`, regardless of snapshot.
+    pub fn get_raw(&self, key: &[u8]) -> Option<MemEntry> {
+        let shard = &self.shards[self.shard_for(key)];
+        shard.read().get(key).map(|slot| slot.live.clone())
+    }
+
+    /// Total number of snapshot-retained prior versions currently held
+    /// (diagnostics and tests).
+    pub fn retained_versions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.read().values().map(|slot| slot.prior.len()).sum::<usize>())
+            .sum()
+    }
+
     /// Largest sequence number stored, if any.
     pub fn max_seqno(&self) -> Option<SeqNo> {
         let mut max = None;
         for shard in &self.shards {
             let map = shard.read();
-            for entry in map.values() {
-                max = Some(max.map_or(entry.seqno, |m: SeqNo| m.max(entry.seqno)));
+            for slot in map.values() {
+                max = Some(max.map_or(slot.live.seqno, |m: SeqNo| m.max(slot.live.seqno)));
             }
         }
         max
@@ -386,6 +518,7 @@ mod tests {
         assert_eq!(raw.seqno, 10);
         assert_eq!(raw.log_position, pos(1, 9 * 40), "log position tracks the newest record");
         assert_eq!(memtable.total_updates(), 10);
+        assert_eq!(memtable.retained_versions(), 0, "no snapshot open: nothing retained");
     }
 
     #[test]
@@ -577,5 +710,119 @@ mod tests {
         let snapshot = memtable.snapshot_entries();
         let total_updates: u64 = snapshot.iter().map(|(_, e)| u64::from(e.updates)).sum();
         assert_eq!(total_updates, 8_000, "every insert bumps exactly one entry's counter");
+    }
+
+    // ---- Snapshot retention ----
+
+    fn retained_memtable() -> (Memtable, Arc<SnapshotRetention>) {
+        let retention = Arc::new(SnapshotRetention::new());
+        (Memtable::with_retention(Arc::clone(&retention)), retention)
+    }
+
+    #[test]
+    fn overwrite_with_open_snapshot_preserves_the_shadowed_version() {
+        let (memtable, retention) = retained_memtable();
+        memtable.insert(b"k", b"v1", 5, ValueKind::Put, pos(1, 0));
+        retention.register(5);
+        memtable.insert(b"k", b"v2", 9, ValueKind::Put, pos(1, 40));
+        assert_eq!(memtable.retained_versions(), 1);
+        // The live probe sees the newest version; the bounded probe the old one.
+        assert_eq!(memtable.get(b"k", u64::MAX).unwrap().value, b"v2");
+        let at = memtable.get_at(b"k", 5).unwrap();
+        assert_eq!(at.value, b"v1");
+        assert_eq!(at.key.seqno, 5);
+        assert!(memtable.get_at(b"k", 4).is_none(), "nothing visible before seqno 5");
+        assert_eq!(memtable.get_at(b"k", 9).unwrap().value, b"v2");
+    }
+
+    #[test]
+    fn no_open_snapshot_means_no_retention() {
+        let (memtable, _retention) = retained_memtable();
+        memtable.insert(b"k", b"v1", 5, ValueKind::Put, pos(1, 0));
+        memtable.insert(b"k", b"v2", 9, ValueKind::Put, pos(1, 40));
+        assert_eq!(memtable.retained_versions(), 0);
+        assert!(memtable.get_at(b"k", 5).is_none(), "the shadowed version was discarded");
+    }
+
+    #[test]
+    fn closing_the_snapshot_lets_the_next_overwrite_prune() {
+        let (memtable, retention) = retained_memtable();
+        memtable.insert(b"k", b"v1", 5, ValueKind::Put, pos(1, 0));
+        retention.register(5);
+        memtable.insert(b"k", b"v2", 9, ValueKind::Put, pos(1, 40));
+        assert_eq!(memtable.retained_versions(), 1);
+        let with_prior = memtable.approximate_size();
+        retention.deregister(5);
+        // Nothing prunes eagerly on close…
+        assert_eq!(memtable.retained_versions(), 1);
+        // …but the next overwrite of the slot sweeps the dead version.
+        memtable.insert(b"k", b"v3", 12, ValueKind::Put, pos(1, 80));
+        assert_eq!(memtable.retained_versions(), 0);
+        assert!(memtable.approximate_size() <= with_prior);
+    }
+
+    #[test]
+    fn multiple_snapshots_keep_their_own_versions() {
+        let (memtable, retention) = retained_memtable();
+        memtable.insert(b"k", b"v1", 2, ValueKind::Put, pos(1, 0));
+        retention.register(2);
+        memtable.insert(b"k", b"v2", 6, ValueKind::Put, pos(1, 40));
+        retention.register(6);
+        memtable.insert(b"k", b"v3", 9, ValueKind::Put, pos(1, 80));
+        assert_eq!(memtable.get_at(b"k", 2).unwrap().value, b"v1");
+        assert_eq!(memtable.get_at(b"k", 6).unwrap().value, b"v2");
+        assert_eq!(memtable.get_at(b"k", u64::MAX).unwrap().value, b"v3");
+        // Dropping the older snapshot lets v1 go on the next overwrite; v2 stays.
+        retention.deregister(2);
+        memtable.insert(b"k", b"v4", 12, ValueKind::Put, pos(1, 120));
+        assert!(memtable.get_at(b"k", 2).is_none());
+        assert_eq!(memtable.get_at(b"k", 6).unwrap().value, b"v2");
+        assert_eq!(memtable.retained_versions(), 1);
+    }
+
+    #[test]
+    fn snapshot_sees_tombstones_and_pre_delete_values() {
+        let (memtable, retention) = retained_memtable();
+        memtable.insert(b"k", b"v1", 3, ValueKind::Put, pos(1, 0));
+        retention.register(3);
+        memtable.insert(b"k", b"", 7, ValueKind::Delete, pos(1, 40));
+        retention.register(7);
+        memtable.insert(b"k", b"v2", 11, ValueKind::Put, pos(1, 80));
+        assert_eq!(memtable.get_at(b"k", 3).unwrap().key.kind, ValueKind::Put);
+        assert_eq!(memtable.get_at(b"k", 7).unwrap().key.kind, ValueKind::Delete);
+        assert_eq!(memtable.get_at(b"k", 11).unwrap().value, b"v2");
+    }
+
+    #[test]
+    fn snapshot_entries_at_returns_the_bounded_view() {
+        let (memtable, retention) = retained_memtable();
+        memtable.insert(b"a", b"a1", 1, ValueKind::Put, pos(1, 0));
+        memtable.insert(b"b", b"b1", 2, ValueKind::Put, pos(1, 40));
+        retention.register(2);
+        memtable.insert(b"a", b"a2", 5, ValueKind::Put, pos(1, 80));
+        memtable.insert(b"c", b"c1", 6, ValueKind::Put, pos(1, 120));
+        let at2 = memtable.snapshot_entries_at(2);
+        let keys: Vec<&[u8]> = at2.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b"]);
+        assert_eq!(at2[0].1.value, b"a1", "snapshot view has the pre-overwrite value");
+        // A later bound sees everything at its newest version.
+        let now = memtable.snapshot_entries_at(u64::MAX);
+        assert_eq!(now.len(), 3);
+        assert_eq!(now[0].1.value, b"a2");
+        // The unbounded flush snapshot still carries only live versions.
+        assert_eq!(memtable.snapshot_entries().len(), 3);
+    }
+
+    #[test]
+    fn retained_versions_are_counted_in_the_approximate_size() {
+        let (memtable, retention) = retained_memtable();
+        memtable.insert(b"k", &[0u8; 512], 1, ValueKind::Put, pos(1, 0));
+        let before = memtable.approximate_size();
+        retention.register(1);
+        memtable.insert(b"k", &[0u8; 512], 2, ValueKind::Put, pos(1, 40));
+        assert!(
+            memtable.approximate_size() >= before + 512,
+            "the retained 512-byte version must be accounted"
+        );
     }
 }

@@ -31,7 +31,7 @@ pub mod reader;
 pub use bloom::BloomFilter;
 pub use builder::{TableBuilder, TableBuilderOptions};
 pub use cl_table::{ClTable, ClTableBuilder};
-pub use iter::{DedupIterator, EntryIter, MergingIterator};
+pub use iter::{bounded_to_seqno, DedupIterator, EntryIter, MergingIterator};
 pub use properties::{TableKind, TableProperties};
 pub use reader::Table;
 

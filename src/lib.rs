@@ -25,7 +25,8 @@
 
 pub use triad_common::{Error, Result, StatSnapshot, Stats};
 pub use triad_core::{
-    BackgroundIoMode, Db, DbIterator, Options, SyncMode, TriadConfig, WriteBatch, WriteOptions,
+    BackgroundIoMode, Db, DbIterator, Options, Snapshot, SyncMode, TriadConfig, WriteBatch,
+    WriteOptions,
 };
 pub use triad_workload as workload;
 

@@ -29,6 +29,30 @@ fn quickstart_lifecycle_through_the_facade() {
     assert_eq!(db.get(b"user:1:email").unwrap().as_deref(), Some(&b"lovelace@example.com"[..]));
     assert!(db.get(b"user:2:name").unwrap().is_none());
 
+    // An MVCC snapshot freezes the view: later writes, overwrites and deletes
+    // are invisible through it, while the live handle moves on.
+    let snapshot = db.snapshot();
+    db.put(b"user:1:email", b"countess@example.com").unwrap();
+    db.put(b"user:3:name", b"Grace Hopper").unwrap();
+    db.delete(b"user:1:name").unwrap();
+    assert_eq!(
+        snapshot.get(b"user:1:email").unwrap().as_deref(),
+        Some(&b"lovelace@example.com"[..]),
+        "the snapshot keeps the pre-overwrite value"
+    );
+    assert_eq!(snapshot.get(b"user:3:name").unwrap(), None, "post-snapshot keys are invisible");
+    assert_eq!(
+        snapshot.get(b"user:1:name").unwrap().as_deref(),
+        Some(&b"Ada Lovelace"[..]),
+        "a post-snapshot delete does not reach the snapshot"
+    );
+    let frozen: Vec<(Vec<u8>, Vec<u8>)> = snapshot.scan().unwrap().map(|r| r.unwrap()).collect();
+    assert_eq!(frozen.len(), 2, "snapshot scan sees exactly the two keys live at its seqno");
+    assert_eq!(db.get(b"user:1:email").unwrap().as_deref(), Some(&b"countess@example.com"[..]));
+    assert!(db.get(b"user:1:name").unwrap().is_none());
+    assert!(db.stats().snapshots_created >= 1);
+    drop(snapshot);
+
     // A batched write lands atomically.
     let mut batch = WriteBatch::new();
     for i in 0..1_000u32 {
@@ -47,9 +71,10 @@ fn quickstart_lifecycle_through_the_facade() {
     assert!(stats.wal_bytes_written > 0);
     db.close().unwrap();
 
-    // Reopen: every write (including the tombstone) survives the restart.
+    // Reopen: every write (including the tombstones) survives the restart.
     let db = Db::open(&dir, options).unwrap();
-    assert_eq!(db.get(b"user:1:email").unwrap().as_deref(), Some(&b"lovelace@example.com"[..]));
+    assert_eq!(db.get(b"user:1:email").unwrap().as_deref(), Some(&b"countess@example.com"[..]));
+    assert!(db.get(b"user:1:name").unwrap().is_none());
     assert!(db.get(b"user:2:name").unwrap().is_none());
     assert_eq!(db.get(b"metric:00999").unwrap().as_deref(), Some(&b"6993"[..]));
     let live = db.scan().unwrap().collect::<triad::Result<Vec<_>>>().unwrap();

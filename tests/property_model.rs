@@ -1,11 +1,13 @@
 //! Property-based tests: the engine behaves like a `BTreeMap` under arbitrary
-//! operation sequences, for every TRIAD configuration, including across a restart.
+//! operation sequences, for every TRIAD configuration, including across a restart —
+//! and every open MVCC snapshot behaves like the *versioned* reference model
+//! (key → list of `(seqno, value)`) frozen at the snapshot's sequence number.
 
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use triad::{Db, Options, TriadConfig};
+use triad::{Db, Options, Snapshot, TriadConfig, WriteBatch, WriteOptions};
 
 /// A single operation in a generated test program.
 #[derive(Debug, Clone)]
@@ -97,6 +99,142 @@ fn assert_matches_model(db: &Db, model: &BTreeMap<Vec<u8>, Vec<u8>>) {
     assert_eq!(scanned, expected, "scan mismatch");
 }
 
+/// One operation in a generated *versioned* test program: the plain ops plus
+/// snapshot lifecycle events and forced compactions.
+#[derive(Debug, Clone)]
+enum VersionedOp {
+    Put(u16, Vec<u8>),
+    Delete(u16),
+    Get(u16),
+    Flush,
+    /// Force flush + wait for every pending compaction (churns file lifetimes
+    /// under the open snapshots).
+    Compact,
+    /// Open a snapshot (replacing the oldest once a handful are open).
+    Snapshot,
+    /// Drop the oldest open snapshot.
+    DropSnapshot,
+    /// Verify every open snapshot's `get` against the versioned model.
+    CheckSnapshots,
+}
+
+fn versioned_op_strategy() -> impl Strategy<Value = VersionedOp> {
+    prop_oneof![
+        8 => (0u16..200, proptest::collection::vec(any::<u8>(), 0..48))
+            .prop_map(|(k, v)| VersionedOp::Put(k, v)),
+        3 => (0u16..200).prop_map(VersionedOp::Delete),
+        2 => (0u16..200).prop_map(VersionedOp::Get),
+        1 => Just(VersionedOp::Flush),
+        1 => Just(VersionedOp::Compact),
+        2 => Just(VersionedOp::Snapshot),
+        1 => Just(VersionedOp::DropSnapshot),
+        2 => Just(VersionedOp::CheckSnapshots),
+    ]
+}
+
+/// One committed version of a key: its seqno and value (`None` = tombstone).
+type KeyHistory = Vec<(u64, Option<Vec<u8>>)>;
+
+/// The versioned reference model: every key's full committed history as
+/// `(seqno, value)` pairs, ascending by seqno; `None` is a tombstone.
+#[derive(Default)]
+struct VersionedModel {
+    history: BTreeMap<Vec<u8>, KeyHistory>,
+}
+
+impl VersionedModel {
+    fn record(&mut self, key: Vec<u8>, seqno: u64, value: Option<Vec<u8>>) {
+        self.history.entry(key).or_default().push((seqno, value));
+    }
+
+    /// The value `key` had at snapshot seqno `at` (newest version `<= at`).
+    fn value_at(&self, key: &[u8], at: u64) -> Option<&Vec<u8>> {
+        let versions = self.history.get(key)?;
+        versions.iter().rev().find(|(seqno, _)| *seqno <= at).and_then(|(_, v)| v.as_ref())
+    }
+
+    /// The live value of `key` (newest version overall).
+    fn live_value(&self, key: &[u8]) -> Option<&Vec<u8>> {
+        self.value_at(key, u64::MAX)
+    }
+
+    /// The full `(key, value)` listing visible at snapshot seqno `at`.
+    fn listing_at(&self, at: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.history
+            .keys()
+            .filter_map(|key| self.value_at(key, at).map(|v| (key.clone(), v.clone())))
+            .collect()
+    }
+}
+
+/// Checks one snapshot's point reads and scan against the model at its seqno.
+fn assert_snapshot_matches_model(snap: &Snapshot, model: &VersionedModel, full_scan: bool) {
+    let at = snap.seqno();
+    for key in 0u16..200 {
+        let key = key_bytes(key);
+        assert_eq!(
+            snap.get(&key).unwrap().as_ref(),
+            model.value_at(&key, at),
+            "snapshot@{at} point-read mismatch for {key:?}"
+        );
+    }
+    if full_scan {
+        let scanned: Vec<(Vec<u8>, Vec<u8>)> = snap.scan().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(scanned, model.listing_at(at), "snapshot@{at} scan mismatch");
+    }
+}
+
+fn apply_versioned_ops(
+    db: &Db,
+    ops: &[VersionedOp],
+    model: &mut VersionedModel,
+    snapshots: &mut Vec<Snapshot>,
+) {
+    for op in ops {
+        match op {
+            VersionedOp::Put(key, value) => {
+                let key = key_bytes(*key);
+                let mut batch = WriteBatch::new();
+                batch.put(key.clone(), value.clone());
+                let seqno = db.write_committed(batch, WriteOptions::default()).unwrap();
+                model.record(key, seqno, Some(value.clone()));
+            }
+            VersionedOp::Delete(key) => {
+                let key = key_bytes(*key);
+                let mut batch = WriteBatch::new();
+                batch.delete(key.clone());
+                let seqno = db.write_committed(batch, WriteOptions::default()).unwrap();
+                model.record(key, seqno, None);
+            }
+            VersionedOp::Get(key) => {
+                let key = key_bytes(*key);
+                assert_eq!(db.get(&key).unwrap().as_ref(), model.live_value(&key));
+            }
+            VersionedOp::Flush => db.flush().unwrap(),
+            VersionedOp::Compact => {
+                db.flush().unwrap();
+                db.wait_for_compactions().unwrap();
+            }
+            VersionedOp::Snapshot => {
+                if snapshots.len() >= 4 {
+                    snapshots.remove(0);
+                }
+                snapshots.push(db.snapshot());
+            }
+            VersionedOp::DropSnapshot => {
+                if !snapshots.is_empty() {
+                    snapshots.remove(0);
+                }
+            }
+            VersionedOp::CheckSnapshots => {
+                for snap in snapshots.iter() {
+                    assert_snapshot_matches_model(snap, model, false);
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, max_shrink_iters: 200, .. ProptestConfig::default() })]
 
@@ -107,6 +245,42 @@ proptest! {
         let mut model = BTreeMap::new();
         apply_ops(&db, &ops, &mut model);
         assert_matches_model(&db, &model);
+        db.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Every open snapshot behaves exactly like the versioned reference model
+    /// frozen at its seqno, under randomized interleavings of writes, deletes,
+    /// snapshot opens/drops, flushes and forced compactions — for every TRIAD
+    /// configuration.
+    fn snapshots_match_versioned_model(
+        ops in proptest::collection::vec(versioned_op_strategy(), 1..120),
+        triad in config_strategy(),
+    ) {
+        let dir = unique_dir("mvcc");
+        let db = Db::open(&dir, tiny_options(triad)).unwrap();
+        let mut model = VersionedModel::default();
+        let mut snapshots: Vec<Snapshot> = Vec::new();
+        apply_versioned_ops(&db, &ops, &mut model, &mut snapshots);
+        // Final deep check: every snapshot still open gets point reads *and* a
+        // full scan against the model at its seqno, after one more round of
+        // background churn.
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        for snap in snapshots.iter() {
+            assert_snapshot_matches_model(snap, &model, true);
+        }
+        // The live view equals the model's newest versions (sanity: retention
+        // never leaks old versions into unbounded reads).
+        for key in 0u16..200 {
+            let key = key_bytes(key);
+            assert_eq!(db.get(&key).unwrap().as_ref(), model.live_value(&key));
+        }
+        let live: Vec<(Vec<u8>, Vec<u8>)> = db.scan().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(live, model.listing_at(u64::MAX), "live scan mismatch");
+        // Dropping every snapshot releases the pinned files to GC.
+        snapshots.clear();
+        db.wait_for_compactions().unwrap();
         db.close().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
