@@ -1,0 +1,44 @@
+//! Runs the production-traffic scenario suite — YCSB A–F plus the diurnal
+//! burst, overwrite-churn and hot-set-drift scenarios — through the open-loop
+//! harness and emits `BENCH_scenarios.json` with per-op-kind p50/p99/p999
+//! client latencies (measured from scheduled arrival, so queueing delay
+//! counts), the engine's own get/scan histograms, and the deterministic
+//! checksum of each scenario's op stream.
+//!
+//! Flags: `--full` for paper-scale op counts (default is a quick CI-scale
+//! run), `--out PATH` to redirect the JSON.
+//!
+//! The binary validates its own output — every op kind the mix promises must
+//! have been observed, and every engine histogram fed — and exits non-zero on
+//! violations, which is what the CI smoke step relies on.
+
+use std::path::PathBuf;
+
+use triad_bench::experiments::scenarios;
+use triad_bench::runner::Scale;
+
+fn out_path() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--out" {
+            return PathBuf::from(&pair[1]);
+        }
+    }
+    PathBuf::from("BENCH_scenarios.json")
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (_table, outcomes) = scenarios::run(scale).expect("scenario suite failed");
+    let path = out_path();
+    scenarios::write_json(&path, scale, &outcomes).expect("writing BENCH_scenarios.json failed");
+    println!("\nwrote {}", path.display());
+
+    let errors = scenarios::validate(&outcomes);
+    if !errors.is_empty() {
+        for error in &errors {
+            eprintln!("scenario validation failed: {error}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,15 +1,23 @@
 //! Figure 9A: throughput and write amplification on the production workloads.
+//!
+//! Since the scenario suite landed this figure is a thin wrapper over the
+//! shared scenario runner: each production profile becomes a closed-loop,
+//! write-only [`Scenario`] (via [`Scenario::production`]) and runs through
+//! the same [`scenarios::run_scenario`] path the open-loop suite uses, so
+//! production numbers and scenario numbers come from one code path.
 
 use triad_core::TriadConfig;
-use triad_workload::{OperationMix, ProductionProfile, ProductionWorkload};
+use triad_workload::{ProductionProfile, ProductionWorkload, Scenario};
 
+use crate::experiments::scenarios::{self, ScenarioRunConfig};
 use crate::experiments::{bench_options, fig7_profiles::scale_down_factor, ops_per_thread};
 use crate::report::{print_table, Table};
-use crate::runner::{run_experiment, ExperimentConfig, Scale};
+use crate::runner::Scale;
 
 /// Runs RocksDB-baseline and TRIAD on each production-like workload profile.
 pub fn run(scale: Scale) -> triad_common::Result<Table> {
     let factor = scale_down_factor(scale);
+    let threads = 8;
     let mut table = Table::new(&[
         "workload",
         "RocksDB KOPS",
@@ -23,21 +31,23 @@ pub fn run(scale: Scale) -> triad_common::Result<Table> {
         let profile = ProductionProfile::new(workload, factor);
         // The production workloads are metadata update streams; drive them write-only
         // as the paper's throughput numbers are for applying the workload.
-        let spec = profile.to_spec(OperationMix::new(0.0, 1.0, 0.0));
-        let ops = ops_per_thread(scale).min(profile.num_updates / 8 + 1);
+        let scenario = Scenario::production(&profile);
+        let ops = (ops_per_thread(scale).min(profile.num_updates / 8 + 1)) * threads as u64;
 
-        let run_one = |label: &str, triad: TriadConfig| -> triad_common::Result<_> {
-            let config = ExperimentConfig::new(
-                format!("fig9a-{label}-{}", profile.workload.label()),
-                bench_options(scale, triad),
-                spec.clone(),
-            )
-            .with_threads(8)
-            .with_ops_per_thread(ops);
-            run_experiment(&config)
+        let run_one = |triad: TriadConfig| -> triad_common::Result<_> {
+            let config = ScenarioRunConfig {
+                options: bench_options(scale, triad),
+                threads,
+                ops,
+                seed: 0xf19a,
+                queue_capacity: 1,
+                snapshot_refresh_every: 1,
+                drain_background: true,
+            };
+            scenarios::run_scenario(&scenario, &config)
         };
-        let baseline = run_one("rocksdb", TriadConfig::baseline())?;
-        let triad = run_one("triad", TriadConfig::all_enabled())?;
+        let baseline = run_one(TriadConfig::baseline())?;
+        let triad = run_one(TriadConfig::all_enabled())?;
         table.add_row(vec![
             profile.workload.label().to_string(),
             format!("{:.1}", baseline.kops),

@@ -1,0 +1,799 @@
+//! The production-traffic scenario suite: an open-loop harness over the
+//! declarative [`Scenario`] specs of `triad_workload`.
+//!
+//! The per-figure runners drive the store *closed-loop*: each thread issues
+//! its next operation only after the previous one returns, so when the store
+//! slows down the offered load silently slows down with it and tail latency
+//! under pressure never shows up. This module measures the other way:
+//!
+//! * A **dispatcher** thread walks the scenario's deterministic event stream
+//!   and releases each operation at its scheduled arrival time (a seeded
+//!   Poisson or diurnal-burst schedule in *virtual* nanoseconds, mapped 1:1
+//!   onto wall-clock time from the start of the run).
+//! * Released operations land in a **bounded queue**; worker threads drain
+//!   it. An operation's recorded latency runs from its *scheduled arrival*
+//!   to its completion, so time spent queued behind a slow store counts
+//!   against the store — the whole point of open-loop measurement. (If the
+//!   queue fills, the dispatcher stalls and the stall is both counted and,
+//!   because the schedule keeps its original timestamps, still charged to
+//!   latency rather than absorbed.)
+//! * Scenarios flagged `snapshot_scans` run their range scans against a
+//!   **rolling snapshot** — a shared [`Snapshot`] handle the workers re-take
+//!   every `snapshot_refresh_every` completed operations — exercising the
+//!   MVCC retention machinery under live overwrite traffic.
+//!
+//! Closed-loop scenarios (arrival [`ArrivalProcess::ClosedLoop`]) take a
+//! direct path with no dispatcher or queue; `fig9a_production` reuses it so
+//! the production numbers and the scenario numbers come from one runner.
+//!
+//! Every run reports per-op-kind client latency percentiles (p50/p99/p999,
+//! measured as above), the engine's own get/scan histograms from
+//! [`Stats`](triad_common::Stats), throughput, write/read amplification and
+//! the stream's FNV fingerprint ([`stream_checksum`]) proving which op
+//! sequence was measured.
+
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use triad_common::LatencyHistogram;
+use triad_core::{Db, Options, Snapshot, TriadConfig};
+use triad_workload::{
+    stream_checksum, ArrivalProcess, Scenario, ScenarioMix, ScenarioOp, ScenarioOpKind,
+};
+
+use crate::report::{print_table, Table};
+use crate::runner::Scale;
+
+/// How one scenario is executed: engine options plus harness shape.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunConfig {
+    /// Engine configuration.
+    pub options: Options,
+    /// Worker threads draining the queue (or, closed-loop, issuing directly).
+    pub threads: usize,
+    /// Total operations in the timed phase.
+    pub ops: u64,
+    /// Seed of the deterministic event stream.
+    pub seed: u64,
+    /// Capacity of the open-loop arrival queue.
+    pub queue_capacity: usize,
+    /// Completed operations between snapshot re-takes (rolling-snapshot
+    /// scenarios only).
+    pub snapshot_refresh_every: u64,
+    /// Wait for pending flushes/compactions before capturing final stats.
+    pub drain_background: bool,
+}
+
+impl ScenarioRunConfig {
+    /// The defaults the suite uses at a given scale.
+    pub fn for_scale(scale: Scale, options: Options) -> Self {
+        ScenarioRunConfig {
+            options,
+            threads: 4,
+            ops: scale.ops(4_000, 200_000),
+            seed: 0x5eed,
+            queue_capacity: 4_096,
+            snapshot_refresh_every: scale.ops(500, 5_000),
+            drain_background: true,
+        }
+    }
+}
+
+/// Latency percentiles for one operation kind, in microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct OpLatencies {
+    /// Observations recorded.
+    pub count: u64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Worst observation.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+impl OpLatencies {
+    fn from_hist(hist: &LatencyHistogram) -> OpLatencies {
+        OpLatencies {
+            count: hist.count(),
+            p50: hist.percentile(50.0) as f64 / 1_000.0,
+            p99: hist.percentile(99.0) as f64 / 1_000.0,
+            p999: hist.percentile(99.9) as f64 / 1_000.0,
+            max: hist.max() as f64 / 1_000.0,
+            mean: hist.mean() / 1_000.0,
+        }
+    }
+}
+
+/// Everything measured from one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario's stable name (`"ycsb_a"`, `"diurnal_burst"`, …).
+    pub name: String,
+    /// The mix, kept for validation (every kind with probability > 0 must
+    /// have been observed).
+    pub mix: ScenarioMix,
+    /// The mix's short label (`"50g-50p"`).
+    pub mix_label: String,
+    /// Arrival-process label (`"poisson"`, `"burst"`, `"closed-loop"`).
+    pub arrival: &'static str,
+    /// Mean offered arrival rate, ops/s (0 for closed loop).
+    pub offered_ops_per_sec: f64,
+    /// Whether scans ran against the rolling snapshot.
+    pub snapshot_scans: bool,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Operations executed.
+    pub total_ops: u64,
+    /// Wall-clock time of the timed phase.
+    pub elapsed: Duration,
+    /// Thousands of completed operations per second.
+    pub kops: f64,
+    /// Write amplification over the timed phase (paper definition).
+    pub write_amplification: f64,
+    /// Table probes per read over the timed phase.
+    pub read_amplification: f64,
+    /// FNV-1a fingerprint of the exact op stream that was executed.
+    pub op_stream_checksum: u64,
+    /// Deepest the arrival queue got (0 for closed loop).
+    pub max_queue_depth: usize,
+    /// Dispatcher pushes that found the queue full and had to wait.
+    pub queue_full_stalls: u64,
+    /// Times the rolling snapshot was re-taken.
+    pub snapshot_rolls: u64,
+    /// Client-observed latency per op kind, scheduled-arrival → completion.
+    /// Always lists all five kinds in [`ScenarioOpKind::all`] order; kinds
+    /// the mix never issues report zero counts.
+    pub client_latency_us: Vec<(ScenarioOpKind, OpLatencies)>,
+    /// The engine's own point-lookup histogram (`Stats::get_latency`).
+    pub engine_get_us: OpLatencies,
+    /// The engine's own scan histogram (`Stats::scan_latency`).
+    pub engine_scan_us: OpLatencies,
+}
+
+impl ScenarioOutcome {
+    /// The client latencies recorded for `kind`.
+    pub fn client_latency(&self, kind: ScenarioOpKind) -> OpLatencies {
+        self.client_latency_us
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, l)| *l)
+            .expect("every outcome lists all five kinds")
+    }
+}
+
+fn kind_slot(kind: ScenarioOpKind) -> usize {
+    ScenarioOpKind::all().iter().position(|k| *k == kind).expect("kind is in all()")
+}
+
+/// A bounded MPMC queue of scheduled operations. The vendored
+/// crossbeam-channel stand-in is unbounded-only, so the open-loop harness
+/// carries its own Mutex+Condvar queue: bounded (so an overloaded run cannot
+/// grow memory without limit), with dispatcher stalls counted rather than
+/// hidden.
+struct ArrivalQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    items: VecDeque<(Instant, ScenarioOp)>,
+    closed: bool,
+    max_depth: usize,
+    full_stalls: u64,
+}
+
+impl ArrivalQueue {
+    fn new(capacity: usize) -> ArrivalQueue {
+        ArrivalQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                max_depth: 0,
+                full_stalls: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues one scheduled operation, waiting while the queue is full.
+    /// The schedule keeps its original timestamps, so any wait here still
+    /// counts against the latency of every operation behind it.
+    fn push(&self, scheduled: Instant, op: ScenarioOp) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.items.len() >= self.capacity {
+            state.full_stalls += 1;
+            while state.items.len() >= self.capacity {
+                state = self.not_full.wait(state).expect("queue lock poisoned");
+            }
+        }
+        state.items.push_back((scheduled, op));
+        state.max_depth = state.max_depth.max(state.items.len());
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeues the next operation, or `None` once the queue is closed and
+    /// drained.
+    fn pop(&self) -> Option<(Instant, ScenarioOp)> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn depth_stats(&self) -> (usize, u64) {
+        let state = self.state.lock().expect("queue lock poisoned");
+        (state.max_depth, state.full_stalls)
+    }
+}
+
+/// The rolling snapshot shared by scan workers, plus its roll counter.
+struct RollingSnapshot {
+    current: Mutex<Arc<Snapshot>>,
+    rolls: AtomicU64,
+}
+
+impl RollingSnapshot {
+    fn new(db: &Db) -> RollingSnapshot {
+        RollingSnapshot { current: Mutex::new(Arc::new(db.snapshot())), rolls: AtomicU64::new(0) }
+    }
+
+    fn get(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.lock().expect("snapshot lock poisoned"))
+    }
+
+    fn roll(&self, db: &Db) {
+        let fresh = Arc::new(db.snapshot());
+        *self.current.lock().expect("snapshot lock poisoned") = fresh;
+        self.rolls.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Shared per-run worker context.
+struct WorkerContext {
+    db: Arc<Db>,
+    /// One client histogram per [`ScenarioOpKind`], indexed by `kind_slot`.
+    kind_hists: [LatencyHistogram; 5],
+    snapshot: Option<RollingSnapshot>,
+    snapshot_refresh_every: u64,
+    completed: AtomicU64,
+}
+
+impl WorkerContext {
+    /// Executes one operation against the store (reads through the rolling
+    /// snapshot where the scenario asks for it).
+    fn execute(&self, op: &ScenarioOp) -> triad_common::Result<()> {
+        match op {
+            ScenarioOp::Get { key } => {
+                self.db.get(key)?;
+            }
+            ScenarioOp::Put { key, value } => {
+                self.db.put(key, value)?;
+            }
+            ScenarioOp::Delete { key } => {
+                self.db.delete(key)?;
+            }
+            ScenarioOp::ReadModifyWrite { key, value } => {
+                self.db.get(key)?;
+                self.db.put(key, value)?;
+            }
+            ScenarioOp::Scan { start, len } => {
+                let take = *len as usize;
+                match &self.snapshot {
+                    Some(rolling) => {
+                        let snap = rolling.get();
+                        for pair in snap.scan_range(Some(start), None)?.take(take) {
+                            pair?;
+                        }
+                    }
+                    None => {
+                        for pair in self.db.scan_range(Some(start), None)?.take(take) {
+                            pair?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-completion bookkeeping: advances the completed-op counter and
+    /// rolls the shared snapshot on refresh boundaries.
+    fn finish_one(&self) {
+        let done = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(rolling) = &self.snapshot {
+            if self.snapshot_refresh_every > 0 && done % self.snapshot_refresh_every == 0 {
+                rolling.roll(&self.db);
+            }
+        }
+    }
+}
+
+fn unique_dir(label: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let sanitized: String =
+        label.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+    std::env::temp_dir().join(format!(
+        "triad-scenario-{sanitized}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Sleeps until `target`, spinning only for the final stretch so release
+/// jitter stays well under typical inter-arrival gaps (~50 µs at 20k ops/s)
+/// without burning a core through long quiet phases.
+fn wait_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= target {
+            return;
+        }
+        let remain = target - now;
+        if remain > Duration::from_millis(2) {
+            std::thread::sleep(remain - Duration::from_millis(1));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Runs one scenario and returns its outcome. The database lives in a fresh
+/// temporary directory that is removed afterwards.
+pub fn run_scenario(
+    scenario: &Scenario,
+    config: &ScenarioRunConfig,
+) -> triad_common::Result<ScenarioOutcome> {
+    let dir = unique_dir(&scenario.name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Arc::new(Db::open(&dir, config.options.clone())?);
+
+    for (key, value) in scenario.prepopulation() {
+        db.put(&key, &value)?;
+    }
+    db.flush()?;
+    db.wait_for_compactions()?;
+
+    let context = Arc::new(WorkerContext {
+        db: Arc::clone(&db),
+        kind_hists: std::array::from_fn(|_| LatencyHistogram::new()),
+        snapshot: scenario.snapshot_scans.then(|| RollingSnapshot::new(&db)),
+        snapshot_refresh_every: config.snapshot_refresh_every.max(1),
+        completed: AtomicU64::new(0),
+    });
+
+    let before = db.stats();
+    let started = Instant::now();
+    let (max_queue_depth, queue_full_stalls) = match scenario.arrival {
+        ArrivalProcess::ClosedLoop => {
+            run_closed_loop(scenario, config, &context)?;
+            (0, 0)
+        }
+        _ => run_open_loop(scenario, config, &context)?,
+    };
+    let elapsed = started.elapsed();
+
+    if config.drain_background {
+        db.flush()?;
+        db.wait_for_compactions()?;
+    }
+    let delta = db.stats().delta_since(&before);
+    let stats = db.stats_handle();
+    let engine_get_us = OpLatencies::from_hist(stats.get_latency());
+    let engine_scan_us = OpLatencies::from_hist(stats.scan_latency());
+    let snapshot_rolls =
+        context.snapshot.as_ref().map_or(0, |rolling| rolling.rolls.load(Ordering::Relaxed));
+    let client_latency_us = ScenarioOpKind::all()
+        .iter()
+        .map(|&kind| (kind, OpLatencies::from_hist(&context.kind_hists[kind_slot(kind)])))
+        .collect();
+
+    // Drop the rolling snapshot before closing the database.
+    drop(Arc::try_unwrap(context).map_err(|_| ()).expect("workers joined; context is unique"));
+    db.close()?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Ok(ScenarioOutcome {
+        name: scenario.name.clone(),
+        mix: scenario.mix,
+        mix_label: scenario.mix.label(),
+        arrival: scenario.arrival.label(),
+        offered_ops_per_sec: scenario.arrival.offered_ops_per_sec(),
+        snapshot_scans: scenario.snapshot_scans,
+        threads: config.threads,
+        total_ops: config.ops,
+        elapsed,
+        kops: config.ops as f64 / elapsed.as_secs_f64().max(1e-9) / 1_000.0,
+        write_amplification: delta.write_amplification(),
+        read_amplification: delta.read_amplification(),
+        op_stream_checksum: stream_checksum(scenario, config.seed, config.ops),
+        max_queue_depth,
+        queue_full_stalls,
+        snapshot_rolls,
+        client_latency_us,
+        engine_get_us,
+        engine_scan_us,
+    })
+}
+
+/// The open-loop path: one dispatcher releasing the schedule into the
+/// bounded queue, `config.threads` workers draining it.
+fn run_open_loop(
+    scenario: &Scenario,
+    config: &ScenarioRunConfig,
+    context: &Arc<WorkerContext>,
+) -> triad_common::Result<(usize, u64)> {
+    let queue = Arc::new(ArrivalQueue::new(config.queue_capacity));
+
+    let mut workers = Vec::new();
+    for _ in 0..config.threads.max(1) {
+        let queue = Arc::clone(&queue);
+        let context = Arc::clone(context);
+        workers.push(std::thread::spawn(move || -> triad_common::Result<()> {
+            while let Some((scheduled, op)) = queue.pop() {
+                context.execute(&op)?;
+                // Scheduled arrival → completion: queueing delay (and any
+                // dispatcher stall behind a full queue) counts against the
+                // store, exactly as an outside client would experience it.
+                let latency_ns = scheduled.elapsed().as_nanos() as u64;
+                context.kind_hists[kind_slot(op.kind())].record(latency_ns);
+                context.finish_one();
+            }
+            Ok(())
+        }));
+    }
+
+    let dispatcher = {
+        let queue = Arc::clone(&queue);
+        let stream = scenario.stream(config.seed, config.ops);
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            for event in stream {
+                let scheduled = start + Duration::from_nanos(event.arrival_ns);
+                wait_until(scheduled);
+                queue.push(scheduled, event.op);
+            }
+            queue.close();
+        })
+    };
+
+    dispatcher.join().expect("dispatcher thread panicked");
+    for worker in workers {
+        worker.join().expect("worker thread panicked")?;
+    }
+    Ok(queue.depth_stats())
+}
+
+/// The closed-loop path: the event stream is split round-robin across the
+/// worker threads, each issuing its share back-to-back. Latency runs from op
+/// start (there is no schedule to be late against).
+fn run_closed_loop(
+    scenario: &Scenario,
+    config: &ScenarioRunConfig,
+    context: &Arc<WorkerContext>,
+) -> triad_common::Result<()> {
+    let threads = config.threads.max(1);
+    let mut shares: Vec<Vec<ScenarioOp>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, event) in scenario.stream(config.seed, config.ops).enumerate() {
+        shares[i % threads].push(event.op);
+    }
+    let mut workers = Vec::new();
+    for share in shares {
+        let context = Arc::clone(context);
+        workers.push(std::thread::spawn(move || -> triad_common::Result<()> {
+            for op in share {
+                let issued = Instant::now();
+                context.execute(&op)?;
+                context.kind_hists[kind_slot(op.kind())].record(issued.elapsed().as_nanos() as u64);
+                context.finish_one();
+            }
+            Ok(())
+        }));
+    }
+    for worker in workers {
+        worker.join().expect("worker thread panicked")?;
+    }
+    Ok(())
+}
+
+/// Checks a batch of outcomes for schema/coverage problems: duplicate names,
+/// op kinds the mix promises but no latency was recorded for, and engine
+/// histograms that stayed empty despite read or scan traffic. Returns a list
+/// of human-readable violations (empty = valid).
+pub fn validate(outcomes: &[ScenarioOutcome]) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for outcome in outcomes {
+        if !seen.insert(outcome.name.clone()) {
+            errors.push(format!("duplicate scenario name {:?}", outcome.name));
+        }
+        for &kind in ScenarioOpKind::all().iter() {
+            let expected = outcome.mix.probability(kind) > 0.0;
+            let observed = outcome.client_latency(kind).count > 0;
+            if expected && !observed {
+                errors.push(format!(
+                    "{}: mix promises {} ops but none were recorded",
+                    outcome.name,
+                    kind.label()
+                ));
+            }
+        }
+        let reads = outcome.mix.get + outcome.mix.rmw;
+        if reads > 0.0 && outcome.engine_get_us.count == 0 {
+            errors.push(format!("{}: engine get histogram is empty despite reads", outcome.name));
+        }
+        if outcome.mix.scan > 0.0 && outcome.engine_scan_us.count == 0 {
+            errors.push(format!("{}: engine scan histogram is empty despite scans", outcome.name));
+        }
+    }
+    errors
+}
+
+/// Runs the whole suite (YCSB A–F plus the burst/churn/drift scenarios) and
+/// returns the rendered table alongside the raw outcomes.
+pub fn run(scale: Scale) -> triad_common::Result<(Table, Vec<ScenarioOutcome>)> {
+    let keys = scale.keys(5_000, 200_000);
+    let config = ScenarioRunConfig::for_scale(
+        scale,
+        super::bench_options(scale, TriadConfig::all_enabled()),
+    );
+    let mut outcomes = Vec::new();
+    for scenario in Scenario::suite(keys) {
+        outcomes.push(run_scenario(&scenario, &config)?);
+    }
+
+    let mut table = Table::new(&[
+        "scenario",
+        "mix",
+        "arrival",
+        "offered kops",
+        "kops",
+        "get p50/p99/p999 us",
+        "put p50/p99/p999 us",
+        "scan p50/p99/p999 us",
+        "WA",
+        "max queue",
+        "snap rolls",
+    ]);
+    let fmt_lat = |l: OpLatencies| {
+        if l.count == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}/{:.0}/{:.0}", l.p50, l.p99, l.p999)
+        }
+    };
+    for outcome in &outcomes {
+        table.add_row(vec![
+            outcome.name.clone(),
+            outcome.mix_label.clone(),
+            outcome.arrival.to_string(),
+            format!("{:.0}", outcome.offered_ops_per_sec / 1_000.0),
+            format!("{:.1}", outcome.kops),
+            fmt_lat(outcome.client_latency(ScenarioOpKind::Get)),
+            fmt_lat(outcome.client_latency(ScenarioOpKind::Put)),
+            fmt_lat(outcome.client_latency(ScenarioOpKind::Scan)),
+            format!("{:.2}", outcome.write_amplification),
+            outcome.max_queue_depth.to_string(),
+            outcome.snapshot_rolls.to_string(),
+        ]);
+    }
+    print_table(
+        "Scenario suite: open-loop production traffic (latency from scheduled arrival)",
+        &table,
+        "latency counts queueing delay against the store; closed-loop figure runners \
+         cannot show this because their offered load slows down with the store",
+    );
+    Ok((table, outcomes))
+}
+
+fn json_latency(l: &OpLatencies) -> String {
+    format!(
+        "{{\"count\": {}, \"p50\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}, \
+         \"max\": {:.1}, \"mean\": {:.1}}}",
+        l.count, l.p50, l.p99, l.p999, l.max, l.mean
+    )
+}
+
+/// Serializes the suite's outcomes to the JSON trajectory file
+/// (`BENCH_scenarios.json`). The schema is stable: every scenario always
+/// lists all five op kinds under `client_latency_us` (zero counts included)
+/// plus the engine's `get`/`scan` histograms, so downstream diffing never
+/// sees keys appear or vanish with the mix.
+pub fn write_json(path: &Path, scale: Scale, outcomes: &[ScenarioOutcome]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"scenarios\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Full { "full" } else { "quick" }
+    ));
+    out.push_str(
+        "  \"latency_unit\": \"microseconds; open-loop client latency runs from scheduled \
+         arrival to completion (queueing delay included), engine latency from the store's \
+         own get/scan histograms\",\n",
+    );
+    out.push_str("  \"scenarios\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mix\": \"{}\", \"arrival\": \"{}\", \
+             \"offered_ops_per_sec\": {:.0}, \"snapshot_scans\": {}, \"threads\": {}, \
+             \"total_ops\": {}, \"elapsed_sec\": {:.3}, \"kops\": {:.2}, \
+             \"write_amplification\": {:.3}, \"read_amplification\": {:.3}, \
+             \"op_stream_checksum\": \"{:#018x}\", \"max_queue_depth\": {}, \
+             \"queue_full_stalls\": {}, \"snapshot_rolls\": {},\n",
+            o.name,
+            o.mix_label,
+            o.arrival,
+            o.offered_ops_per_sec,
+            o.snapshot_scans,
+            o.threads,
+            o.total_ops,
+            o.elapsed.as_secs_f64(),
+            o.kops,
+            o.write_amplification,
+            o.read_amplification,
+            o.op_stream_checksum,
+            o.max_queue_depth,
+            o.queue_full_stalls,
+            o.snapshot_rolls,
+        ));
+        out.push_str("     \"client_latency_us\": {");
+        for (j, (kind, lat)) in o.client_latency_us.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{}\": {}{}",
+                kind.label(),
+                json_latency(lat),
+                if j + 1 == o.client_latency_us.len() { "" } else { ", " }
+            ));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "     \"engine_latency_us\": {{\"get\": {}, \"scan\": {}}}}}{}\n",
+            json_latency(&o.engine_get_us),
+            json_latency(&o.engine_scan_us),
+            if i + 1 == outcomes.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(ops: u64) -> ScenarioRunConfig {
+        let mut options = Options::small_for_tests();
+        options.l0_compaction_trigger = 2;
+        ScenarioRunConfig {
+            options,
+            threads: 2,
+            ops,
+            seed: 42,
+            queue_capacity: 64,
+            snapshot_refresh_every: 100,
+            drain_background: false,
+        }
+    }
+
+    #[test]
+    fn open_loop_run_covers_the_mix_and_validates() {
+        // A fast schedule keeps the test short: ~800 ops at 50k ops/s.
+        let mut scenario = Scenario::ycsb('a', 500);
+        scenario.arrival = ArrivalProcess::Poisson { ops_per_sec: 50_000.0 };
+        let outcome = run_scenario(&scenario, &tiny_config(800)).unwrap();
+        assert_eq!(outcome.total_ops, 800);
+        assert!(outcome.kops > 0.0);
+        assert!(outcome.client_latency(ScenarioOpKind::Get).count > 0);
+        assert!(outcome.client_latency(ScenarioOpKind::Put).count > 0);
+        assert_eq!(outcome.client_latency(ScenarioOpKind::Delete).count, 0);
+        assert!(outcome.engine_get_us.count > 0, "Db::get must feed the engine histogram");
+        let get = outcome.client_latency(ScenarioOpKind::Get);
+        assert!(get.p999 >= get.p99 && get.p99 >= get.p50, "percentiles monotone");
+        assert!(validate(std::slice::from_ref(&outcome)).is_empty());
+        assert_eq!(
+            outcome.op_stream_checksum,
+            triad_workload::stream_checksum(&scenario, 42, 800),
+            "the recorded checksum matches an independent regeneration"
+        );
+    }
+
+    #[test]
+    fn rolling_snapshot_scans_record_scan_latency() {
+        let mut scenario = Scenario::ycsb('e', 500);
+        scenario.arrival = ArrivalProcess::Poisson { ops_per_sec: 50_000.0 };
+        let mut config = tiny_config(400);
+        config.snapshot_refresh_every = 50;
+        let outcome = run_scenario(&scenario, &config).unwrap();
+        assert!(outcome.snapshot_scans);
+        assert!(outcome.client_latency(ScenarioOpKind::Scan).count > 0);
+        assert!(outcome.engine_scan_us.count > 0, "snapshot scans must feed the scan histogram");
+        assert!(outcome.snapshot_rolls >= 1, "the snapshot must have rolled at least once");
+        assert!(validate(std::slice::from_ref(&outcome)).is_empty());
+    }
+
+    #[test]
+    fn closed_loop_path_runs_without_a_queue() {
+        let profile =
+            triad_workload::ProductionProfile::new(triad_workload::ProductionWorkload::W2, 10_000);
+        let scenario = Scenario::production(&profile);
+        let outcome = run_scenario(&scenario, &tiny_config(600)).unwrap();
+        assert_eq!(outcome.arrival, "closed-loop");
+        assert_eq!(outcome.max_queue_depth, 0);
+        assert_eq!(outcome.queue_full_stalls, 0);
+        assert!(outcome.client_latency(ScenarioOpKind::Put).count == 600);
+        assert!(validate(std::slice::from_ref(&outcome)).is_empty());
+    }
+
+    #[test]
+    fn json_is_schema_stable_across_mixes() {
+        let mut scenario = Scenario::ycsb('c', 300);
+        scenario.arrival = ArrivalProcess::Poisson { ops_per_sec: 50_000.0 };
+        let outcome = run_scenario(&scenario, &tiny_config(300)).unwrap();
+        let path = std::env::temp_dir()
+            .join(format!("triad-scenarios-json-test-{}.json", std::process::id()));
+        write_json(&path, Scale::Quick, std::slice::from_ref(&outcome)).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        // All five kinds appear even though YCSB-C only ever issues gets.
+        for label in ["\"get\"", "\"put\"", "\"scan\"", "\"rmw\"", "\"delete\""] {
+            assert!(json.contains(label), "missing {label}");
+        }
+        for field in ["\"p50\"", "\"p99\"", "\"p999\"", "\"op_stream_checksum\""] {
+            assert!(json.contains(field), "missing {field}");
+        }
+    }
+
+    #[test]
+    fn validate_flags_promised_but_missing_kinds() {
+        let mut scenario = Scenario::ycsb('c', 300);
+        scenario.arrival = ArrivalProcess::Poisson { ops_per_sec: 50_000.0 };
+        let mut outcome = run_scenario(&scenario, &tiny_config(300)).unwrap();
+        // Claim the mix also promised scans: validation must notice none ran.
+        outcome.mix = ScenarioMix::new(0.5, 0.0, 0.5, 0.0, 0.0);
+        let errors = validate(std::slice::from_ref(&outcome));
+        assert!(errors.iter().any(|e| e.contains("scan")), "errors: {errors:?}");
+    }
+
+    #[test]
+    fn bounded_queue_counts_depth_and_closes_cleanly() {
+        let queue = ArrivalQueue::new(2);
+        let now = Instant::now();
+        queue.push(now, ScenarioOp::Get { key: vec![1] });
+        queue.push(now, ScenarioOp::Get { key: vec![2] });
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_some());
+        queue.close();
+        assert!(queue.pop().is_none(), "closed and drained");
+        let (max_depth, stalls) = queue.depth_stats();
+        assert_eq!(max_depth, 2);
+        assert_eq!(stalls, 0);
+    }
+}

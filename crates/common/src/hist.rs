@@ -226,6 +226,68 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_percentile() {
+        let hist = LatencyHistogram::new();
+        hist.record(1_234);
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), 1_234);
+        // With one observation, every quantile is that observation — and the
+        // top rank reports the recorded max exactly, not a bucket floor.
+        for p in [0.0, 0.1, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(hist.percentile(p), 1_234, "p{p}");
+        }
+        assert!(hist.mean() > 0.0 && hist.mean() <= 1_234.0);
+    }
+
+    #[test]
+    fn values_beyond_the_top_bucket_clamp_without_panicking() {
+        let hist = LatencyHistogram::new();
+        // The layout covers ~2.2e12 exactly; these all land in (or clamp to)
+        // the top bucket. `record` must neither panic nor lose counts, `max`
+        // stays exact, and percentile reporting caps at the recorded max.
+        let top_exact = SUB_BUCKETS << MAGNITUDES;
+        for v in [top_exact - 1, top_exact, top_exact * 2, u64::MAX / 2, u64::MAX] {
+            hist.record(v);
+        }
+        assert_eq!(hist.count(), 5);
+        assert_eq!(hist.max(), u64::MAX);
+        assert_eq!(hist.percentile(100.0), u64::MAX);
+        // Lower quantiles come from the clamped top buckets: they must be
+        // positive and at least the layout's exact range.
+        let p50 = hist.percentile(50.0);
+        assert!(p50 >= top_exact / 2, "p50 {p50} should sit in the top magnitudes");
+        // bucket_index itself clamps rather than indexing out of bounds.
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_p() {
+        let hist = LatencyHistogram::new();
+        // A spread that crosses several magnitudes, including duplicates.
+        let mut v = 3u64;
+        for _ in 0..5_000 {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            hist.record(v % 5_000_000);
+        }
+        let ps = [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 99.99, 100.0];
+        let mut last = 0u64;
+        for p in ps {
+            let q = hist.percentile(p);
+            assert!(q >= last, "percentile regressed at p{p}: {q} < {last}");
+            last = q;
+        }
+        assert_eq!(hist.percentile(100.0), hist.max());
+    }
+
+    #[test]
+    fn zero_sample_percentiles_are_zero_for_every_p() {
+        let hist = LatencyHistogram::new();
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(hist.percentile(p), 0);
+        }
+    }
+
+    #[test]
     fn concurrent_recording_loses_nothing() {
         use std::sync::Arc;
         let hist = Arc::new(LatencyHistogram::new());

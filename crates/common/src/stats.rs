@@ -10,6 +10,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::hist::LatencyHistogram;
+
 /// One in this many commit groups is wall-clock timed for the sampled
 /// `wal_append_us` / `wal_sync_wait_us` counters (see [`Stats::sample_timing`]).
 pub const TIMING_SAMPLE_EVERY: u64 = 16;
@@ -77,6 +79,13 @@ pub struct Stats {
     gc_files_deleted: AtomicU64,
     gc_logs_deleted: AtomicU64,
     gc_delete_failures: AtomicU64,
+
+    // Read-path latency distributions (nanoseconds). Cumulative histograms,
+    // not counters: they are read through [`Stats::get_latency`] /
+    // [`Stats::scan_latency`] and deliberately absent from [`StatSnapshot`],
+    // which stays a `Copy` bundle of scalars.
+    get_latency: LatencyHistogram,
+    scan_latency: LatencyHistogram,
 }
 
 macro_rules! counter_methods {
@@ -219,6 +228,28 @@ impl Stats {
     /// Returns the deepest commit pipeline observed so far, in groups.
     pub fn wal_pipeline_max_depth(&self) -> u64 {
         self.wal_pipeline_max_depth.load(Ordering::Relaxed)
+    }
+
+    /// Records one point-lookup latency, in nanoseconds. Used by the engine's
+    /// `Db::get` and snapshot reads; recording is one relaxed `fetch_add`.
+    pub fn record_get_latency_ns(&self, nanos: u64) {
+        self.get_latency.record(nanos);
+    }
+
+    /// The cumulative point-lookup latency histogram (nanoseconds).
+    pub fn get_latency(&self) -> &LatencyHistogram {
+        &self.get_latency
+    }
+
+    /// Records one scan latency, in nanoseconds: the engine measures an
+    /// iterator's whole lifetime, construction (tree capture) through drop.
+    pub fn record_scan_latency_ns(&self, nanos: u64) {
+        self.scan_latency.record(nanos);
+    }
+
+    /// The cumulative scan latency histogram (nanoseconds).
+    pub fn scan_latency(&self) -> &LatencyHistogram {
+        &self.scan_latency
     }
 
     /// Returns `true` for one in [`TIMING_SAMPLE_EVERY`] calls; the write path
@@ -612,6 +643,24 @@ mod tests {
             handle.join().expect("thread completes");
         }
         assert_eq!(stats.table_probes(), 80_000);
+    }
+
+    #[test]
+    fn read_latency_histograms_accumulate_independently() {
+        let stats = Stats::new();
+        assert_eq!(stats.get_latency().count(), 0);
+        assert_eq!(stats.scan_latency().count(), 0);
+        for nanos in [500, 1_200, 90_000] {
+            stats.record_get_latency_ns(nanos);
+        }
+        stats.record_scan_latency_ns(2_000_000);
+        assert_eq!(stats.get_latency().count(), 3);
+        assert_eq!(stats.scan_latency().count(), 1);
+        assert_eq!(stats.get_latency().max(), 90_000);
+        assert!(stats.scan_latency().percentile(50.0) > 1_000_000);
+        // The histograms are cumulative and not part of the Copy snapshot.
+        let _snap: StatSnapshot = stats.snapshot();
+        assert_eq!(stats.get_latency().count(), 3);
     }
 
     #[test]

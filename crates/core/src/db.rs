@@ -17,6 +17,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -454,8 +455,15 @@ impl Db {
 
     /// Returns the current value of `key`, or `None` if it does not exist (or was
     /// deleted).
+    ///
+    /// Each call's wall-clock latency is recorded (in nanoseconds) into the
+    /// shared [`Stats::get_latency`] histogram, so tail latency of the read
+    /// path is observable without any harness-side clocking.
     pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Vec<u8>>> {
-        self.inner.get(key.as_ref())
+        let started = Instant::now();
+        let result = self.inner.get(key.as_ref());
+        self.inner.stats.record_get_latency_ns(started.elapsed().as_nanos() as u64);
+        result
     }
 
     /// Returns an iterator over every live key/value pair in key order.
@@ -569,6 +577,22 @@ impl Db {
     /// The shared statistics registry (counters keep updating as the engine runs).
     pub fn stats_handle(&self) -> Arc<Stats> {
         Arc::clone(&self.inner.stats)
+    }
+
+    /// Total snapshot-retained prior versions currently held by the memory
+    /// component (active plus sealed memtables).
+    ///
+    /// Exposed for tests and diagnostics of the MVCC retention bound: with
+    /// `S` open snapshots, each key slot retains at most `S` prior versions,
+    /// and a stale prior left behind by a dropped snapshot is released by the
+    /// slot's next overwrite or by a memtable flush — so under churn this
+    /// value stays bounded by the live key count and never grows with the
+    /// number of overwrites.
+    pub fn retained_prior_versions(&self) -> usize {
+        let active = self.inner.mem.read().retained_versions();
+        let sealed: usize =
+            self.inner.imm.read().iter().map(|imm| imm.memtable.retained_versions()).sum();
+        active + sealed
     }
 
     /// The engine options this database was opened with.

@@ -1,9 +1,10 @@
 //! Full-database scans.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use triad_common::types::{Entry, SeqNo, ValueKind};
-use triad_common::Result;
+use triad_common::{Result, Stats};
 use triad_memtable::Memtable;
 use triad_sstable::{bounded_to_seqno, DedupIterator, EntryIter, MergingIterator};
 
@@ -28,6 +29,20 @@ pub struct DbIterator {
     end: Option<Vec<u8>>,
     /// Keeps the snapshot's files safe from garbage collection until drop.
     _pin: crate::db::PinnedVersion,
+    /// Shared statistics registry; the drop impl records this iterator's
+    /// lifetime into the scan-latency histogram.
+    stats: Arc<Stats>,
+    /// When the iterator was created. The recorded "scan latency" is the
+    /// whole lifetime — tree capture through drop — which for a
+    /// construct-iterate-drop scan (every bench and most callers) is exactly
+    /// the scan's wall-clock cost.
+    created: Instant,
+}
+
+impl Drop for DbIterator {
+    fn drop(&mut self) {
+        self.stats.record_scan_latency_ns(self.created.elapsed().as_nanos() as u64);
+    }
 }
 
 impl DbIterator {
@@ -37,6 +52,7 @@ impl DbIterator {
         start: Option<Vec<u8>>,
         end: Option<Vec<u8>>,
     ) -> Result<DbIterator> {
+        let created = Instant::now();
         let mut sources: Vec<EntryIter> = Vec::new();
 
         // Capture the memory component under the WAL lock plus an exclusive
@@ -82,7 +98,14 @@ impl DbIterator {
             }
         }
         let merged = MergingIterator::new(sources)?;
-        Ok(DbIterator { inner: DedupIterator::new(Box::new(merged), false), start, end, _pin: pin })
+        Ok(DbIterator {
+            inner: DedupIterator::new(Box::new(merged), false),
+            start,
+            end,
+            _pin: pin,
+            stats: Arc::clone(&db.stats),
+            created,
+        })
     }
 
     /// Creates an iterator over a snapshot's captured components, bounded at the
@@ -107,6 +130,7 @@ impl DbIterator {
         start: Option<Vec<u8>>,
         end: Option<Vec<u8>>,
     ) -> Result<DbIterator> {
+        let created = Instant::now();
         let mut sources: Vec<EntryIter> = Vec::new();
         sources.push(Box::new(mem.snapshot_as_entries_at(seqno).into_iter().map(Ok)));
         for sealed in imm.iter().rev() {
@@ -121,7 +145,14 @@ impl DbIterator {
             }
         }
         let merged = MergingIterator::new(sources)?;
-        Ok(DbIterator { inner: DedupIterator::new(Box::new(merged), false), start, end, _pin: pin })
+        Ok(DbIterator {
+            inner: DedupIterator::new(Box::new(merged), false),
+            start,
+            end,
+            _pin: pin,
+            stats: Arc::clone(&db.stats),
+            created,
+        })
     }
 }
 

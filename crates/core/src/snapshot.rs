@@ -104,7 +104,15 @@ impl Snapshot {
     /// ones: a memtable sealed, flushed and even garbage-collected since the
     /// snapshot was taken is still read here, in memory, through its `Arc`.
     pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Vec<u8>>> {
-        let key = key.as_ref();
+        let started = std::time::Instant::now();
+        let result = self.get_inner(key.as_ref());
+        self.db.stats.record_get_latency_ns(started.elapsed().as_nanos() as u64);
+        result
+    }
+
+    /// The untimed body of [`get`](Self::get); bounded-probe order documented
+    /// there.
+    fn get_inner(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let db = &self.db;
         db.stats.add_user_reads(1);
 

@@ -373,3 +373,92 @@ fn snapshot_in_the_pipelined_sync_window_never_sees_nondurable_data() {
     db.close().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn stale_prior_of_an_idle_key_is_released_by_overwrite_or_flush() {
+    // The PR 5 retention caveat, pinned as a test: pruning is piggybacked on
+    // the overwrite path, so a key overwritten *under* a snapshot keeps its
+    // retained prior version after the snapshot drops — until the slot's next
+    // overwrite (branch 1) or a memtable flush (branch 2) visits the slot.
+    let (db, dir) = open_small("retention-caveat", |options| {
+        // Keep everything in one active memtable: no rotation, no flush.
+        options.memtable_size = 4 * 1024 * 1024;
+    });
+    db.put(b"idle", b"v1").unwrap();
+    db.put(b"other", b"w1").unwrap();
+    assert_eq!(db.retained_prior_versions(), 0, "no snapshot, no retention");
+
+    let snap = db.snapshot();
+    db.put(b"idle", b"v2").unwrap();
+    assert_eq!(db.retained_prior_versions(), 1, "the overwrite retained v1 for the snapshot");
+    assert_eq!(snap.get(b"idle").unwrap().as_deref(), Some(b"v1".as_ref()));
+
+    drop(snap);
+    // The caveat itself: nothing revisits the slot, so the stale prior stays.
+    assert_eq!(
+        db.retained_prior_versions(),
+        1,
+        "an idle key's stale prior survives the snapshot drop (released lazily)"
+    );
+
+    // Branch 1: the slot's next overwrite prunes it.
+    db.put(b"idle", b"v3").unwrap();
+    assert_eq!(db.retained_prior_versions(), 0, "the next overwrite released the stale prior");
+
+    // Branch 2: a flush releases whatever overwrites never touched.
+    let snap = db.snapshot();
+    db.put(b"other", b"w2").unwrap();
+    drop(snap);
+    assert_eq!(db.retained_prior_versions(), 1, "stale prior for the idle `other` slot");
+    db.flush().unwrap();
+    assert_eq!(db.retained_prior_versions(), 0, "flush rebuilds the memory component prior-free");
+
+    db.close().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retained_memory_stays_bounded_under_churn_with_a_live_snapshot() {
+    // One open snapshot can pin at most one prior version per overwritten
+    // slot, no matter how many times the slot churns: each overwrite prunes
+    // the previous round's version (the snapshot can no longer read it,
+    // having a newer visible successor) and keeps only the newest version the
+    // snapshot *can* read. Memory is bounded by the key count, not the op count.
+    const KEYS: u64 = 50;
+    const ROUNDS: u64 = 40;
+    let (db, dir) = open_small("retention-bounded", |options| {
+        options.memtable_size = 8 * 1024 * 1024;
+    });
+    for i in 0..KEYS {
+        db.put(key_for(i), format!("v0-{i}").into_bytes()).unwrap();
+    }
+    let snap = db.snapshot();
+    for round in 1..=ROUNDS {
+        for i in 0..KEYS {
+            db.put(key_for(i), format!("v{round}-{i}").into_bytes()).unwrap();
+        }
+        let retained = db.retained_prior_versions();
+        assert!(
+            retained <= KEYS as usize,
+            "round {round}: retained {retained} priors for {KEYS} keys — retention must be \
+             bounded by the key count, not the {} overwrites so far",
+            round * KEYS
+        );
+    }
+    // The snapshot still reads its frozen world through all that churn.
+    for i in 0..KEYS {
+        assert_eq!(
+            snap.get(key_for(i)).unwrap().as_deref(),
+            Some(format!("v0-{i}").as_bytes()),
+            "snapshot view of key {i}"
+        );
+    }
+    drop(snap);
+    // One more sweep over every slot releases everything.
+    for i in 0..KEYS {
+        db.put(key_for(i), b"final").unwrap();
+    }
+    assert_eq!(db.retained_prior_versions(), 0, "churn after the drop releases all priors");
+    db.close().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

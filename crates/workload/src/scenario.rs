@@ -1,0 +1,782 @@
+//! Declarative production-traffic scenarios.
+//!
+//! The paper's claims are about production traffic — skewed, overwrite-heavy,
+//! bursty — which a closed-loop, put-only sweep cannot represent. A
+//! [`Scenario`] composes the crate's raw pieces ([`KeyDistribution`],
+//! Zipfian sampling, operation mixes) into a named, fully deterministic
+//! description of such traffic:
+//!
+//! * **YCSB-style mixes A–F** ([`Scenario::ycsb`]): the standard
+//!   read/update/insert/scan/read-modify-write blends over a Zipfian key
+//!   popularity. Workload D's "read latest" is approximated with a hot-set
+//!   drift whose offset tracks the most recently written region.
+//! * **Hot-set drift** ([`HotSetDrift`]): the sampled popularity rank is
+//!   shifted by an offset that rotates through the key space every
+//!   `period_ops` operations, modelling popularity that moves over time.
+//! * **Open-loop arrival** ([`ArrivalProcess`]): every event carries a
+//!   deterministic arrival timestamp drawn from a seeded Poisson process
+//!   (optionally with diurnal bursts), so a harness can measure latency
+//!   *under load* instead of closed-loop backpressure.
+//!
+//! Everything is seeded: `(scenario, seed, ops)` always produces the same
+//! event stream, byte for byte, which [`stream_checksum`] turns into a single
+//! comparable fingerprint — the property that makes scenario regressions
+//! diffable across machines and runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::KeyDistribution;
+use crate::{encode_key, encode_value};
+
+/// The kind of operation a scenario event issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioOpKind {
+    /// A point lookup.
+    Get,
+    /// A blind insert or update.
+    Put,
+    /// A short range scan.
+    Scan,
+    /// A read-modify-write: a get immediately followed by a put of the same
+    /// key (YCSB workload F's signature operation).
+    ReadModifyWrite,
+    /// A delete.
+    Delete,
+}
+
+impl ScenarioOpKind {
+    /// Every kind, in the order reports list them.
+    pub fn all() -> [ScenarioOpKind; 5] {
+        [
+            ScenarioOpKind::Get,
+            ScenarioOpKind::Put,
+            ScenarioOpKind::Scan,
+            ScenarioOpKind::ReadModifyWrite,
+            ScenarioOpKind::Delete,
+        ]
+    }
+
+    /// A short stable label (`"get"`, `"put"`, `"scan"`, `"rmw"`, `"delete"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioOpKind::Get => "get",
+            ScenarioOpKind::Put => "put",
+            ScenarioOpKind::Scan => "scan",
+            ScenarioOpKind::ReadModifyWrite => "rmw",
+            ScenarioOpKind::Delete => "delete",
+        }
+    }
+}
+
+/// A single operation, fully materialised (keys encoded, values built).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioOp {
+    /// Read the current value of `key`.
+    Get {
+        /// The encoded key.
+        key: Vec<u8>,
+    },
+    /// Insert or update `key`.
+    Put {
+        /// The encoded key.
+        key: Vec<u8>,
+        /// The value to write.
+        value: Vec<u8>,
+    },
+    /// Scan `len` live pairs starting at `start` (inclusive).
+    Scan {
+        /// The encoded inclusive start key.
+        start: Vec<u8>,
+        /// Maximum number of pairs to read.
+        len: u64,
+    },
+    /// Read `key`, then write `value` back to it.
+    ReadModifyWrite {
+        /// The encoded key.
+        key: Vec<u8>,
+        /// The replacement value.
+        value: Vec<u8>,
+    },
+    /// Delete `key`.
+    Delete {
+        /// The encoded key.
+        key: Vec<u8>,
+    },
+}
+
+impl ScenarioOp {
+    /// The kind of this operation.
+    pub fn kind(&self) -> ScenarioOpKind {
+        match self {
+            ScenarioOp::Get { .. } => ScenarioOpKind::Get,
+            ScenarioOp::Put { .. } => ScenarioOpKind::Put,
+            ScenarioOp::Scan { .. } => ScenarioOpKind::Scan,
+            ScenarioOp::ReadModifyWrite { .. } => ScenarioOpKind::ReadModifyWrite,
+            ScenarioOp::Delete { .. } => ScenarioOpKind::Delete,
+        }
+    }
+}
+
+/// A probability mix over [`ScenarioOpKind`]s; probabilities must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioMix {
+    /// Probability of a point lookup.
+    pub get: f64,
+    /// Probability of a blind put.
+    pub put: f64,
+    /// Probability of a range scan.
+    pub scan: f64,
+    /// Probability of a read-modify-write.
+    pub rmw: f64,
+    /// Probability of a delete.
+    pub delete: f64,
+}
+
+impl ScenarioMix {
+    /// Creates a mix, validating non-negativity and that the sum is 1.
+    pub fn new(get: f64, put: f64, scan: f64, rmw: f64, delete: f64) -> Self {
+        for p in [get, put, scan, rmw, delete] {
+            assert!(p >= 0.0, "probabilities must be non-negative, got {p}");
+        }
+        let sum = get + put + scan + rmw + delete;
+        assert!((sum - 1.0).abs() < 1e-9, "probabilities must sum to 1, got {sum}");
+        ScenarioMix { get, put, scan, rmw, delete }
+    }
+
+    /// The probability assigned to `kind`.
+    pub fn probability(&self, kind: ScenarioOpKind) -> f64 {
+        match kind {
+            ScenarioOpKind::Get => self.get,
+            ScenarioOpKind::Put => self.put,
+            ScenarioOpKind::Scan => self.scan,
+            ScenarioOpKind::ReadModifyWrite => self.rmw,
+            ScenarioOpKind::Delete => self.delete,
+        }
+    }
+
+    /// Samples an operation kind.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ScenarioOpKind {
+        let x: f64 = rng.gen();
+        let mut edge = self.get;
+        if x < edge {
+            return ScenarioOpKind::Get;
+        }
+        edge += self.put;
+        if x < edge {
+            return ScenarioOpKind::Put;
+        }
+        edge += self.scan;
+        if x < edge {
+            return ScenarioOpKind::Scan;
+        }
+        edge += self.rmw;
+        if x < edge {
+            return ScenarioOpKind::ReadModifyWrite;
+        }
+        ScenarioOpKind::Delete
+    }
+
+    /// A short label like `"50g-50p"`, listing only the non-zero shares.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        for (p, tag) in [
+            (self.get, "g"),
+            (self.put, "p"),
+            (self.scan, "s"),
+            (self.rmw, "m"),
+            (self.delete, "d"),
+        ] {
+            let pct = (p * 100.0).round() as u32;
+            if pct > 0 {
+                parts.push(format!("{pct}{tag}"));
+            }
+        }
+        parts.join("-")
+    }
+}
+
+/// Popularity that moves over time: every `period_ops` operations the sampled
+/// rank is shifted by a further `step_keys` (modulo the key space), so the hot
+/// set rotates through the keys instead of staying pinned to one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotSetDrift {
+    /// Operations between offset advances.
+    pub period_ops: u64,
+    /// Keys the offset advances by each period.
+    pub step_keys: u64,
+}
+
+/// The arrival process of an open-loop run.
+///
+/// Open-loop means operations arrive on a schedule *independent of service
+/// time*: a slow store makes the queue grow (and queueing delay count against
+/// latency) instead of silently slowing the generator down, which is how a
+/// closed-loop harness hides overload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// No schedule: issue the next operation as soon as the previous one
+    /// finishes (what the classic figure benches do). Arrival timestamps are
+    /// all zero.
+    ClosedLoop,
+    /// A Poisson process: exponential inter-arrival times at a fixed rate.
+    Poisson {
+        /// Mean arrival rate, operations per second.
+        ops_per_sec: f64,
+    },
+    /// A diurnal square wave: a Poisson process whose rate alternates between
+    /// `base_ops_per_sec` and `burst_ops_per_sec` every `phase_ns` of virtual
+    /// time — quiet phase, burst phase, quiet phase, …
+    Burst {
+        /// Arrival rate during quiet phases, operations per second.
+        base_ops_per_sec: f64,
+        /// Arrival rate during burst phases, operations per second.
+        burst_ops_per_sec: f64,
+        /// Length of each phase in nanoseconds of virtual time.
+        phase_ns: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// A short stable label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::ClosedLoop => "closed-loop",
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Burst { .. } => "burst",
+        }
+    }
+
+    /// The mean offered rate in operations per second (0 for closed loop,
+    /// the phase average for bursts).
+    pub fn offered_ops_per_sec(&self) -> f64 {
+        match self {
+            ArrivalProcess::ClosedLoop => 0.0,
+            ArrivalProcess::Poisson { ops_per_sec } => *ops_per_sec,
+            ArrivalProcess::Burst { base_ops_per_sec, burst_ops_per_sec, .. } => {
+                (base_ops_per_sec + burst_ops_per_sec) / 2.0
+            }
+        }
+    }
+
+    /// The arrival rate at virtual time `t_ns`.
+    fn rate_at(&self, t_ns: u64) -> f64 {
+        match self {
+            ArrivalProcess::ClosedLoop => 0.0,
+            ArrivalProcess::Poisson { ops_per_sec } => *ops_per_sec,
+            ArrivalProcess::Burst { base_ops_per_sec, burst_ops_per_sec, phase_ns } => {
+                if (t_ns / (*phase_ns).max(1)) % 2 == 1 {
+                    *burst_ops_per_sec
+                } else {
+                    *base_ops_per_sec
+                }
+            }
+        }
+    }
+}
+
+/// A declarative description of one production-traffic scenario.
+///
+/// A scenario owns everything needed to reproduce its operation stream:
+/// key-space shape, operation mix, key popularity (plus optional drift), the
+/// arrival process, and how scans behave. [`Scenario::stream`] turns it into
+/// a deterministic event iterator for a given seed.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable scenario name used in tables and JSON (e.g. `"ycsb_a"`).
+    pub name: String,
+    /// Number of distinct keys in the key space.
+    pub num_keys: u64,
+    /// Encoded key size in bytes.
+    pub key_size: usize,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Operation mix.
+    pub mix: ScenarioMix,
+    /// Key popularity distribution.
+    pub distribution: KeyDistribution,
+    /// Optional rotation of the hot set over time.
+    pub drift: Option<HotSetDrift>,
+    /// Arrival process of the open-loop schedule.
+    pub arrival: ArrivalProcess,
+    /// Maximum pairs read by each scan.
+    pub scan_len: u64,
+    /// When `true`, scans run against a rolling `Db::snapshot`-style frozen
+    /// view instead of the live tree (the harness decides how often to roll).
+    pub snapshot_scans: bool,
+    /// Fraction of the key space inserted before the timed phase.
+    pub prepopulate_fraction: f64,
+}
+
+/// The Zipfian exponent YCSB uses by default.
+const YCSB_THETA: f64 = 0.99;
+
+impl Scenario {
+    /// Builds the YCSB-style workload `which` (`'a'..='f'`) over `num_keys`
+    /// keys with the standard Zipfian popularity (theta 0.99):
+    ///
+    /// * **A** — update heavy: 50% reads, 50% updates.
+    /// * **B** — read mostly: 95% reads, 5% updates.
+    /// * **C** — read only.
+    /// * **D** — read latest: 95% reads, 5% inserts; approximated here by a
+    ///   hot-set drift that keeps rotating the popular region, modelling
+    ///   popularity that follows the freshest data.
+    /// * **E** — short scans: 95% scans, 5% inserts, on a rolling snapshot.
+    /// * **F** — read-modify-write: 50% reads, 50% RMW.
+    ///
+    /// # Panics
+    /// Panics if `which` is not in `'a'..='f'`.
+    pub fn ycsb(which: char, num_keys: u64) -> Scenario {
+        let (mix, drift, snapshot_scans) = match which {
+            'a' => (ScenarioMix::new(0.50, 0.50, 0.0, 0.0, 0.0), None, false),
+            'b' => (ScenarioMix::new(0.95, 0.05, 0.0, 0.0, 0.0), None, false),
+            'c' => (ScenarioMix::new(1.0, 0.0, 0.0, 0.0, 0.0), None, false),
+            'd' => (
+                ScenarioMix::new(0.95, 0.05, 0.0, 0.0, 0.0),
+                // "Read latest": popularity follows the most recently written
+                // region, modelled as a steadily rotating hot set.
+                Some(HotSetDrift { period_ops: 500, step_keys: (num_keys / 20).max(1) }),
+                false,
+            ),
+            'e' => (ScenarioMix::new(0.0, 0.05, 0.95, 0.0, 0.0), None, true),
+            'f' => (ScenarioMix::new(0.50, 0.0, 0.0, 0.50, 0.0), None, false),
+            other => panic!("YCSB workloads are 'a'..='f', got {other:?}"),
+        };
+        Scenario {
+            name: format!("ycsb_{which}"),
+            num_keys,
+            key_size: 8,
+            value_size: 255,
+            mix,
+            distribution: KeyDistribution::zipfian(num_keys, YCSB_THETA),
+            drift,
+            arrival: ArrivalProcess::Poisson { ops_per_sec: 20_000.0 },
+            scan_len: 50,
+            snapshot_scans,
+            prepopulate_fraction: 0.5,
+        }
+    }
+
+    /// A diurnal burst scenario: a balanced read/write mix with occasional
+    /// scans whose arrival rate alternates between a quiet base and an 8×
+    /// burst — the open-loop schedule that makes queueing delay visible.
+    pub fn diurnal_burst(num_keys: u64) -> Scenario {
+        Scenario {
+            name: "diurnal_burst".to_string(),
+            num_keys,
+            key_size: 8,
+            value_size: 255,
+            mix: ScenarioMix::new(0.45, 0.45, 0.10, 0.0, 0.0),
+            distribution: KeyDistribution::zipfian(num_keys, YCSB_THETA),
+            drift: None,
+            arrival: ArrivalProcess::Burst {
+                base_ops_per_sec: 5_000.0,
+                burst_ops_per_sec: 40_000.0,
+                phase_ns: 50_000_000, // 50 ms phases
+            },
+            scan_len: 20,
+            snapshot_scans: false,
+            prepopulate_fraction: 0.5,
+        }
+    }
+
+    /// Small-value heavy-overwrite churn — TRIAD's home turf. 90% overwrites
+    /// of 64-byte values over a skewed key space, with a trickle of gets and
+    /// rolling-snapshot scans so PR 5's retention machinery is exercised while
+    /// the hot/cold memtable split and CL-SSTables absorb the churn.
+    pub fn overwrite_churn(num_keys: u64) -> Scenario {
+        Scenario {
+            name: "overwrite_churn".to_string(),
+            num_keys,
+            key_size: 8,
+            value_size: 64,
+            mix: ScenarioMix::new(0.08, 0.90, 0.02, 0.0, 0.0),
+            distribution: KeyDistribution::ws1_high_skew(num_keys),
+            drift: None,
+            arrival: ArrivalProcess::Poisson { ops_per_sec: 30_000.0 },
+            scan_len: 20,
+            snapshot_scans: true,
+            prepopulate_fraction: 0.5,
+        }
+    }
+
+    /// A hot-set drift scenario: write-heavy Zipfian traffic whose popular
+    /// region rotates through the key space, defeating any static notion of
+    /// "hot" (the stress case for TRIAD-MEM's per-rotation hot/cold split).
+    pub fn hot_set_drift(num_keys: u64) -> Scenario {
+        Scenario {
+            name: "hot_set_drift".to_string(),
+            num_keys,
+            key_size: 8,
+            value_size: 255,
+            mix: ScenarioMix::new(0.30, 0.70, 0.0, 0.0, 0.0),
+            distribution: KeyDistribution::zipfian(num_keys, YCSB_THETA),
+            drift: Some(HotSetDrift { period_ops: 200, step_keys: (num_keys / 10).max(1) }),
+            arrival: ArrivalProcess::Poisson { ops_per_sec: 20_000.0 },
+            scan_len: 20,
+            snapshot_scans: false,
+            prepopulate_fraction: 0.5,
+        }
+    }
+
+    /// Wraps a production profile (paper §5.2) as a closed-loop, write-only
+    /// scenario — the shared code path `fig9a_production` drives, so
+    /// production numbers and scenario numbers come from one runner.
+    pub fn production(profile: &crate::production::ProductionProfile) -> Scenario {
+        Scenario {
+            name: format!("production_{}", profile.workload.label().replace(' ', "_")),
+            num_keys: profile.num_keys,
+            key_size: 16,
+            value_size: profile.value_size,
+            mix: ScenarioMix::new(0.0, 1.0, 0.0, 0.0, 0.0),
+            distribution: KeyDistribution::zipfian(profile.num_keys, profile.zipf_theta),
+            drift: None,
+            arrival: ArrivalProcess::ClosedLoop,
+            scan_len: 0,
+            snapshot_scans: false,
+            prepopulate_fraction: 0.5,
+        }
+    }
+
+    /// The scenario matrix the `fig_scenarios` binary runs: YCSB A–F plus the
+    /// diurnal burst, overwrite churn and hot-set drift scenarios.
+    pub fn suite(num_keys: u64) -> Vec<Scenario> {
+        let mut scenarios: Vec<Scenario> =
+            ['a', 'b', 'c', 'd', 'e', 'f'].iter().map(|&w| Scenario::ycsb(w, num_keys)).collect();
+        scenarios.push(Scenario::diurnal_burst(num_keys));
+        scenarios.push(Scenario::overwrite_churn(num_keys));
+        scenarios.push(Scenario::hot_set_drift(num_keys));
+        scenarios
+    }
+
+    /// The deterministic event stream for `(self, seed)`, `ops` events long.
+    pub fn stream(&self, seed: u64, ops: u64) -> ScenarioStream {
+        ScenarioStream {
+            scenario: self.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            remaining: ops,
+            issued: 0,
+            t_ns: 0,
+            next_version: 0,
+        }
+    }
+
+    /// The keys and values inserted before the timed phase (an evenly spaced
+    /// subset covering `prepopulate_fraction` of the key space).
+    pub fn prepopulation(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let count = ((self.num_keys as f64) * self.prepopulate_fraction.clamp(0.0, 1.0)) as u64;
+        if count == 0 {
+            return Vec::new();
+        }
+        let step = (self.num_keys / count).max(1);
+        let mut pairs = Vec::with_capacity(count as usize);
+        let mut index = 0u64;
+        while index < self.num_keys && (pairs.len() as u64) < count {
+            pairs.push((encode_key(index, self.key_size), encode_value(index, 0, self.value_size)));
+            index += step;
+        }
+        pairs
+    }
+}
+
+/// One scheduled operation: what to do and when it arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioEvent {
+    /// Arrival offset from the start of the run, in nanoseconds of virtual
+    /// time (0 for every event of a closed-loop scenario).
+    pub arrival_ns: u64,
+    /// The operation to execute.
+    pub op: ScenarioOp,
+}
+
+/// The deterministic event iterator produced by [`Scenario::stream`].
+#[derive(Debug)]
+pub struct ScenarioStream {
+    scenario: Scenario,
+    rng: StdRng,
+    remaining: u64,
+    issued: u64,
+    t_ns: u64,
+    next_version: u64,
+}
+
+impl ScenarioStream {
+    /// Samples a key index: popularity rank from the distribution, shifted by
+    /// the current drift offset (if any), then kept in range.
+    fn sample_key_index(&mut self) -> u64 {
+        let base = self.scenario.distribution.sample(&mut self.rng);
+        match self.scenario.drift {
+            None => base,
+            Some(drift) => {
+                let offset = (self.issued / drift.period_ops.max(1)).wrapping_mul(drift.step_keys)
+                    % self.scenario.num_keys;
+                (base + offset) % self.scenario.num_keys
+            }
+        }
+    }
+
+    /// Advances virtual time by one exponential inter-arrival step.
+    fn advance_arrival(&mut self) -> u64 {
+        let rate = self.scenario.arrival.rate_at(self.t_ns);
+        if rate <= 0.0 {
+            return 0; // Closed loop: no schedule.
+        }
+        // Inverse-CDF exponential sampling; clamp u away from 1 so ln stays
+        // finite. The draw is part of the seeded stream, so arrivals are as
+        // reproducible as the operations themselves.
+        let u: f64 = self.rng.gen::<f64>().min(1.0 - 1e-12);
+        let dt_sec = -(1.0 - u).ln() / rate;
+        self.t_ns += (dt_sec * 1e9) as u64;
+        self.t_ns
+    }
+}
+
+impl Iterator for ScenarioStream {
+    type Item = ScenarioEvent;
+
+    fn next(&mut self) -> Option<ScenarioEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let arrival_ns = self.advance_arrival();
+        let kind = self.scenario.mix.sample(&mut self.rng);
+        let key_index = self.sample_key_index();
+        let key = encode_key(key_index, self.scenario.key_size);
+        let op = match kind {
+            ScenarioOpKind::Get => ScenarioOp::Get { key },
+            ScenarioOpKind::Put => {
+                self.next_version += 1;
+                let value = encode_value(key_index, self.next_version, self.scenario.value_size);
+                ScenarioOp::Put { key, value }
+            }
+            ScenarioOpKind::Scan => {
+                ScenarioOp::Scan { start: key, len: self.scenario.scan_len.max(1) }
+            }
+            ScenarioOpKind::ReadModifyWrite => {
+                self.next_version += 1;
+                let value = encode_value(key_index, self.next_version, self.scenario.value_size);
+                ScenarioOp::ReadModifyWrite { key, value }
+            }
+            ScenarioOpKind::Delete => ScenarioOp::Delete { key },
+        };
+        self.issued += 1;
+        Some(ScenarioEvent { arrival_ns, op })
+    }
+}
+
+/// FNV-1a fingerprint of the full event stream `(scenario, seed, ops)`.
+///
+/// Two runs with the same inputs produce the same checksum on any machine;
+/// the figure binary records it in `BENCH_scenarios.json` so a reviewer can
+/// verify that two result files measured *identical* op streams.
+pub fn stream_checksum(scenario: &Scenario, seed: u64, ops: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for event in scenario.stream(seed, ops) {
+        mix(&event.arrival_ns.to_le_bytes());
+        match &event.op {
+            ScenarioOp::Get { key } => {
+                mix(b"g");
+                mix(key);
+            }
+            ScenarioOp::Put { key, value } => {
+                mix(b"p");
+                mix(key);
+                mix(value);
+            }
+            ScenarioOp::Scan { start, len } => {
+                mix(b"s");
+                mix(start);
+                mix(&len.to_le_bytes());
+            }
+            ScenarioOp::ReadModifyWrite { key, value } => {
+                mix(b"m");
+                mix(key);
+                mix(value);
+            }
+            ScenarioOp::Delete { key } => {
+                mix(b"d");
+                mix(key);
+            }
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ycsb_mixes_match_the_standard_shapes() {
+        let a = Scenario::ycsb('a', 1_000);
+        assert_eq!(a.mix.label(), "50g-50p");
+        let b = Scenario::ycsb('b', 1_000);
+        assert_eq!(b.mix.label(), "95g-5p");
+        let c = Scenario::ycsb('c', 1_000);
+        assert_eq!(c.mix.label(), "100g");
+        let d = Scenario::ycsb('d', 1_000);
+        assert!(d.drift.is_some(), "D approximates read-latest with drift");
+        let e = Scenario::ycsb('e', 1_000);
+        assert!(e.snapshot_scans, "E scans a rolling snapshot");
+        assert!((e.mix.scan - 0.95).abs() < 1e-9);
+        let f = Scenario::ycsb('f', 1_000);
+        assert!((f.mix.rmw - 0.50).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_ycsb_letter_panics() {
+        Scenario::ycsb('z', 1_000);
+    }
+
+    #[test]
+    fn suite_covers_the_required_scenarios() {
+        let suite = Scenario::suite(1_000);
+        let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.len() >= 5);
+        assert!(names.contains(&"ycsb_e"), "rolling-snapshot scan scenario");
+        assert!(names.contains(&"diurnal_burst"), "open-loop burst scenario");
+        assert!(names.contains(&"overwrite_churn"));
+        // Every suite member arrives open-loop (the point of the harness).
+        for scenario in &suite {
+            assert_ne!(scenario.arrival, ArrivalProcess::ClosedLoop, "{}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let scenario = Scenario::ycsb('a', 2_000);
+        let a: Vec<ScenarioEvent> = scenario.stream(7, 500).collect();
+        let b: Vec<ScenarioEvent> = scenario.stream(7, 500).collect();
+        assert_eq!(a, b);
+        let c: Vec<ScenarioEvent> = scenario.stream(8, 500).collect();
+        assert_ne!(a, c, "different seeds must differ");
+        assert_eq!(stream_checksum(&scenario, 7, 500), stream_checksum(&scenario, 7, 500));
+        assert_ne!(stream_checksum(&scenario, 7, 500), stream_checksum(&scenario, 8, 500));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_rate_scaled() {
+        let scenario = Scenario::ycsb('b', 2_000);
+        let events: Vec<ScenarioEvent> = scenario.stream(3, 2_000).collect();
+        let mut last = 0;
+        for event in &events {
+            assert!(event.arrival_ns >= last, "arrivals must be monotone");
+            last = event.arrival_ns;
+        }
+        // 2000 events at 20k ops/s should take ~0.1 s of virtual time.
+        let total_sec = last as f64 / 1e9;
+        assert!((0.05..0.3).contains(&total_sec), "virtual duration {total_sec}s");
+    }
+
+    #[test]
+    fn burst_schedule_alternates_rates() {
+        let scenario = Scenario::diurnal_burst(2_000);
+        let events: Vec<ScenarioEvent> = scenario.stream(5, 4_000).collect();
+        let phase_ns = match scenario.arrival {
+            ArrivalProcess::Burst { phase_ns, .. } => phase_ns,
+            _ => unreachable!(),
+        };
+        // Count arrivals per phase parity: burst phases must be denser.
+        let (mut quiet, mut burst) = (0u64, 0u64);
+        for event in &events {
+            if (event.arrival_ns / phase_ns) % 2 == 1 {
+                burst += 1;
+            } else {
+                quiet += 1;
+            }
+        }
+        assert!(
+            burst > quiet * 2,
+            "burst phases should carry most arrivals (quiet {quiet}, burst {burst})"
+        );
+        assert!(scenario.arrival.offered_ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn drift_rotates_the_hot_set() {
+        let scenario = Scenario::hot_set_drift(10_000);
+        // Compare the hottest key early vs late in the stream: with drift the
+        // popular region must move.
+        let events: Vec<ScenarioEvent> = scenario.stream(11, 20_000).collect();
+        let hottest = |slice: &[ScenarioEvent]| -> u64 {
+            let mut counts = std::collections::HashMap::new();
+            for event in slice {
+                let key = match &event.op {
+                    ScenarioOp::Get { key }
+                    | ScenarioOp::Put { key, .. }
+                    | ScenarioOp::ReadModifyWrite { key, .. }
+                    | ScenarioOp::Delete { key } => key,
+                    ScenarioOp::Scan { start, .. } => start,
+                };
+                *counts.entry(crate::decode_key(key).unwrap()).or_insert(0u64) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, n)| n).map(|(k, _)| k).unwrap()
+        };
+        let early = hottest(&events[..2_000]);
+        let late = hottest(&events[18_000..]);
+        assert_ne!(early, late, "the hottest key must move as the hot set drifts");
+    }
+
+    #[test]
+    fn mix_sampling_converges_and_scan_ops_carry_length() {
+        let scenario = Scenario::ycsb('e', 2_000);
+        let mut scans = 0u64;
+        let mut puts = 0u64;
+        let total = 20_000;
+        for event in scenario.stream(1, total) {
+            match event.op {
+                ScenarioOp::Scan { len, .. } => {
+                    assert_eq!(len, scenario.scan_len);
+                    scans += 1;
+                }
+                ScenarioOp::Put { .. } => puts += 1,
+                other => panic!("unexpected op in YCSB-E: {other:?}"),
+            }
+        }
+        let scan_share = scans as f64 / total as f64;
+        assert!((scan_share - 0.95).abs() < 0.01, "scan share {scan_share}");
+        assert!(puts > 0);
+    }
+
+    #[test]
+    fn production_scenario_is_closed_loop_write_only() {
+        let profile = crate::production::ProductionProfile::new(
+            crate::production::ProductionWorkload::W2,
+            10_000,
+        );
+        let scenario = Scenario::production(&profile);
+        assert_eq!(scenario.arrival, ArrivalProcess::ClosedLoop);
+        assert!((scenario.mix.put - 1.0).abs() < 1e-9);
+        assert_eq!(scenario.num_keys, profile.num_keys);
+        for event in scenario.stream(2, 200) {
+            assert_eq!(event.arrival_ns, 0, "closed loop carries no schedule");
+            assert!(matches!(event.op, ScenarioOp::Put { .. }));
+        }
+    }
+
+    #[test]
+    fn prepopulation_covers_the_fraction() {
+        let scenario = Scenario::ycsb('a', 10_000);
+        let pairs = scenario.prepopulation();
+        assert!((pairs.len() as i64 - 5_000).abs() <= 1, "got {}", pairs.len());
+        for window in pairs.windows(2) {
+            assert!(window[0].0 < window[1].0, "prepopulation keys sorted and distinct");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mix_must_sum_to_one() {
+        ScenarioMix::new(0.5, 0.4, 0.0, 0.0, 0.0);
+    }
+}
