@@ -7,9 +7,10 @@
 //! production the call is a single relaxed atomic load, while tests arm specific
 //! failpoints with [`FailpointRegistry::arm`] to make the call site return an error.
 
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 
@@ -46,14 +47,14 @@ impl FailpointRegistry {
 
     /// Arms `name` with the given action.
     pub fn arm(&self, name: &str, action: FailpointAction) {
-        let mut armed = self.armed.lock().expect("failpoint lock poisoned");
+        let mut armed = self.armed.lock();
         armed.insert(name.to_string(), Armed { action, hits: 0 });
         self.any_armed.store(true, Ordering::SeqCst);
     }
 
     /// Disarms `name`; does nothing if it was not armed.
     pub fn disarm(&self, name: &str) {
-        let mut armed = self.armed.lock().expect("failpoint lock poisoned");
+        let mut armed = self.armed.lock();
         armed.remove(name);
         if armed.is_empty() {
             self.any_armed.store(false, Ordering::SeqCst);
@@ -62,14 +63,14 @@ impl FailpointRegistry {
 
     /// Disarms every failpoint.
     pub fn clear(&self) {
-        let mut armed = self.armed.lock().expect("failpoint lock poisoned");
+        let mut armed = self.armed.lock();
         armed.clear();
         self.any_armed.store(false, Ordering::SeqCst);
     }
 
     /// Number of times `name` has been hit since it was armed.
     pub fn hits(&self, name: &str) -> u32 {
-        let armed = self.armed.lock().expect("failpoint lock poisoned");
+        let armed = self.armed.lock();
         armed.get(name).map(|a| a.hits).unwrap_or(0)
     }
 
@@ -81,7 +82,7 @@ impl FailpointRegistry {
         if !self.any_armed.load(Ordering::Relaxed) {
             return Ok(());
         }
-        let mut armed = self.armed.lock().expect("failpoint lock poisoned");
+        let mut armed = self.armed.lock();
         let Some(entry) = armed.get_mut(name) else {
             return Ok(());
         };

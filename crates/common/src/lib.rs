@@ -13,6 +13,9 @@
 //! * [`retention`] — the snapshot registry telling the memtable which
 //!   superseded versions MVCC snapshots can still see.
 //! * [`failpoint`] — a tiny failure-injection facility used by recovery tests.
+//! * [`lockrank`] — rank-checked lock wrappers that turn lock-order
+//!   violations into debug-build panics (the dynamic half of `triad-lint`'s
+//!   `lock-order` rule).
 //!
 //! Nothing in this crate performs I/O or spawns threads; it is deliberately the
 //! leaf of the dependency graph.
@@ -24,6 +27,7 @@ pub mod checksum;
 pub mod error;
 pub mod failpoint;
 pub mod hist;
+pub mod lockrank;
 pub mod retention;
 pub mod stats;
 pub mod types;
@@ -31,6 +35,7 @@ pub mod varint;
 
 pub use error::{Error, Result};
 pub use hist::LatencyHistogram;
+pub use lockrank::{RankedMutex, RankedRwLock};
 pub use retention::SnapshotRetention;
 pub use stats::{StatSnapshot, Stats};
 pub use types::{InternalKey, SeqNo, ValueKind};

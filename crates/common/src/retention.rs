@@ -26,9 +26,9 @@
 //! missing a just-opened snapshot. Deregistration may race inserts freely:
 //! stale atomics only ever err toward retaining *more*, never less.
 
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use crate::types::SeqNo;
 
@@ -59,7 +59,7 @@ impl SnapshotRetention {
     /// against memtable inserts (the engine holds the commit gate exclusively)
     /// so retention can never miss a freshly opened snapshot.
     pub fn register(&self, seqno: SeqNo) {
-        let mut open = self.open.lock().expect("snapshot registry poisoned");
+        let mut open = self.open.lock();
         *open.entry(seqno).or_insert(0) += 1;
         self.publish_bounds(&open);
     }
@@ -67,7 +67,7 @@ impl SnapshotRetention {
     /// Removes one registration of `seqno` (snapshot dropped). May race
     /// inserts: a stale bound only retains more than necessary.
     pub fn deregister(&self, seqno: SeqNo) {
-        let mut open = self.open.lock().expect("snapshot registry poisoned");
+        let mut open = self.open.lock();
         if let Some(count) = open.get_mut(&seqno) {
             *count -= 1;
             if *count == 0 {
@@ -98,7 +98,7 @@ impl SnapshotRetention {
 
     /// Number of distinct seqnos currently registered (diagnostics).
     pub fn open_count(&self) -> usize {
-        self.open.lock().expect("snapshot registry poisoned").len()
+        self.open.lock().len()
     }
 }
 

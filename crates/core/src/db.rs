@@ -20,7 +20,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam_channel::{Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
+use triad_common::lockrank::{RankedMutex, RankedRwLock};
 
 use triad_common::failpoint::FailpointRegistry;
 use triad_common::types::{Entry, SeqNo, ValueKind};
@@ -160,6 +161,32 @@ impl Drop for PinnedVersion {
     }
 }
 
+/// Lock ranks for the engine's ranked locks. Acquisition must proceed in
+/// strictly increasing rank (checked dynamically in debug builds by
+/// `triad_common::lockrank`, statically by `triad-lint`'s `lock-order` rule).
+/// Ranks are spaced so new locks can slot in without renumbering; the
+/// memtable's shard locks sit above all of these at rank
+/// [`triad_memtable::SHARD_LOCK_RANK`] (70). The full table with rationale
+/// lives in docs/ARCHITECTURE.md, "Enforced invariants".
+pub(crate) mod lock_rank {
+    /// GC queue: held while inspecting the version set / WAL / imm list.
+    pub const GC: u32 = 5;
+    /// The append (WAL) lock: the first lock on the write path.
+    pub const WAL: u32 = 10;
+    /// The commit gate: taken after the WAL lock, released out of order.
+    pub const COMMIT_GATE: u32 = 20;
+    /// The version set (manifest).
+    pub const VERSIONS: u32 = 30;
+    /// The cached current version (installed while `versions` is held).
+    pub const CURRENT_VERSION: u32 = 35;
+    /// The active memtable handle.
+    pub const MEM: u32 = 40;
+    /// The sealed-memtable list.
+    pub const IMM: u32 = 45;
+    /// The table cache's open-reader map.
+    pub const TABLE_CACHE: u32 = 60;
+}
+
 /// Shared engine state.
 pub(crate) struct DbInner {
     pub(crate) path: PathBuf,
@@ -169,7 +196,7 @@ pub(crate) struct DbInner {
     /// Guards the active commit log. On the grouped write path only the current
     /// group leader (plus flush hot write-back, rotation and close) takes it; it
     /// no longer serialises per-record encoding, stats or memtable inserts.
-    pub(crate) wal: Mutex<WalState>,
+    pub(crate) wal: RankedMutex<WalState>,
     /// The group-commit queue: leader election and writer hand-off.
     pub(crate) committer: Committer,
     /// Retires pipelined commit groups in append order: `last_seqno` may only
@@ -194,21 +221,21 @@ pub(crate) struct DbInner {
     /// back them are retired). On the non-pipelined grouped path the write side
     /// also takes it exclusively, which is what serialized groups end-to-end
     /// before the pipelined commit existed.
-    pub(crate) commit_gate: RwLock<()>,
+    pub(crate) commit_gate: RankedRwLock<()>,
     /// The active memory component.
-    pub(crate) mem: RwLock<Arc<Memtable>>,
+    pub(crate) mem: RankedRwLock<Arc<Memtable>>,
     /// Sealed memory components awaiting flush, oldest first.
-    pub(crate) imm: RwLock<Vec<Arc<ImmutableMemtable>>>,
+    pub(crate) imm: RankedRwLock<Vec<Arc<ImmutableMemtable>>>,
     /// The version set (manifest); also the allocator of file numbers.
-    pub(crate) versions: Mutex<VersionSet>,
+    pub(crate) versions: RankedMutex<VersionSet>,
     /// Cached copy of the current version for the read path.
-    pub(crate) current_version: RwLock<Arc<Version>>,
+    pub(crate) current_version: RankedRwLock<Arc<Version>>,
     /// Open MVCC snapshots, by seqno. Shared with every memtable this engine
     /// creates, so an overwrite knows whether the version it shadows must be
     /// preserved for a snapshot-bounded read (see [`SnapshotRetention`]).
     pub(crate) retention: Arc<SnapshotRetention>,
     /// Files retired from the version chain, awaiting garbage collection.
-    gc: Mutex<GcQueue>,
+    gc: RankedMutex<GcQueue>,
     /// `true` while the GC queue is non-empty; lets dropping readers decide
     /// whether a collection nudge is worth sending without taking the queue lock.
     gc_pending: Arc<AtomicBool>,
@@ -295,26 +322,38 @@ impl Db {
             options,
             stats,
             failpoints,
-            wal: Mutex::new(WalState {
-                writer: wal_writer,
-                id: wal_id,
-                writes_since_sync: 0,
-                next_seqno: last_seqno + 1,
-                encoder: BatchEncoder::new(),
-                next_group_index: 0,
-            }),
+            wal: RankedMutex::new(
+                lock_rank::WAL,
+                "db.wal",
+                WalState {
+                    writer: wal_writer,
+                    id: wal_id,
+                    writes_since_sync: 0,
+                    next_seqno: last_seqno + 1,
+                    encoder: BatchEncoder::new(),
+                    next_group_index: 0,
+                },
+            ),
             committer: Committer::new(),
             publisher: PublicationSequencer::new(),
             watermark: DurabilityWatermark::new(wal_id),
             pipeline_depth: AtomicU64::new(0),
             wal_size_hint: AtomicU64::new(0),
-            commit_gate: RwLock::new(()),
-            mem: RwLock::new(Arc::new(Memtable::with_retention(Arc::clone(&retention)))),
-            imm: RwLock::new(Vec::new()),
-            versions: Mutex::new(versions),
-            current_version: RwLock::new(current_version),
+            commit_gate: RankedRwLock::new(lock_rank::COMMIT_GATE, "db.commit_gate", ()),
+            mem: RankedRwLock::new(
+                lock_rank::MEM,
+                "db.mem",
+                Arc::new(Memtable::with_retention(Arc::clone(&retention))),
+            ),
+            imm: RankedRwLock::new(lock_rank::IMM, "db.imm", Vec::new()),
+            versions: RankedMutex::new(lock_rank::VERSIONS, "db.versions", versions),
+            current_version: RankedRwLock::new(
+                lock_rank::CURRENT_VERSION,
+                "db.current_version",
+                current_version,
+            ),
             retention,
-            gc: Mutex::new(GcQueue::default()),
+            gc: RankedMutex::new(lock_rank::GC, "db.gc", GcQueue::default()),
             gc_pending: Arc::new(AtomicBool::new(false)),
             last_seqno: AtomicU64::new(last_seqno),
             shutdown: AtomicBool::new(false),
@@ -670,7 +709,7 @@ struct WalPhase<'a> {
     /// Holds scans and forced rotations out of the insert phase. Acquired under
     /// the WAL lock and released only after `last_seqno` is published. Exclusive
     /// on this (non-pipelined) path: groups stay serialized end-to-end.
-    gate: parking_lot::RwLockWriteGuard<'a, ()>,
+    gate: triad_common::lockrank::RankedRwLockWriteGuard<'a, ()>,
 }
 
 /// The outcome of a pipelined commit group's append stage. Unlike [`WalPhase`],
@@ -702,7 +741,7 @@ struct PipelinedPhase<'a> {
     timed: bool,
     /// Shared pipeline membership: held from the append until publication, so
     /// an exclusive gate acquisition means "the pipeline is drained".
-    gate: parking_lot::RwLockReadGuard<'a, ()>,
+    gate: triad_common::lockrank::RankedRwLockReadGuard<'a, ()>,
 }
 
 impl DbInner {

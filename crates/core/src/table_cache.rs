@@ -15,8 +15,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
+use triad_common::lockrank::RankedMutex;
 use triad_common::{Error, Result, Stats};
 use triad_sstable::{cl_index_file_path, sst_file_path, ClTable, Table, TableKind, TableRef};
 use triad_wal::log_file_path;
@@ -27,7 +26,7 @@ use crate::version::FileMetadata;
 pub struct TableCache {
     dir: PathBuf,
     stats: Arc<Stats>,
-    tables: Mutex<HashMap<u64, TableRef>>,
+    tables: RankedMutex<HashMap<u64, TableRef>>,
 }
 
 impl std::fmt::Debug for TableCache {
@@ -42,7 +41,15 @@ impl std::fmt::Debug for TableCache {
 impl TableCache {
     /// Creates an empty cache for tables living in `dir`.
     pub fn new(dir: PathBuf, stats: Arc<Stats>) -> Self {
-        TableCache { dir, stats, tables: Mutex::new(HashMap::new()) }
+        TableCache {
+            dir,
+            stats,
+            tables: RankedMutex::new(
+                crate::db::lock_rank::TABLE_CACHE,
+                "table_cache.tables",
+                HashMap::new(),
+            ),
+        }
     }
 
     /// Returns an open handle for `file`, opening it if necessary.

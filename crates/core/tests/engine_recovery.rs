@@ -608,3 +608,202 @@ fn flushes_that_write_no_file_still_advance_the_recovery_horizon() {
     }
     db.close().unwrap();
 }
+
+#[test]
+fn injected_append_failures_reject_writes_without_losing_state() {
+    let dir = temp_dir("append-failpoint");
+    let options = Options::small_for_tests();
+    let failpoints = FailpointRegistry::new();
+    let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+    db.put(key_for(0), value_for(0, 1)).unwrap();
+
+    // Every write is rejected before it reaches the WAL while the failpoint is
+    // armed; already-acknowledged data stays readable.
+    failpoints.arm("write.before_wal_append", FailpointAction::ReturnError);
+    assert!(db.put(key_for(1), value_for(1, 1)).is_err());
+    assert!(failpoints.hits("write.before_wal_append") > 0);
+    assert_eq!(db.get(key_for(0)).unwrap(), Some(value_for(0, 1)));
+
+    // Disarming restores the write path with no residue.
+    failpoints.disarm("write.before_wal_append");
+    db.put(key_for(1), value_for(1, 2)).unwrap();
+    assert_eq!(db.get(key_for(1)).unwrap(), Some(value_for(1, 2)));
+    db.close().unwrap();
+
+    let db = Db::open(&dir, options).unwrap();
+    assert_eq!(db.get(key_for(0)).unwrap(), Some(value_for(0, 1)));
+    assert_eq!(db.get(key_for(1)).unwrap(), Some(value_for(1, 2)));
+    db.close().unwrap();
+}
+
+#[test]
+fn injected_rotation_seal_failures_surface_once_and_recover() {
+    let dir = temp_dir("rotate-seal-failpoint");
+    let options = Options::small_for_tests();
+    let failpoints = FailpointRegistry::new();
+    failpoints.arm("rotate.seal", FailpointAction::ErrorTimes(1));
+    let mut acked: Vec<u64> = Vec::new();
+    {
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        // Enough volume to trip the 128 KiB log-size rotation trigger several
+        // times. The one injected seal failure surfaces as a single write error
+        // (rotation runs on the write path after publication); later writes
+        // retry the rotation and succeed.
+        let mut failures = 0u64;
+        for i in 0..4_000u64 {
+            match db.put(key_for(i), value_for(i, 1)) {
+                Ok(()) => acked.push(i),
+                Err(_) => failures += 1,
+            }
+        }
+        assert!(failpoints.hits("rotate.seal") > 1, "rotation should have been retried");
+        assert!(failures <= 1, "only the injected failure may surface, saw {failures}");
+        for &i in acked.iter().step_by(101) {
+            assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)));
+        }
+        db.close().unwrap();
+    }
+    let db = Db::open(&dir, options).unwrap();
+    for &i in &acked {
+        assert_eq!(
+            db.get(key_for(i)).unwrap(),
+            Some(value_for(i, 1)),
+            "key {i} lost after an injected rotation failure"
+        );
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn injected_small_flush_skip_failures_keep_hot_data() {
+    let dir = temp_dir("small-flush-skip-failpoint");
+    let mut options = Options::small_for_tests();
+    options.memtable_size = 1024 * 1024;
+    options.max_log_size = 32 * 1024;
+    options.triad = TriadConfig::mem_only();
+    options.triad.flush_skip_threshold_bytes = 512 * 1024;
+    let failpoints = FailpointRegistry::new();
+    failpoints.arm("rotate.small_flush_skip", FailpointAction::ErrorTimes(1));
+    {
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        // A small hot working set fills the log long before the memtable: every
+        // rotation takes the TRIAD-MEM skip path. The injected failure surfaces
+        // as at most one write error; the skip is retried on the next trigger.
+        let mut failures = 0u64;
+        for version in 0..2_000u64 {
+            let i = version % 10;
+            if db.put(key_for(i), value_for(i, version)).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failpoints.hits("rotate.small_flush_skip") > 1, "skip path should be retried");
+        assert!(failures <= 1, "only the injected failure may surface, saw {failures}");
+        assert!(db.stats().small_flush_skips > 0, "workload should exercise the skip path");
+        assert_eq!(db.stats().flush_count, 0, "no table should be written for a hot working set");
+        for i in 0..10u64 {
+            assert!(db.get(key_for(i)).unwrap().is_some(), "key {i} lost");
+        }
+        db.close().unwrap();
+    }
+    let db = Db::open(&dir, options).unwrap();
+    for i in 0..10u64 {
+        assert!(db.get(key_for(i)).unwrap().is_some(), "key {i} lost after reopen");
+    }
+    db.close().unwrap();
+}
+
+/// Writes 500 distinct keys and hammers the first five so the TRIAD-MEM
+/// `TopFraction(0.01)` policy classifies them as hot at the next flush.
+fn write_skewed_keyspace(db: &Db) {
+    for i in 0..500u64 {
+        db.put(key_for(i), value_for(i, 1)).unwrap();
+    }
+    for round in 2..40u64 {
+        for i in 0..5u64 {
+            db.put(key_for(i), value_for(i, round)).unwrap();
+        }
+    }
+}
+
+#[test]
+fn injected_hot_write_back_failures_are_retried() {
+    let dir = temp_dir("hot-write-back-failpoint");
+    let mut options = Options::small_for_tests();
+    options.triad = TriadConfig::mem_only();
+    options.triad.flush_skip_threshold_bytes = 0; // force real flushes
+    let failpoints = FailpointRegistry::new();
+    failpoints.arm("flush.hot_write_back", FailpointAction::ErrorTimes(1));
+    {
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        write_skewed_keyspace(&db);
+        // The first flush attempt dies at the hot write-back; the background
+        // worker retries and the flush completes.
+        db.flush().unwrap();
+        assert!(failpoints.hits("flush.hot_write_back") > 0);
+        assert!(db.stats().hot_entries_retained > 0, "hot entries should be written back");
+        for i in 0..5u64 {
+            assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 39)));
+        }
+        for i in (5..500u64).step_by(29) {
+            assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)));
+        }
+        db.close().unwrap();
+    }
+    let db = Db::open(&dir, options).unwrap();
+    for i in 0..5u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 39)));
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn injected_table_write_failures_are_retried() {
+    let dir = temp_dir("table-write-failpoint");
+    let options = Options::small_for_tests();
+    let failpoints = FailpointRegistry::new();
+    failpoints.arm("flush.before_table_write", FailpointAction::ErrorTimes(1));
+    {
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        for i in 0..500u64 {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(failpoints.hits("flush.before_table_write") > 0);
+        assert!(db.stats().flush_count > 0, "the retried flush should have completed");
+        for i in (0..500u64).step_by(43) {
+            assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)));
+        }
+        db.close().unwrap();
+    }
+    let db = Db::open(&dir, options).unwrap();
+    for i in 0..500u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 1)));
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn injected_manifest_failures_are_retried() {
+    let dir = temp_dir("manifest-failpoint");
+    let options = Options::small_for_tests();
+    let failpoints = FailpointRegistry::new();
+    failpoints.arm("flush.before_manifest", FailpointAction::ErrorTimes(1));
+    {
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        for i in 0..500u64 {
+            db.put(key_for(i), value_for(i, 2)).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(failpoints.hits("flush.before_manifest") > 0);
+        assert!(db.stats().flush_count > 0, "the retried flush should have completed");
+        for i in (0..500u64).step_by(43) {
+            assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 2)));
+        }
+        db.close().unwrap();
+    }
+    let db = Db::open(&dir, options).unwrap();
+    for i in 0..500u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 2)));
+    }
+    db.close().unwrap();
+}

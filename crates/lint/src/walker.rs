@@ -1,0 +1,43 @@
+//! Workspace file discovery.
+
+use std::path::Path;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+
+/// Path fragments excluded even when reachable: lint fixtures are
+/// deliberately-violating snippets and must not fail the real workspace.
+const SKIP_FRAGMENTS: &[&str] = &["tests/fixtures"];
+
+/// Collects every `.rs` file under `root` (skipping `target/`, `vendor/`,
+/// `.git/` and lint fixtures), returning `(relative_path, contents)` pairs
+/// sorted by path for deterministic reports.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            if SKIP_FRAGMENTS.iter().any(|frag| rel.contains(frag)) {
+                continue;
+            }
+            let contents = std::fs::read_to_string(&path)?;
+            out.push((rel, contents));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,223 @@
+//! Fixture-driven rule tests: every rule has a passing and a violating case
+//! under `tests/fixtures/<rule>/{pass,fail}/`, parsed under the *virtual* path
+//! declared on each fixture's first line (`// lint-fixture: <path>`), so a
+//! snippet can impersonate any workspace location without living there.
+
+use std::path::{Path, PathBuf};
+
+use triad_lint::{run_all, Diagnostic, SourceFile, RULES};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Loads every `.rs` file in a fixture case directory as a [`SourceFile`]
+/// under its declared virtual path.
+fn load_case(rule: &str, case: &str) -> Vec<SourceFile> {
+    let dir = fixtures_root().join(rule).join(case);
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fixture dir {} missing: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no fixture files in {}", dir.display());
+    entries
+        .iter()
+        .map(|path| {
+            let src = std::fs::read_to_string(path).unwrap();
+            SourceFile::parse(&virtual_path(path, &src), &src)
+        })
+        .collect()
+}
+
+/// The `// lint-fixture: <path>` header of a fixture file.
+fn virtual_path(path: &Path, src: &str) -> String {
+    let header = src.lines().next().unwrap_or("");
+    let declared = header
+        .strip_prefix("// lint-fixture:")
+        .unwrap_or_else(|| panic!("{} must start with `// lint-fixture: <path>`", path.display()));
+    declared.trim().to_string()
+}
+
+fn diagnostics(rule: &str, case: &str) -> Vec<Diagnostic> {
+    run_all(&load_case(rule, case))
+}
+
+/// The pass fixture must be completely clean (not merely clean for the rule
+/// under test): fixtures double as documentation of idiomatic code, so noise
+/// from a *different* rule means the fixture is wrong.
+fn assert_pass_clean(rule: &str) {
+    let diags = diagnostics(rule, "pass");
+    assert!(diags.is_empty(), "pass fixture for `{rule}` is not clean: {diags:?}");
+}
+
+/// The fail fixture must produce at least one diagnostic *for the rule under
+/// test*, each carrying the file path and a non-zero line.
+fn assert_fail_flagged(rule: &str) {
+    let diags = diagnostics(rule, "fail");
+    let hits: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == rule).collect();
+    assert!(
+        !hits.is_empty(),
+        "fail fixture for `{rule}` produced no `{rule}` diagnostic: {diags:?}"
+    );
+    for d in &hits {
+        assert!(!d.path.is_empty() && d.line > 0, "diagnostic lacks a location: {d:?}");
+    }
+}
+
+#[test]
+fn every_documented_rule_has_fixtures() {
+    for rule in RULES {
+        let dir = fixtures_root().join(rule.id);
+        assert!(dir.is_dir(), "rule `{}` has no fixture directory", rule.id);
+    }
+}
+
+macro_rules! rule_fixture_tests {
+    ($($name:ident => $rule:literal),* $(,)?) => {
+        $(
+            mod $name {
+                #[test]
+                fn pass_case_is_clean() {
+                    super::assert_pass_clean($rule);
+                }
+                #[test]
+                fn fail_case_is_flagged() {
+                    super::assert_fail_flagged($rule);
+                }
+            }
+        )*
+    };
+}
+
+rule_fixture_tests! {
+    region_markers => "region-markers",
+    append_stage_no_fsync => "append-stage-no-fsync",
+    hot_read_newest_unbounded => "hot-read-newest-unbounded",
+    no_stale_version_retry => "no-stale-version-retry",
+    lock_order => "lock-order",
+    no_std_sync_lock => "no-std-sync-lock",
+    no_direct_remove_file => "no-direct-remove-file",
+    no_wallclock_in_workload => "no-wallclock-in-workload",
+    forbid_unsafe_code => "forbid-unsafe-code",
+    failpoint_registry => "failpoint-registry",
+    waiver_hygiene => "waiver-hygiene",
+}
+
+// ---------------------------------------------------------------------------
+// Specific diagnostics worth pinning beyond "some diagnostic fired".
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lock_order_names_both_locks_and_ranks() {
+    let diags = diagnostics("lock-order", "fail");
+    let d = diags.iter().find(|d| d.rule == "lock-order").unwrap();
+    assert!(d.message.contains("`wal` (rank 10)"), "message: {}", d.message);
+    assert!(d.message.contains("`mem` (rank 40)"), "message: {}", d.message);
+}
+
+#[test]
+fn failpoint_registry_reports_both_directions() {
+    let diags = diagnostics("failpoint-registry", "fail");
+    let msgs: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "failpoint-registry")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(msgs.iter().any(|m| m.contains("flush.orphan_point")), "orphan missing: {msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("flush.ghost_point")), "ghost missing: {msgs:?}");
+}
+
+#[test]
+fn test_modules_are_exempt_from_engine_rules() {
+    // The fail fixture has a second remove_file inside #[cfg(test)]; only the
+    // non-test one may be flagged.
+    let diags = diagnostics("no-direct-remove-file", "fail");
+    let hits: Vec<&Diagnostic> =
+        diags.iter().filter(|d| d.rule == "no-direct-remove-file").collect();
+    assert_eq!(hits.len(), 1, "the #[cfg(test)] remove_file must be exempt: {hits:?}");
+}
+
+#[test]
+fn bare_waivers_still_waive_but_are_flagged() {
+    let diags = diagnostics("waiver-hygiene", "fail");
+    assert!(
+        diags.iter().all(|d| d.rule == "waiver-hygiene"),
+        "the bare waiver must still silence the underlying rule: {diags:?}"
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Whole-workspace and binary-level checks.
+// ---------------------------------------------------------------------------
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = triad_lint::lint_root(&workspace_root()).unwrap();
+    assert!(diags.is_empty(), "the workspace must stay lint-clean: {diags:?}");
+}
+
+#[test]
+fn deny_exits_zero_on_the_clean_workspace() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_triad-lint"))
+        .args(["--root", workspace_root().to_str().unwrap(), "--deny"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn deny_exits_nonzero_on_every_violating_fixture() {
+    // Materialize each fail case as a real tree at its virtual paths, then run
+    // the binary the way CI does.
+    for rule in RULES {
+        let dir = fixtures_root().join(rule.id).join("fail");
+        let stage = std::env::temp_dir().join(format!(
+            "triad-lint-fixture-{}-{}",
+            rule.id,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&stage);
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if !path.extension().is_some_and(|e| e == "rs") {
+                continue;
+            }
+            let src = std::fs::read_to_string(&path).unwrap();
+            let dest = stage.join(virtual_path(&path, &src));
+            std::fs::create_dir_all(dest.parent().unwrap()).unwrap();
+            std::fs::write(&dest, &src).unwrap();
+        }
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_triad-lint"))
+            .args(["--root", stage.to_str().unwrap(), "--deny", "--json"])
+            .output()
+            .unwrap();
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            !out.status.success(),
+            "`--deny` must fail on the {} fixture; stdout: {stdout}",
+            rule.id
+        );
+        assert!(stdout.contains(rule.id), "JSON output must name `{}`: {stdout}", rule.id);
+        let _ = std::fs::remove_dir_all(&stage);
+    }
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_triad-lint"))
+        .arg("--list-rules")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in RULES {
+        assert!(stdout.contains(rule.id), "--list-rules must name `{}`: {stdout}", rule.id);
+    }
+}

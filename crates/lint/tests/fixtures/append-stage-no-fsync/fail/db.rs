@@ -1,0 +1,17 @@
+// lint-fixture: crates/core/src/db.rs
+// An fsync crept under the append lock: both the raw handle sync and the
+// watermark's ensure_durable are named inside the region.
+
+// PIPELINE-APPEND-STAGE-BEGIN
+fn append_stage(&self) {
+    let start = wal.writer.append_batch(encoder);
+    handle.sync();
+    self.watermark.ensure_durable(log_id, target, &handle, &self.committer);
+}
+// PIPELINE-APPEND-STAGE-END
+
+// HOT-READ-NEWEST-BEGIN
+fn hot_read(&self, key: &[u8]) {
+    let hit = memtable.get(key, u64::MAX);
+}
+// HOT-READ-NEWEST-END

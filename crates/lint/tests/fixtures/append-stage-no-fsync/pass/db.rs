@@ -1,0 +1,17 @@
+// lint-fixture: crates/core/src/db.rs
+// The append stage only encodes, appends and OS-flushes; durability happens
+// elsewhere, so nothing here names a durable-sync call.
+
+// PIPELINE-APPEND-STAGE-BEGIN
+fn append_stage(&self) {
+    let rel = encoder.add_parts(seqno, kind, key, value);
+    let start = wal.writer.append_batch(encoder);
+    wal.writer.flush();
+}
+// PIPELINE-APPEND-STAGE-END
+
+// HOT-READ-NEWEST-BEGIN
+fn hot_read(&self, key: &[u8]) {
+    let hit = memtable.get(key, u64::MAX);
+}
+// HOT-READ-NEWEST-END

@@ -1,0 +1,6 @@
+// lint-fixture: crates/core/src/flush.rs
+// "flush.orphan_point" is a crash window no test ever exercises.
+
+fn flush_one(&self) {
+    self.failpoints.check("flush.orphan_point");
+}

@@ -1,0 +1,7 @@
+// lint-fixture: crates/core/tests/engine_fixture.rs
+// "flush.ghost_point" does not exist in the engine: the test arms a point
+// that can never fire.
+
+fn exercise() {
+    failpoints.arm("flush.ghost_point", FailpointAction::ReturnError);
+}

@@ -1,0 +1,6 @@
+// lint-fixture: crates/core/src/flush.rs
+// Every engine failpoint is armed by a test and every test-side name exists.
+
+fn flush_one(&self) {
+    self.failpoints.check("flush.fixture_point");
+}

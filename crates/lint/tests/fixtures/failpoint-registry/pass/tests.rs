@@ -1,0 +1,6 @@
+// lint-fixture: crates/core/tests/engine_fixture.rs
+
+fn exercise() {
+    failpoints.arm("flush.fixture_point", FailpointAction::ReturnError);
+    assert!(failpoints.hits("flush.fixture_point") > 0);
+}

@@ -1,0 +1,6 @@
+// lint-fixture: crates/example/src/lib.rs
+// No #![forbid(unsafe_code)]: the workspace-level deny can be overridden by
+// any module-level allow, forbid cannot.
+#![warn(missing_docs)]
+
+pub fn entry() {}

@@ -1,0 +1,5 @@
+// lint-fixture: crates/example/src/lib.rs
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn entry() {}

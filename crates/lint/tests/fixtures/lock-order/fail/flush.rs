@@ -1,0 +1,11 @@
+// lint-fixture: crates/core/src/flush.rs
+// Rank inversion: the memtable lock (rank 40) is held while the WAL lock
+// (rank 10) is acquired — the mirror image of every other call site, and a
+// deadlock waiting for a concurrent writer.
+
+fn flush_one(&self) {
+    let mem = self.mem.read();
+    let wal = self.wal.lock();
+    drop(wal);
+    drop(mem);
+}

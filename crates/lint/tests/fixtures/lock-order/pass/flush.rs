@@ -1,0 +1,16 @@
+// lint-fixture: crates/core/src/flush.rs
+// Ranks strictly increase downward: wal (10) before mem (40) before imm (45);
+// the early drop releases wal before the scoped reacquisition.
+
+fn flush_one(&self) {
+    let wal = self.wal.lock();
+    let mem = self.mem.read();
+    let imm = self.imm.read();
+    drop(imm);
+    drop(mem);
+    drop(wal);
+    {
+        let versions = self.versions.lock();
+        let tables = self.tables.lock();
+    }
+}

@@ -1,0 +1,14 @@
+// lint-fixture: crates/sstable/src/reader.rs
+// An ad-hoc deletion outside GC: a live version may still reference this
+// file. The copy inside the test module is exempt.
+
+fn evict(&self, path: &Path) {
+    std::fs::remove_file(path);
+}
+
+#[cfg(test)]
+mod tests {
+    fn cleanup(path: &Path) {
+        std::fs::remove_file(path);
+    }
+}

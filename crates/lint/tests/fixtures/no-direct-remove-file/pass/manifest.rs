@@ -1,0 +1,7 @@
+// lint-fixture: crates/core/src/manifest.rs
+// Manifest rotation cleanup is one of the two modules allowed to delete
+// files directly.
+
+fn rotate(&self) {
+    std::fs::remove_file(&old_manifest_path);
+}

@@ -1,0 +1,9 @@
+// lint-fixture: crates/core/src/table_cache.rs
+// The retry hack came back: a helper probes for NotFound and loops on a
+// fresher version instead of treating the miss as corruption.
+
+fn open_table(&self, file_number: u64) {
+    if is_missing_file_error(&err) {
+        return self.retry_stale_version(file_number);
+    }
+}

@@ -1,0 +1,6 @@
+// lint-fixture: crates/core/src/table_cache.rs
+// A missing table file is corruption: surface it, never retry.
+
+fn open_table(&self, file_number: u64) {
+    let table = Table::open(&path, Some(cache));
+}

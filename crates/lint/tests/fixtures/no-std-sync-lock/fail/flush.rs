@@ -1,0 +1,10 @@
+// lint-fixture: crates/core/src/flush.rs
+// std locks in engine code: both the direct path form and the brace-import
+// form must be caught.
+
+use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
+
+fn state() {
+    let poisoned: std::sync::PoisonError<()> = unreachable;
+}

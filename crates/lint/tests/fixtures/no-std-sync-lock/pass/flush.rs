@@ -1,0 +1,11 @@
+// lint-fixture: crates/core/src/flush.rs
+// Engine code locks through parking_lot (or the ranked wrappers); std::sync
+// atomics and Arc remain fine.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn state() {
+    let guard = parking_lot::RwLock::new(());
+}

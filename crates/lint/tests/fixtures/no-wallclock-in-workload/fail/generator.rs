@@ -1,0 +1,9 @@
+// lint-fixture: crates/workload/src/generator.rs
+// Reading the wall clock makes the operation stream irreproducible: the
+// bench-smoke stream checksum would drift from run to run.
+
+fn next_op(&mut self) -> Op {
+    let started = std::time::Instant::now();
+    let stamp = std::time::SystemTime::now();
+    Op::Get(key_for(started.elapsed().as_nanos() as u64))
+}

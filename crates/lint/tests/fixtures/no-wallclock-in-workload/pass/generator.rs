@@ -1,0 +1,7 @@
+// lint-fixture: crates/workload/src/generator.rs
+// Deterministic generation: time is an input, never read from the clock.
+
+fn next_op(&mut self, now_nanos: u64) -> Op {
+    let r = self.rng.gen_range(0..self.keyspace);
+    Op::Get(key_for(r))
+}

@@ -1,0 +1,12 @@
+// lint-fixture: crates/core/src/db.rs
+// The append-stage markers vanished entirely, and the generic region below is
+// opened but never closed.
+
+// HOT-READ-NEWEST-BEGIN
+fn hot_read(&self, key: &[u8]) {
+    let hit = memtable.get(key, u64::MAX);
+}
+// HOT-READ-NEWEST-END
+
+// LINT-REGION: dangling-invariant
+fn custom(&self) {}

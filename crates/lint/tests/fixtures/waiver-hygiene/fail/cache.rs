@@ -1,0 +1,6 @@
+// lint-fixture: crates/core/src/table_cache.rs
+// A bare waiver: it still silences the rule on the next line, but carries no
+// reason, which is itself a violation.
+
+// lint:allow(no-stale-version-retry)
+fn retry_stale_version() {}

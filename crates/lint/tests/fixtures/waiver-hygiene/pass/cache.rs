@@ -1,0 +1,6 @@
+// lint-fixture: crates/core/src/table_cache.rs
+// A waiver with a reason: the banned ident on the next line is silenced, and
+// the waiver itself is clean.
+
+// lint:allow(no-stale-version-retry) fixture exercising the waiver plumbing
+fn retry_stale_version() {}

@@ -36,8 +36,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-
+use triad_common::lockrank::RankedRwLock;
 use triad_common::types::{Entry, InternalKey, SeqNo, ValueKind};
 use triad_common::SnapshotRetention;
 
@@ -91,10 +90,17 @@ struct Slot {
 /// Number of shards; a power of two so shard selection is a mask.
 const SHARD_COUNT: usize = 16;
 
+/// Rank of every shard lock in the engine-wide lock order (see
+/// `triad_common::lockrank` and docs/ARCHITECTURE.md): above all engine locks,
+/// because shard locks are leaves — nothing else is ever acquired while one is
+/// held, and multi-shard walks take one shard at a time. All shards share the
+/// rank, so holding two shard locks simultaneously panics in debug builds.
+pub const SHARD_LOCK_RANK: u32 = 70;
+
 /// The memory component: a sorted, sharded map from user key to its version slot.
 #[derive(Debug)]
 pub struct Memtable {
-    shards: Vec<RwLock<BTreeMap<Vec<u8>, Slot>>>,
+    shards: Vec<RankedRwLock<BTreeMap<Vec<u8>, Slot>>>,
     approximate_size: AtomicUsize,
     entry_count: AtomicUsize,
     /// Total updates absorbed (including overwrites); used to compute the mean
@@ -123,7 +129,9 @@ impl Memtable {
     /// overwrites preserve versions that registered snapshots can still see.
     pub fn with_retention(retention: Arc<SnapshotRetention>) -> Self {
         Memtable {
-            shards: (0..SHARD_COUNT).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RankedRwLock::new(SHARD_LOCK_RANK, "memtable.shard", BTreeMap::new()))
+                .collect(),
             approximate_size: AtomicUsize::new(0),
             entry_count: AtomicUsize::new(0),
             total_updates: AtomicU64::new(0),
