@@ -24,10 +24,10 @@ fn out_path() -> PathBuf {
 
 fn main() {
     let scale = Scale::from_args();
-    let (_table, points, acceptance) =
+    let (_table, points, acceptance, shard_scaling) =
         write_scaling::run(scale).expect("write-scaling sweep failed");
     let path = out_path();
-    write_scaling::write_json(&path, scale, &points, &acceptance)
+    write_scaling::write_json(&path, scale, &points, &acceptance, &shard_scaling)
         .expect("writing BENCH_write_scaling.json failed");
     println!("\nwrote {}", path.display());
     if !acceptance.holds() {
@@ -40,6 +40,12 @@ fn main() {
             acceptance.pipelined_vs_grouped,
             acceptance.fsyncs_per_batch,
             acceptance.overlapped_syncs
+        );
+    }
+    if !shard_scaling.holds() {
+        eprintln!(
+            "warning: shard-scaling gate not met ({} shards at {} writers: {:.2}x vs 1 shard)",
+            shard_scaling.shards, shard_scaling.threads, shard_scaling.speedup
         );
     }
 }

@@ -633,6 +633,7 @@ pub fn write_json(path: &Path, scale: Scale, outcomes: &[ScenarioOutcome]) -> st
         "  \"scale\": \"{}\",\n",
         if scale == Scale::Full { "full" } else { "quick" }
     ));
+    out.push_str(&format!("  \"meta\": {},\n", crate::report::host_meta_json()));
     out.push_str(
         "  \"latency_unit\": \"microseconds; open-loop client latency runs from scheduled \
          arrival to completion (queueing delay included), engine latency from the store's \

@@ -44,7 +44,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use triad_common::LatencyHistogram;
-use triad_core::{Db, Options, SyncMode};
+use triad_core::{Db, Options, ShardConfig, SyncMode};
 
 use crate::report::{print_table, Table};
 use crate::runner::Scale;
@@ -97,6 +97,8 @@ pub struct WriteScalingPoint {
     pub sync_mode: &'static str,
     /// Number of concurrent writer threads.
     pub threads: usize,
+    /// Number of keyspace shards the database ran with.
+    pub shards: usize,
     /// `"pipelined"`, `"grouped"` or `"legacy"`.
     pub pipeline: &'static str,
     /// Thousands of acknowledged single-put batches per second.
@@ -160,6 +162,40 @@ impl WriteScalingAcceptance {
     }
 }
 
+/// The shard-count comparison at the sharded gate point (4+ writers, NoSync).
+#[derive(Debug, Clone)]
+pub struct ShardScaling {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_parallelism: usize,
+    /// Writer threads the comparison is evaluated at.
+    pub threads: usize,
+    /// Sharded configuration compared against one shard.
+    pub shards: usize,
+    /// Pipelined NoSync throughput at one shard (kops).
+    pub single_shard_kops: f64,
+    /// Pipelined NoSync throughput at `shards` shards (kops).
+    pub sharded_kops: f64,
+    /// `sharded_kops / single_shard_kops`.
+    pub speedup: f64,
+}
+
+impl ShardScaling {
+    /// Whether the scaling expectation applies on this host: sharding removes
+    /// commit-path contention, which needs real cores to show up. On a host
+    /// with fewer cores than the gate's writer count the sweep is recorded
+    /// for the trajectory but not asserted.
+    pub fn gate_applies(&self) -> bool {
+        self.host_parallelism >= 4
+    }
+
+    /// Whether the shard gate holds: sharded throughput at least matches the
+    /// single-shard configuration at the gate point (vacuously true where
+    /// the gate does not apply).
+    pub fn holds(&self) -> bool {
+        !self.gate_applies() || self.speedup >= 1.0
+    }
+}
+
 fn sync_label(mode: SyncMode) -> &'static str {
     match mode {
         SyncMode::NoSync => "NoSync",
@@ -173,13 +209,21 @@ pub fn thread_sweep() -> [usize; 5] {
     [1, 2, 4, 8, 16]
 }
 
-fn bench_db_options(sync_mode: SyncMode, mode: PipelineMode) -> Options {
+/// Shard counts the sweep covers. Every pipeline mode runs at one shard (the
+/// pre-sharding configuration); the pipelined default additionally runs the
+/// whole threads × sync grid at the sharded counts.
+pub fn shard_sweep() -> [usize; 2] {
+    [1, 4]
+}
+
+fn bench_db_options(sync_mode: SyncMode, mode: PipelineMode, shards: usize) -> Options {
     // The sweep measures the write *path*, not flush/compaction: keep the
     // memory component large enough that no rotation fires during a point.
     let mut options = Options {
         memtable_size: 256 * 1024 * 1024,
         max_log_size: 512 * 1024 * 1024,
         sync_mode,
+        shards: ShardConfig::with_count(shards),
         ..Options::default()
     };
     mode.apply(&mut options);
@@ -191,6 +235,7 @@ fn run_point(
     sync_mode: SyncMode,
     threads: usize,
     mode: PipelineMode,
+    shards: usize,
 ) -> triad_common::Result<WriteScalingPoint> {
     let ops_per_thread = match sync_mode {
         // An fsync costs ~100 µs on commodity SSD-backed filesystems; keep the
@@ -198,10 +243,16 @@ fn run_point(
         SyncMode::SyncEveryWrite => scale.ops(400, 5_000),
         _ => scale.ops(10_000, 200_000),
     };
-    let label = format!("write-scaling-{}-{}t-{}", sync_label(sync_mode), threads, mode.label());
+    let label = format!(
+        "write-scaling-{}-{}t-{}s-{}",
+        sync_label(sync_mode),
+        threads,
+        shards,
+        mode.label()
+    );
     let dir = std::env::temp_dir().join(format!("triad-{label}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let db = Arc::new(Db::open(&dir, bench_db_options(sync_mode, mode))?);
+    let db = Arc::new(Db::open(&dir, bench_db_options(sync_mode, mode, shards))?);
 
     let before = db.stats();
     // Per-acknowledged-commit latency, recorded in nanoseconds by every writer
@@ -240,6 +291,7 @@ fn run_point(
     Ok(WriteScalingPoint {
         sync_mode: sync_label(sync_mode),
         threads,
+        shards,
         pipeline: mode.label(),
         kops: acked_batches as f64 / elapsed.as_secs_f64() / 1_000.0,
         acked_batches,
@@ -257,15 +309,26 @@ fn run_point(
     })
 }
 
-/// Runs the full sweep and returns (table, points, acceptance-at-8-threads).
+/// Runs the full sweep and returns (table, points, acceptance-at-8-threads,
+/// shard scaling at 4 writers NoSync).
 pub fn run(
     scale: Scale,
-) -> triad_common::Result<(Table, Vec<WriteScalingPoint>, WriteScalingAcceptance)> {
+) -> triad_common::Result<(Table, Vec<WriteScalingPoint>, WriteScalingAcceptance, ShardScaling)> {
     let mut points = Vec::new();
     for sync_mode in [SyncMode::NoSync, SyncMode::SyncEveryWrite] {
         for threads in thread_sweep() {
             for mode in PipelineMode::all() {
-                points.push(run_point(scale, sync_mode, threads, mode)?);
+                points.push(run_point(scale, sync_mode, threads, mode, 1)?);
+            }
+        }
+    }
+    // The shard-count sweep: the pipelined default across the same threads ×
+    // sync grid at every sharded count, so the trajectory file records
+    // {shards} × {writers} × {sync mode}.
+    for shards in shard_sweep().into_iter().filter(|&s| s > 1) {
+        for sync_mode in [SyncMode::NoSync, SyncMode::SyncEveryWrite] {
+            for threads in thread_sweep() {
+                points.push(run_point(scale, sync_mode, threads, PipelineMode::Pipelined, shards)?);
             }
         }
     }
@@ -273,6 +336,7 @@ pub fn run(
     let mut table = Table::new(&[
         "sync mode",
         "threads",
+        "shards",
         "pipeline",
         "kops",
         "p50 us",
@@ -289,6 +353,7 @@ pub fn run(
         table.add_row(vec![
             point.sync_mode.to_string(),
             point.threads.to_string(),
+            point.shards.to_string(),
             point.pipeline.to_string(),
             format!("{:.1}", point.kops),
             format!("{:.1}", point.p50_us),
@@ -311,6 +376,7 @@ pub fn run(
                 p.sync_mode == "SyncEveryWrite"
                     && p.threads == gate_threads
                     && p.pipeline == pipeline
+                    && p.shards == 1
             })
             .expect("the sweep always covers the gate point")
             .clone()
@@ -329,21 +395,58 @@ pub fn run(
         overlapped_syncs: pipelined.wal_syncs_overlapped,
     };
 
+    // Shard scaling: the pipelined NoSync comparison at 4 writers, one shard
+    // vs the largest sharded count. Asserted only on hosts with the cores to
+    // show it; recorded everywhere.
+    let shard_gate_threads = 4;
+    let sharded_count = *shard_sweep().last().expect("sweep is non-empty");
+    let find_sharded = |shards: usize| {
+        points
+            .iter()
+            .find(|p| {
+                p.sync_mode == "NoSync"
+                    && p.threads == shard_gate_threads
+                    && p.pipeline == "pipelined"
+                    && p.shards == shards
+            })
+            .expect("the sweep always covers the shard gate point")
+            .clone()
+    };
+    let single = find_sharded(1);
+    let sharded = find_sharded(sharded_count);
+    let shard_scaling = ShardScaling {
+        host_parallelism: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        threads: shard_gate_threads,
+        shards: sharded_count,
+        single_shard_kops: single.kops,
+        sharded_kops: sharded.kops,
+        speedup: sharded.kops / single.kops.max(1e-9),
+    };
+
     print_table(
         "Write scaling: pipelined vs grouped vs legacy serialized writes (put-only)",
         &table,
         &format!(
             "gate at {} writers, SyncEveryWrite: {:.2}x over legacy (need >= 2x), \
              {:.2}x over grouped (need >= 1x), {:.3} fsyncs/batch (need < 1), \
-             {} overlapped syncs (need > 0)",
+             {} overlapped syncs (need > 0); shard gate at {} writers, NoSync: \
+             {} shards at {:.2}x vs one shard ({})",
             acceptance.threads,
             acceptance.speedup,
             acceptance.pipelined_vs_grouped,
             acceptance.fsyncs_per_batch,
-            acceptance.overlapped_syncs
+            acceptance.overlapped_syncs,
+            shard_scaling.threads,
+            shard_scaling.shards,
+            shard_scaling.speedup,
+            if shard_scaling.gate_applies() {
+                "asserted on this host"
+            } else {
+                "recorded only: too few cores to assert"
+            }
         ),
     );
-    Ok((table, points, acceptance))
+    Ok((table, points, acceptance, shard_scaling))
 }
 
 /// Serializes the sweep to the JSON trajectory file (`BENCH_write_scaling.json`).
@@ -352,6 +455,7 @@ pub fn write_json(
     scale: Scale,
     points: &[WriteScalingPoint],
     acceptance: &WriteScalingAcceptance,
+    shard_scaling: &ShardScaling,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -360,6 +464,7 @@ pub fn write_json(
         "  \"scale\": \"{}\",\n",
         if scale == Scale::Full { "full" } else { "quick" }
     ));
+    out.push_str(&format!("  \"meta\": {},\n", crate::report::host_meta_json()));
     out.push_str("  \"unit\": \"kops = 1000 acknowledged single-put batches per second\",\n");
     out.push_str(
         "  \"latency_unit\": \"latency_us = per-commit acknowledgement latency percentiles, \
@@ -368,7 +473,7 @@ pub fn write_json(
     out.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"sync_mode\": \"{}\", \"threads\": {}, \"pipeline\": \"{}\", \
+            "    {{\"sync_mode\": \"{}\", \"threads\": {}, \"shards\": {}, \"pipeline\": \"{}\", \
              \"kops\": {:.2}, \"acked_batches\": {}, \"wal_syncs\": {}, \
              \"fsyncs_per_batch\": {:.4}, \"write_groups\": {}, \
              \"avg_group_batches\": {:.3}, \"max_group_batches\": {}, \
@@ -377,6 +482,7 @@ pub fn write_json(
              \"max\": {:.1}}}}}{}\n",
             p.sync_mode,
             p.threads,
+            p.shards,
             p.pipeline,
             p.kops,
             p.acked_batches,
@@ -412,6 +518,17 @@ pub fn write_json(
     ));
     out.push_str(&format!("    \"overlapped_syncs\": {},\n", acceptance.overlapped_syncs));
     out.push_str(&format!("    \"meets_gate\": {}\n", acceptance.holds()));
+    out.push_str("  },\n");
+    out.push_str("  \"shard_scaling\": {\n");
+    out.push_str("    \"sync_mode\": \"NoSync\",\n");
+    out.push_str(&format!("    \"threads\": {},\n", shard_scaling.threads));
+    out.push_str(&format!("    \"shards\": {},\n", shard_scaling.shards));
+    out.push_str(&format!("    \"host_parallelism\": {},\n", shard_scaling.host_parallelism));
+    out.push_str(&format!("    \"single_shard_kops\": {:.2},\n", shard_scaling.single_shard_kops));
+    out.push_str(&format!("    \"sharded_kops\": {:.2},\n", shard_scaling.sharded_kops));
+    out.push_str(&format!("    \"speedup\": {:.3},\n", shard_scaling.speedup));
+    out.push_str(&format!("    \"gate_applies\": {},\n", shard_scaling.gate_applies()));
+    out.push_str(&format!("    \"meets_gate\": {}\n", shard_scaling.holds()));
     out.push_str("  }\n");
     out.push_str("}\n");
     std::fs::write(path, out)

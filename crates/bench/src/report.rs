@@ -80,6 +80,19 @@ pub fn format_row(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
 }
 
+/// Host description embedded as the `meta` object of the bench JSON files, so
+/// recorded numbers carry the parallelism they were measured under. A 1-core
+/// CI container recording `shards = 4` data is interpretable only alongside
+/// `available_parallelism = 1`.
+pub fn host_meta_json() -> String {
+    let parallelism = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    format!(
+        "{{\"available_parallelism\": {parallelism}, \"os\": \"{}\", \"arch\": \"{}\"}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

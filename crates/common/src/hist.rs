@@ -135,6 +135,23 @@ impl LatencyHistogram {
         self.max()
     }
 
+    /// Folds every observation recorded in `other` into `self`, bucket by
+    /// bucket. Used to aggregate per-shard engine histograms into one
+    /// database-wide distribution; both histograms share the fixed layout,
+    /// so the merge is exact (no re-bucketing error). Thread-safe, though
+    /// a merge racing concurrent `record`s on `other` may miss in-flight
+    /// observations.
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Mean of the recorded observations, using each bucket's floor (0 when
     /// empty).
     pub fn mean(&self) -> f64 {
@@ -285,6 +302,39 @@ mod tests {
         for p in [0.0, 50.0, 99.9, 100.0] {
             assert_eq!(hist.percentile(p), 0);
         }
+    }
+
+    #[test]
+    fn merge_from_is_exact_across_magnitudes() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let combined = LatencyHistogram::new();
+        for v in [5u64, 100, 10_000, 1_000_000] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [7u64, 300, 2_000_000, 9] {
+            b.record(v);
+            combined.record(v);
+        }
+        let merged = LatencyHistogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.count(), combined.count());
+        assert_eq!(merged.max(), combined.max());
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(merged.percentile(p), combined.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_changes_nothing() {
+        let hist = LatencyHistogram::new();
+        hist.record(42);
+        hist.merge_from(&LatencyHistogram::new());
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), 42);
+        assert_eq!(hist.percentile(100.0), 42);
     }
 
     #[test]

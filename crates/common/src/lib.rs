@@ -35,7 +35,7 @@ pub mod varint;
 
 pub use error::{Error, Result};
 pub use hist::LatencyHistogram;
-pub use lockrank::{RankedMutex, RankedRwLock};
+pub use lockrank::{allow_equal_rank, EqualRankScope, RankedMutex, RankedRwLock};
 pub use retention::SnapshotRetention;
 pub use stats::{StatSnapshot, Stats};
 pub use types::{InternalKey, SeqNo, ValueKind};

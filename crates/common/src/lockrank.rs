@@ -19,7 +19,12 @@
 //!
 //! Ranks are spaced by tens so new locks can slot between existing ones
 //! without renumbering; equal ranks are rejected (no two ranked locks may
-//! nest in either order).
+//! nest in either order). The one sanctioned exception is a scoped,
+//! per-thread [`allow_equal_rank`] allowance: a coordinator that must hold
+//! the *same* lock of every shard at once (the shard-spanning snapshot gate)
+//! opens a scope for that rank and acquires the locks in a canonical
+//! external order (shard index). Lower-than-held acquisitions still panic
+//! inside the scope, so real inversions stay fatal.
 
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::fmt;
@@ -34,9 +39,26 @@ mod tracking {
         /// (token id, rank, lock name) per lock currently held by this thread.
         static HELD: RefCell<Vec<(u64, u32, &'static str)>> =
             const { RefCell::new(Vec::new()) };
+        /// Ranks with an open equal-rank allowance (one entry per open scope).
+        static EQUAL_OK: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
     }
 
     static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+    /// Opens an equal-rank allowance for `rank` on this thread.
+    pub(super) fn push_equal_allowance(rank: u32) {
+        EQUAL_OK.with(|ranks| ranks.borrow_mut().push(rank));
+    }
+
+    /// Closes the most recent allowance for `rank`.
+    pub(super) fn pop_equal_allowance(rank: u32) {
+        EQUAL_OK.with(|ranks| {
+            let mut ranks = ranks.borrow_mut();
+            if let Some(pos) = ranks.iter().rposition(|&r| r == rank) {
+                ranks.remove(pos);
+            }
+        });
+    }
 
     /// Proof that a ranked lock is held; removing it from the thread-local
     /// stack on drop keeps the stack accurate across out-of-order releases.
@@ -46,11 +68,16 @@ mod tracking {
     }
 
     /// Panics if `rank` is not strictly greater than every rank this thread
-    /// already holds. Called before blocking on the lock.
+    /// already holds — unless the acquisition is exactly *equal* to the top
+    /// rank and an [`push_equal_allowance`] scope for that rank is open.
+    /// Called before blocking on the lock.
     pub(super) fn check(rank: u32, name: &'static str) {
         HELD.with(|held| {
             let held = held.borrow();
             if let Some(&(_, top_rank, top_name)) = held.iter().max_by_key(|e| e.1) {
+                if rank == top_rank && EQUAL_OK.with(|ranks| ranks.borrow().contains(&rank)) {
+                    return;
+                }
                 assert!(
                     rank > top_rank,
                     "lock-rank violation: acquiring `{name}` (rank {rank}) while holding \
@@ -94,9 +121,44 @@ mod tracking {
     pub(super) fn register(_rank: u32, _name: &'static str) -> RankToken {
         RankToken
     }
+
+    #[inline(always)]
+    pub(super) fn push_equal_allowance(_rank: u32) {}
+
+    #[inline(always)]
+    pub(super) fn pop_equal_allowance(_rank: u32) {}
 }
 
 use tracking::RankToken;
+
+/// Scoped permission for this thread to stack ranked locks of one *equal*
+/// rank; returned by [`allow_equal_rank`] and revoked on drop.
+#[derive(Debug)]
+#[must_use = "the allowance ends when the scope is dropped"]
+pub struct EqualRankScope {
+    rank: u32,
+}
+
+/// Grants the current thread permission to acquire several ranked locks of
+/// the same rank `rank` while the returned scope is alive.
+///
+/// This exists for the one place the engine legitimately holds "the same"
+/// lock of many shards at once: the shard-spanning snapshot gate, which
+/// drains every shard's commit pipeline by taking each shard's WAL lock and
+/// then each shard's commit gate, always in shard-index order. The caller is
+/// responsible for that canonical external order — the allowance only
+/// relaxes the equality check, so acquiring a rank *below* a held rank still
+/// panics inside the scope.
+pub fn allow_equal_rank(rank: u32) -> EqualRankScope {
+    tracking::push_equal_allowance(rank);
+    EqualRankScope { rank }
+}
+
+impl Drop for EqualRankScope {
+    fn drop(&mut self) {
+        tracking::pop_equal_allowance(self.rank);
+    }
+}
 
 /// A `parking_lot::Mutex` that asserts rank-ordered acquisition under
 /// `debug_assertions`.
@@ -357,6 +419,46 @@ mod tests {
         let b = RankedMutex::new(10, "b", ());
         let _g = a.lock();
         let _violation = b.lock();
+    }
+
+    #[test]
+    fn equal_rank_scope_permits_same_rank_stacking() {
+        // The shard-spanning snapshot shape: all shards' WAL locks, then all
+        // shards' commit gates, each tier under its own allowance.
+        let wal_a = RankedMutex::new(10, "wal_a", ());
+        let wal_b = RankedMutex::new(10, "wal_b", ());
+        let gate_a = RankedRwLock::new(20, "gate_a", ());
+        let gate_b = RankedRwLock::new(20, "gate_b", ());
+        let _allow_wal = allow_equal_rank(10);
+        let _wa = wal_a.lock();
+        let _wb = wal_b.lock();
+        let _allow_gate = allow_equal_rank(20);
+        let _ga = gate_a.write();
+        let _gb = gate_b.write();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-rank violation")]
+    fn equal_rank_scope_expires_on_drop() {
+        let a = RankedMutex::new(10, "a", ());
+        let b = RankedMutex::new(10, "b", ());
+        {
+            let _allow = allow_equal_rank(10);
+        }
+        let _g = a.lock();
+        let _violation = b.lock();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-rank violation")]
+    fn equal_rank_scope_does_not_permit_lower_ranks() {
+        let low = RankedMutex::new(10, "low", ());
+        let high = RankedRwLock::new(20, "high", ());
+        let _allow = allow_equal_rank(10);
+        let _g = high.write();
+        let _violation = low.lock();
     }
 
     #[test]

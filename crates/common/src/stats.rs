@@ -269,6 +269,64 @@ impl Stats {
         self.add_compaction_micros(elapsed.as_micros() as u64);
     }
 
+    /// Folds another registry into this one: additive counters sum, the
+    /// high-water marks (`write_group_max_size`, `wal_pipeline_max_depth`)
+    /// take the maximum, and the cumulative latency histograms merge bucket
+    /// by bucket. The sharded `Db` façade uses this to aggregate per-shard
+    /// engine stats into one database-wide view; `other` keeps recording
+    /// independently and is not modified.
+    pub fn absorb(&self, other: &Stats) {
+        let snap = other.snapshot();
+        macro_rules! fold {
+            ($($field:ident => $add:ident),* $(,)?) => {
+                $(self.$add(snap.$field);)*
+            };
+        }
+        fold!(
+            user_writes => add_user_writes,
+            user_deletes => add_user_deletes,
+            user_reads => add_user_reads,
+            user_read_hits => add_user_read_hits,
+            user_bytes_written => add_user_bytes_written,
+            wal_bytes_written => add_wal_bytes_written,
+            wal_appends => add_wal_appends,
+            wal_syncs => add_wal_syncs,
+            wal_rotations => add_wal_rotations,
+            write_groups => add_write_groups,
+            write_group_batches => add_write_group_batches,
+            wal_syncs_amortized => add_wal_syncs_amortized,
+            wal_syncs_overlapped => add_wal_syncs_overlapped,
+            wal_append_us => add_wal_append_us,
+            wal_sync_wait_us => add_wal_sync_wait_us,
+            flush_count => add_flush_count,
+            small_flush_skips => add_small_flush_skips,
+            bytes_flushed => add_bytes_flushed,
+            logical_bytes_flushed => add_logical_bytes_flushed,
+            entries_flushed => add_entries_flushed,
+            hot_entries_retained => add_hot_entries_retained,
+            flush_micros => add_flush_micros,
+            compaction_count => add_compaction_count,
+            compactions_deferred => add_compactions_deferred,
+            bytes_compacted_read => add_bytes_compacted_read,
+            bytes_compacted_written => add_bytes_compacted_written,
+            entries_compacted => add_entries_compacted,
+            entries_dropped => add_entries_dropped,
+            compaction_micros => add_compaction_micros,
+            memtable_probes => add_memtable_probes,
+            table_probes => add_table_probes,
+            block_reads => add_block_reads,
+            bloom_negatives => add_bloom_negatives,
+            snapshots_created => add_snapshots_created,
+            gc_files_deleted => add_gc_files_deleted,
+            gc_logs_deleted => add_gc_logs_deleted,
+            gc_delete_failures => add_gc_delete_failures,
+        );
+        self.record_write_group_size(snap.write_group_max_size);
+        self.record_pipeline_depth(snap.wal_pipeline_max_depth);
+        self.get_latency.merge_from(other.get_latency());
+        self.scan_latency.merge_from(other.scan_latency());
+    }
+
     /// Takes a point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatSnapshot {
         StatSnapshot {
@@ -381,6 +439,63 @@ impl StatSnapshot {
             };
         }
         sub!(
+            user_writes,
+            user_deletes,
+            user_reads,
+            user_read_hits,
+            user_bytes_written,
+            wal_bytes_written,
+            wal_appends,
+            wal_syncs,
+            wal_rotations,
+            write_groups,
+            write_group_batches,
+            wal_syncs_amortized,
+            wal_syncs_overlapped,
+            wal_append_us,
+            wal_sync_wait_us,
+            flush_count,
+            small_flush_skips,
+            bytes_flushed,
+            logical_bytes_flushed,
+            entries_flushed,
+            hot_entries_retained,
+            flush_micros,
+            compaction_count,
+            compactions_deferred,
+            bytes_compacted_read,
+            bytes_compacted_written,
+            entries_compacted,
+            entries_dropped,
+            compaction_micros,
+            memtable_probes,
+            table_probes,
+            block_reads,
+            bloom_negatives,
+            snapshots_created,
+            gc_files_deleted,
+            gc_logs_deleted,
+            gc_delete_failures,
+        )
+    }
+
+    /// Combines two snapshots taken from different engine instances (one per
+    /// shard): every additive counter sums, while the high-water marks
+    /// (`write_group_max_size`, `wal_pipeline_max_depth`) take the maximum —
+    /// the deepest pipeline of any shard, not a meaningless sum of maxima.
+    pub fn merge(&self, other: &StatSnapshot) -> StatSnapshot {
+        macro_rules! add {
+            ($($field:ident),* $(,)?) => {
+                StatSnapshot {
+                    write_group_max_size: self.write_group_max_size.max(other.write_group_max_size),
+                    wal_pipeline_max_depth: self
+                        .wal_pipeline_max_depth
+                        .max(other.wal_pipeline_max_depth),
+                    $($field: self.$field.saturating_add(other.$field)),*
+                }
+            };
+        }
+        add!(
             user_writes,
             user_deletes,
             user_reads,
@@ -661,6 +776,58 @@ mod tests {
         // The histograms are cumulative and not part of the Copy snapshot.
         let _snap: StatSnapshot = stats.snapshot();
         assert_eq!(stats.get_latency().count(), 3);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_high_water_marks() {
+        let a = StatSnapshot {
+            user_writes: 10,
+            wal_syncs: 3,
+            write_group_max_size: 7,
+            wal_pipeline_max_depth: 2,
+            ..Default::default()
+        };
+        let b = StatSnapshot {
+            user_writes: 5,
+            wal_syncs: 4,
+            write_group_max_size: 4,
+            wal_pipeline_max_depth: 6,
+            ..Default::default()
+        };
+        let merged = a.merge(&b);
+        assert_eq!(merged.user_writes, 15);
+        assert_eq!(merged.wal_syncs, 7);
+        assert_eq!(merged.write_group_max_size, 7, "HWMs take the max, not the sum");
+        assert_eq!(merged.wal_pipeline_max_depth, 6);
+        // Merge with the identity element is the identity.
+        assert_eq!(a.merge(&StatSnapshot::default()), a);
+    }
+
+    #[test]
+    fn absorb_folds_counters_marks_and_histograms() {
+        let total = Stats::new();
+        total.add_user_writes(1);
+        total.record_write_group_size(2);
+        total.record_get_latency_ns(100);
+
+        let shard = Stats::new();
+        shard.add_user_writes(41);
+        shard.add_wal_syncs(9);
+        shard.record_write_group_size(5);
+        shard.record_pipeline_depth(3);
+        shard.record_get_latency_ns(1_000_000);
+        shard.record_scan_latency_ns(50_000);
+
+        total.absorb(&shard);
+        assert_eq!(total.user_writes(), 42);
+        assert_eq!(total.wal_syncs(), 9);
+        assert_eq!(total.write_group_max_size(), 5);
+        assert_eq!(total.wal_pipeline_max_depth(), 3);
+        assert_eq!(total.get_latency().count(), 2);
+        assert_eq!(total.get_latency().max(), 1_000_000);
+        assert_eq!(total.scan_latency().count(), 1);
+        // The source registry is untouched and keeps recording.
+        assert_eq!(shard.user_writes(), 41);
     }
 
     #[test]

@@ -16,7 +16,6 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam_channel::{Receiver, Sender};
@@ -44,6 +43,7 @@ use crate::durability::{DurabilityWatermark, SyncOutcome};
 use crate::iterator::DbIterator;
 use crate::manifest::VersionSet;
 use crate::options::{BackgroundIoMode, Options, SyncMode};
+use crate::shard::{Shard, ShardRouter};
 use crate::snapshot::Snapshot;
 use crate::table_cache::TableCache;
 use crate::version::{FileMetadata, Version, VersionEdit};
@@ -171,6 +171,11 @@ impl Drop for PinnedVersion {
 pub(crate) mod lock_rank {
     /// GC queue: held while inspecting the version set / WAL / imm list.
     pub const GC: u32 = 5;
+    /// The cross-shard router gate: read-held by multi-shard batch writes,
+    /// write-held while a shard-spanning snapshot drains every shard's
+    /// pipeline. Sits below every per-shard lock so the snapshot gate can
+    /// acquire each shard's WAL lock and commit gate after it.
+    pub const ROUTER: u32 = 8;
     /// The append (WAL) lock: the first lock on the write path.
     pub const WAL: u32 = 10;
     /// The commit gate: taken after the WAL lock, released out of order.
@@ -254,28 +259,52 @@ impl std::fmt::Debug for DbInner {
 
 /// A TRIAD (or baseline) LSM key-value store.
 ///
-/// `Db` is cheap to clone-by-reference via [`Arc`]; all methods take `&self` and are
-/// safe to call from multiple threads.
-#[derive(Debug)]
+/// All methods take `&self` and are safe to call from multiple threads.
+///
+/// # Sharding
+///
+/// With `Options::shards.count > 1` the database is that many fully
+/// independent engine shards (`Shard`) behind this facade. Point
+/// operations hash to exactly one shard (`crate::shard::ShardRouter`) and
+/// touch no cross-shard state; scans and snapshots span every shard. A
+/// multi-key batch whose keys hash to different shards commits atomically
+/// *per shard* — see [`Db::write`] for the caveat.
 pub struct Db {
-    inner: Arc<DbInner>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    /// The engine shards, router index order. Always at least one.
+    shards: Vec<Shard>,
+    /// Key → shard routing (pure function of the key and the shard count).
+    routes: ShardRouter,
+    /// The cross-shard coordination gate (rank `ROUTER`, below every
+    /// per-shard lock). Multi-shard batch writes hold it shared across their
+    /// sequential per-shard commits; a shard-spanning snapshot holds it
+    /// exclusively while it drains every shard's pipeline, so a snapshot can
+    /// never observe a cross-shard batch half-applied. Single-shard
+    /// operations — the hot path — never touch it.
+    router: RankedRwLock<()>,
+    path: PathBuf,
+    options: Options,
+    failpoints: FailpointRegistry,
 }
 
-impl Db {
-    /// Opens (creating or recovering) the database at `path`.
-    pub fn open(path: impl AsRef<Path>, options: Options) -> Result<Db> {
-        Self::open_with_failpoints(path, options, FailpointRegistry::new())
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db").field("path", &self.path).field("shards", &self.shards.len()).finish()
     }
+}
 
-    /// Opens the database with an explicit failpoint registry (used by recovery tests).
-    pub fn open_with_failpoints(
-        path: impl AsRef<Path>,
+impl Shard {
+    /// Opens (creating or recovering) one engine shard rooted at `path`.
+    ///
+    /// This is the whole pre-sharding open path: recovery, stray-log replay,
+    /// fresh WAL and background worker — per shard. It lives here rather than
+    /// in `shard.rs` because it constructs [`DbInner`], whose GC and pipeline
+    /// fields are private to this module.
+    fn open(
+        path: PathBuf,
         options: Options,
         failpoints: FailpointRegistry,
-    ) -> Result<Db> {
-        options.validate()?;
-        let path = path.as_ref().to_path_buf();
+        index: usize,
+    ) -> Result<Shard> {
         std::fs::create_dir_all(&path)
             .map_err(|e| Error::io(format!("creating database directory {}", path.display()), e))?;
 
@@ -305,7 +334,7 @@ impl Db {
         }
         stray_logs.sort_unstable();
         for log_id in &stray_logs {
-            last_seqno = last_seqno.max(Self::replay_log(&path, *log_id, &mut versions, &options)?);
+            last_seqno = last_seqno.max(replay_log(&path, *log_id, &mut versions, &options)?);
         }
         versions.set_last_seqno(last_seqno);
 
@@ -368,74 +397,143 @@ impl Db {
         let worker = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
-                .name("triad-background".to_string())
+                .name(format!("triad-background-{index}"))
                 .spawn(move || background_worker(inner, work_rx))
                 .map_err(|e| Error::io("spawning background worker", e))?
         };
 
-        Ok(Db { inner, worker: Mutex::new(Some(worker)) })
+        Ok(Shard { inner, worker: Mutex::new(Some(worker)) })
     }
 
-    /// Rebuilds one stray commit log into an L0 SSTable during recovery.
-    ///
-    /// Returns the largest sequence number seen in the log.
-    fn replay_log(
-        path: &Path,
-        log_id: u64,
-        versions: &mut VersionSet,
-        options: &Options,
-    ) -> Result<SeqNo> {
-        let log_path = log_file_path(path, log_id);
-        let reader = LogReader::open(&log_path)?;
-        let (records, _tail) = reader.recover()?;
-        if records.is_empty() {
-            return Ok(0);
+    /// Stops this shard's background worker, collects leftover garbage and
+    /// syncs its commit log. Idempotent.
+    fn close(&self) -> Result<()> {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return Ok(());
         }
-        let mut latest: std::collections::BTreeMap<Vec<u8>, (SeqNo, ValueKind, Vec<u8>)> =
-            std::collections::BTreeMap::new();
-        let mut max_seqno = 0;
-        for recovered in records {
-            let record = recovered.record;
-            max_seqno = max_seqno.max(record.seqno);
-            match latest.get(&record.key) {
-                Some((existing_seqno, _, _)) if *existing_seqno >= record.seqno => {}
-                _ => {
-                    latest.insert(record.key, (record.seqno, record.kind, record.value));
-                }
+        let _ = self.inner.work_tx.send(WorkItem::Shutdown);
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+        // Collect whatever the worker left queued (files pinned by readers that
+        // have finished since, or retirements raced with shutdown). Anything still
+        // pinned now is swept by the next open.
+        self.inner.collect_garbage();
+        // Make sure everything appended so far survives a process exit.
+        let mut wal = self.inner.wal.lock();
+        wal.writer.sync()?;
+        Ok(())
+    }
+}
+
+/// Rebuilds one stray commit log into an L0 SSTable during recovery.
+///
+/// Returns the largest sequence number seen in the log.
+fn replay_log(
+    path: &Path,
+    log_id: u64,
+    versions: &mut VersionSet,
+    options: &Options,
+) -> Result<SeqNo> {
+    let log_path = log_file_path(path, log_id);
+    let reader = LogReader::open(&log_path)?;
+    let (records, _tail) = reader.recover()?;
+    if records.is_empty() {
+        return Ok(0);
+    }
+    let mut latest: std::collections::BTreeMap<Vec<u8>, (SeqNo, ValueKind, Vec<u8>)> =
+        std::collections::BTreeMap::new();
+    let mut max_seqno = 0;
+    for recovered in records {
+        let record = recovered.record;
+        max_seqno = max_seqno.max(record.seqno);
+        match latest.get(&record.key) {
+            Some((existing_seqno, _, _)) if *existing_seqno >= record.seqno => {}
+            _ => {
+                latest.insert(record.key, (record.seqno, record.kind, record.value));
             }
         }
-        let file_id = versions.allocate_file_number();
-        let sst_path = sst_file_path(path, file_id);
-        let table_options = TableBuilderOptions {
-            block_size: options.block_size,
-            bloom_bits_per_key: options.bloom_bits_per_key,
-        };
-        let mut builder = TableBuilder::create(&sst_path, table_options)?;
-        for (key, (seqno, kind, value)) in &latest {
-            let ikey = triad_common::types::InternalKey::new(key.clone(), *seqno, *kind);
-            builder.add(&ikey, value)?;
+    }
+    let file_id = versions.allocate_file_number();
+    let sst_path = sst_file_path(path, file_id);
+    let table_options = TableBuilderOptions {
+        block_size: options.block_size,
+        bloom_bits_per_key: options.bloom_bits_per_key,
+    };
+    let mut builder = TableBuilder::create(&sst_path, table_options)?;
+    for (key, (seqno, kind, value)) in &latest {
+        let ikey = triad_common::types::InternalKey::new(key.clone(), *seqno, *kind);
+        builder.add(&ikey, value)?;
+    }
+    let (props, size) = builder.finish()?;
+    let file = FileMetadata {
+        id: file_id,
+        level: 0,
+        kind: triad_sstable::TableKind::Block,
+        size,
+        num_entries: props.num_entries,
+        smallest: props.smallest.clone().expect("non-empty table"),
+        largest: props.largest.clone().expect("non-empty table"),
+        hll: props.hll.clone(),
+        backing_log_id: None,
+    };
+    versions.log_and_apply(VersionEdit {
+        added: vec![file],
+        last_seqno: Some(max_seqno),
+        // The log's contents are captured by the new table, so a crash between
+        // this edit and the startup sweep must not replay the log again.
+        log_number: Some(log_id + 1),
+        ..Default::default()
+    })?;
+    Ok(max_seqno)
+}
+
+impl Db {
+    /// Opens (creating or recovering) the database at `path`.
+    pub fn open(path: impl AsRef<Path>, options: Options) -> Result<Db> {
+        Self::open_with_failpoints(path, options, FailpointRegistry::new())
+    }
+
+    /// Opens the database with an explicit failpoint registry (used by recovery tests).
+    pub fn open_with_failpoints(
+        path: impl AsRef<Path>,
+        options: Options,
+        failpoints: FailpointRegistry,
+    ) -> Result<Db> {
+        options.validate()?;
+        let path = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&path)
+            .map_err(|e| Error::io(format!("creating database directory {}", path.display()), e))?;
+
+        // The persisted shard count always wins over the requested one; the
+        // effective count is reflected back into `options.shards`.
+        let count = crate::shard::resolve_count(&path, options.shards.count)?;
+        let mut options = options;
+        options.shards.count = count;
+        if count > 1 {
+            crate::shard::write_marker(&path, count)?;
         }
-        let (props, size) = builder.finish()?;
-        let file = FileMetadata {
-            id: file_id,
-            level: 0,
-            kind: triad_sstable::TableKind::Block,
-            size,
-            num_entries: props.num_entries,
-            smallest: props.smallest.clone().expect("non-empty table"),
-            largest: props.largest.clone().expect("non-empty table"),
-            hll: props.hll.clone(),
-            backing_log_id: None,
-        };
-        versions.log_and_apply(VersionEdit {
-            added: vec![file],
-            last_seqno: Some(max_seqno),
-            // The log's contents are captured by the new table, so a crash between
-            // this edit and the startup sweep must not replay the log again.
-            log_number: Some(log_id + 1),
-            ..Default::default()
-        })?;
-        Ok(max_seqno)
+
+        let mut shards = Vec::with_capacity(count);
+        for index in 0..count {
+            let shard_path = if count == 1 {
+                // Single-shard databases keep the unsharded root layout,
+                // byte-identical to earlier versions.
+                path.clone()
+            } else {
+                path.join(crate::shard::dir_name(index))
+            };
+            shards.push(Shard::open(shard_path, options.clone(), failpoints.clone(), index)?);
+        }
+
+        Ok(Db {
+            shards,
+            routes: ShardRouter::new(count),
+            router: RankedRwLock::new(lock_rank::ROUTER, "db.router", ()),
+            path,
+            options,
+            failpoints,
+        })
     }
 
     /// Inserts or updates `key`.
@@ -463,16 +561,71 @@ impl Db {
     }
 
     /// Applies a [`WriteBatch`] atomically with respect to the commit log.
+    ///
+    /// # Cross-shard atomicity caveat
+    ///
+    /// On a sharded database (`Options::shards.count > 1`) a batch whose keys
+    /// hash to more than one shard is split and committed **atomically per
+    /// shard, not globally**: each shard's slice goes through that shard's
+    /// commit log and group commit as one batch, but a crash between the
+    /// per-shard commits can persist some shards' slices and not others.
+    /// Live readers never observe the tear — MVCC snapshots (and the scans
+    /// built on them) drain every shard behind the router gate that
+    /// in-flight cross-shard batches hold, so a snapshot sees either all of
+    /// a batch or none of it — the caveat is strictly about crash recovery.
     pub fn write(&self, batch: WriteBatch, opts: WriteOptions) -> Result<()> {
-        self.inner.write_batch(batch, opts).map(|_| ())
+        self.write_routed(batch, opts).map(|_| ())
     }
 
     /// Like [`write`](Db::write), but returns the sequence number assigned to the
     /// batch's last operation (its operations occupy the contiguous range ending
     /// there). Returns the current [`last_seqno`](Db::last_seqno) for an empty
     /// batch. Used by tests and tooling that audit commit ordering.
+    ///
+    /// On a sharded database sequence numbers are per shard; for a batch that
+    /// spans shards this returns the largest per-shard commit seqno.
     pub fn write_committed(&self, batch: WriteBatch, opts: WriteOptions) -> Result<SeqNo> {
-        self.inner.write_batch(batch, opts)
+        self.write_routed(batch, opts)
+    }
+
+    /// Routes a batch to its shard(s). Single-shard batches — every point
+    /// write, and any batch whose keys all hash together — go straight to the
+    /// owning shard with no cross-shard coordination. A batch spanning shards
+    /// commits sequentially per shard (shard-index order) under a shared
+    /// router-gate hold, so shard-spanning snapshots (which take the gate
+    /// exclusively) serialize against it and observe the batch all-or-nothing.
+    fn write_routed(&self, batch: WriteBatch, opts: WriteOptions) -> Result<SeqNo> {
+        if self.shards.len() == 1 {
+            return self.shards[0].inner.write_batch(batch, opts);
+        }
+        if batch.ops.is_empty() {
+            return Ok(self.last_seqno());
+        }
+
+        // Detect the common single-shard batch without allocating.
+        let first = self.routes.route(&batch.ops[0].key);
+        if batch.ops.iter().all(|op| self.routes.route(&op.key) == first) {
+            return self.shards[first].inner.write_batch(batch, opts);
+        }
+
+        // Split the batch per shard, preserving intra-shard operation order
+        // (later ops on the same key stay later in that shard's slice).
+        let mut per_shard: Vec<WriteBatch> = Vec::new();
+        per_shard.resize_with(self.shards.len(), WriteBatch::new);
+        for op in batch.ops {
+            per_shard[self.routes.route(&op.key)].ops.push(op);
+        }
+
+        let _coord = self.router.read();
+        let mut max_seqno = 0;
+        for (index, slice) in per_shard.into_iter().enumerate() {
+            if slice.ops.is_empty() {
+                continue;
+            }
+            let seqno = self.shards[index].inner.write_batch(slice, opts)?;
+            max_seqno = max_seqno.max(seqno);
+        }
+        Ok(max_seqno)
     }
 
     /// The largest published sequence number. It only moves once the covering
@@ -488,8 +641,16 @@ impl Db {
     /// and moves on), so compare against seqnos returned by
     /// [`write_committed`](Db::write_committed) only after concurrent writers
     /// have quiesced.
+    ///
+    /// On a sharded database each shard runs its own sequence space and this
+    /// returns the largest published seqno across shards (advisory — shards
+    /// advance independently).
     pub fn last_seqno(&self) -> SeqNo {
-        self.inner.last_seqno.load(Ordering::Acquire)
+        self.shards
+            .iter()
+            .map(|shard| shard.inner.last_seqno.load(Ordering::Acquire))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns the current value of `key`, or `None` if it does not exist (or was
@@ -499,9 +660,11 @@ impl Db {
     /// shared [`Stats::get_latency`] histogram, so tail latency of the read
     /// path is observable without any harness-side clocking.
     pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Vec<u8>>> {
+        let key = key.as_ref();
+        let shard = &self.shards[self.routes.route(key)];
         let started = Instant::now();
-        let result = self.inner.get(key.as_ref());
-        self.inner.stats.record_get_latency_ns(started.elapsed().as_nanos() as u64);
+        let result = shard.inner.get(key);
+        shard.inner.stats.record_get_latency_ns(started.elapsed().as_nanos() as u64);
         result
     }
 
@@ -524,8 +687,18 @@ impl Db {
     /// files and superseded versions the snapshot can still see stay alive
     /// until the handle is dropped, at which point garbage collection reclaims
     /// whatever only the snapshot was pinning.
+    ///
+    /// On a sharded database the snapshot spans every shard: it is taken
+    /// under the exclusive router gate with each shard's pipeline drained in
+    /// turn, capturing one commit-group-boundary seqno per shard. Because
+    /// in-flight cross-shard batches hold the router gate shared, the
+    /// snapshot observes every such batch all-or-nothing.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot::open(&self.inner)
+        if self.shards.len() == 1 {
+            Snapshot::open(&self.shards[0].inner)
+        } else {
+            Snapshot::open_multi(&self.shards, &self.router)
+        }
     }
 
     /// Returns an iterator over the live key/value pairs with user keys in
@@ -533,33 +706,54 @@ impl Db {
     ///
     /// The iterator pins the version it was created against, so the files it reads
     /// — including the commit logs backing CL-SSTables — outlive any concurrent
-    /// compaction for as long as the iterator exists.
+    /// compaction for as long as the iterator exists. On a sharded database
+    /// the per-shard iterators are k-way merged (routing makes per-shard key
+    /// sets disjoint, so the merge needs no cross-shard dedup) over an
+    /// ephemeral shard-spanning snapshot, which is released as soon as the
+    /// iterator has pinned its sources.
     pub fn scan_range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<DbIterator> {
-        DbIterator::with_bounds(&self.inner, start.map(|s| s.to_vec()), end.map(|e| e.to_vec()))
+        if self.shards.len() == 1 {
+            return DbIterator::with_bounds(
+                &self.shards[0].inner,
+                start.map(|s| s.to_vec()),
+                end.map(|e| e.to_vec()),
+            );
+        }
+        let snapshot = self.snapshot();
+        snapshot.scan_range(start, end)
     }
 
     /// Forces the active memtable to be sealed and flushed, then waits for every
     /// pending flush to complete. Primarily useful in tests and benchmarks.
     pub fn flush(&self) -> Result<()> {
-        self.inner.force_rotate()?;
-        self.inner.wait_for_pending_flushes()
+        for shard in &self.shards {
+            shard.inner.force_rotate()?;
+        }
+        for shard in &self.shards {
+            shard.inner.wait_for_pending_flushes()?;
+        }
+        Ok(())
     }
 
-    /// Blocks until no compaction work is pending (used by benchmarks to measure
-    /// steady-state sizes), then runs a garbage-collection pass.
+    /// Blocks until no compaction work is pending on any shard (used by
+    /// benchmarks to measure steady-state sizes), then runs a
+    /// garbage-collection pass.
     pub fn wait_for_compactions(&self) -> Result<()> {
-        self.inner.wait_for_pending_flushes()?;
-        loop {
-            if self.inner.shutdown.load(Ordering::SeqCst) {
-                return Ok(());
+        for shard in &self.shards {
+            shard.inner.wait_for_pending_flushes()?;
+            loop {
+                if shard.inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if !shard.inner.compaction_needed() {
+                    shard.inner.collect_garbage();
+                    break;
+                }
+                let _ = shard.inner.work_tx.send(WorkItem::Compact);
+                std::thread::sleep(std::time::Duration::from_millis(5));
             }
-            if !self.inner.compaction_needed() {
-                self.inner.collect_garbage();
-                return Ok(());
-            }
-            let _ = self.inner.work_tx.send(WorkItem::Compact);
-            std::thread::sleep(std::time::Duration::from_millis(5));
         }
+        Ok(())
     }
 
     /// Runs a synchronous garbage-collection pass, deleting every retired file that
@@ -570,7 +764,11 @@ impl Db {
     /// operational tooling that want a deterministic collection point. Returns
     /// `true` when nothing is left awaiting deletion.
     pub fn collect_garbage(&self) -> bool {
-        self.inner.collect_garbage()
+        let mut clean = true;
+        for shard in &self.shards {
+            clean &= shard.inner.collect_garbage();
+        }
+        clean
     }
 
     /// The set of file names the engine expects in its directory for the current
@@ -584,38 +782,69 @@ impl Db {
     /// [`collect_garbage`](Db::collect_garbage) reports an empty queue, a
     /// directory listing equals exactly this set — the invariant the
     /// file-lifetime tests assert (no leaks, no premature deletes).
+    /// On a sharded database, names are relative to the database root:
+    /// per-shard files carry their `shard-NNN/` prefix and the root `SHARDS`
+    /// marker is included.
     pub fn expected_live_files(&self) -> BTreeSet<String> {
-        let (versions, manifest_name) = {
-            let mut set = self.inner.versions.lock();
-            (set.live_versions(), set.live_manifest_name())
-        };
-        let mut names = BTreeSet::new();
-        for version in versions {
-            names.append(&mut version.referenced_file_names());
+        if self.shards.len() == 1 {
+            return self.shards[0].inner.expected_live_files();
         }
-        names.insert(manifest_name);
-        names.insert("CURRENT".to_string());
-        names.insert(log_file_name(self.inner.wal.lock().id));
-        for imm in self.inner.imm.read().iter() {
-            names.insert(log_file_name(imm.wal_id));
+        let mut names = BTreeSet::new();
+        names.insert(crate::shard::SHARDS_MARKER.to_string());
+        for (index, shard) in self.shards.iter().enumerate() {
+            let prefix = crate::shard::dir_name(index);
+            for name in shard.inner.expected_live_files() {
+                names.insert(format!("{prefix}/{name}"));
+            }
         }
         names
     }
 
-    /// Ids of the table handles currently held by the table cache, sorted
-    /// (exposed for tests and diagnostics).
+    /// Ids of the table handles currently held by the table caches, sorted
+    /// (exposed for tests and diagnostics). File numbers are a per-shard
+    /// namespace, so on a sharded database the ids of different shards may
+    /// collide; duplicates are kept.
     pub fn cached_table_ids(&self) -> Vec<u64> {
-        self.inner.table_cache.cached_ids()
+        let mut ids: Vec<u64> =
+            self.shards.iter().flat_map(|shard| shard.inner.table_cache.cached_ids()).collect();
+        ids.sort_unstable();
+        ids
     }
 
-    /// A snapshot of the engine statistics.
+    /// A snapshot of the engine statistics, merged across shards: counters
+    /// sum, latency histograms merge bucket-wise, and group-size /
+    /// pipeline-depth high-water marks take the max.
     pub fn stats(&self) -> StatSnapshot {
-        self.inner.stats.snapshot()
+        let mut merged = self.shards[0].inner.stats.snapshot();
+        for shard in &self.shards[1..] {
+            merged = merged.merge(&shard.inner.stats.snapshot());
+        }
+        merged
     }
 
-    /// The shared statistics registry (counters keep updating as the engine runs).
+    /// The shared statistics registry. On a single-shard database this is the
+    /// live registry (counters keep updating as the engine runs); on a sharded
+    /// database it is a *frozen* merge across shards, taken at call time.
     pub fn stats_handle(&self) -> Arc<Stats> {
-        Arc::clone(&self.inner.stats)
+        if self.shards.len() == 1 {
+            return Arc::clone(&self.shards[0].inner.stats);
+        }
+        let merged = Stats::new();
+        for shard in &self.shards {
+            merged.absorb(&shard.inner.stats);
+        }
+        Arc::new(merged)
+    }
+
+    /// Per-shard statistics snapshots, shard-index order (the bench harness's
+    /// per-shard breakdown).
+    pub fn shard_stats(&self) -> Vec<StatSnapshot> {
+        self.shards.iter().map(|shard| shard.inner.stats.snapshot()).collect()
+    }
+
+    /// The number of engine shards behind this handle (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Total snapshot-retained prior versions currently held by the memory
@@ -628,58 +857,72 @@ impl Db {
     /// value stays bounded by the live key count and never grows with the
     /// number of overwrites.
     pub fn retained_prior_versions(&self) -> usize {
-        let active = self.inner.mem.read().retained_versions();
-        let sealed: usize =
-            self.inner.imm.read().iter().map(|imm| imm.memtable.retained_versions()).sum();
-        active + sealed
+        let mut total = 0;
+        for shard in &self.shards {
+            total += shard.inner.mem.read().retained_versions();
+            total += shard
+                .inner
+                .imm
+                .read()
+                .iter()
+                .map(|imm| imm.memtable.retained_versions())
+                .sum::<usize>();
+        }
+        total
     }
 
-    /// The engine options this database was opened with.
+    /// The engine options this database was opened with, with
+    /// `Options::shards.count` reflecting the *effective* (persisted) count.
     pub fn options(&self) -> &Options {
-        &self.inner.options
+        &self.options
     }
 
     /// The database directory.
     pub fn path(&self) -> &Path {
-        &self.inner.path
+        &self.path
     }
 
-    /// Number of files per level in the current version (index = level).
+    /// Number of files per level, summed across shards (index = level).
     pub fn files_per_level(&self) -> Vec<usize> {
-        let version = self.inner.current_version.read().clone();
-        (0..version.num_levels()).map(|l| version.num_files(l)).collect()
+        let mut totals = vec![0usize; self.options.num_levels];
+        for shard in &self.shards {
+            let version = shard.inner.current_version.read().clone();
+            for (level, total) in totals.iter_mut().enumerate().take(version.num_levels()) {
+                *total += version.num_files(level);
+            }
+        }
+        totals
     }
 
-    /// Total on-disk size of every level, in bytes.
+    /// Total on-disk size of every level across shards, in bytes.
     pub fn disk_usage(&self) -> u64 {
-        let version = self.inner.current_version.read().clone();
-        (0..version.num_levels()).map(|l| version.level_size(l)).sum()
+        let mut total = 0;
+        for shard in &self.shards {
+            let version = shard.inner.current_version.read().clone();
+            total += (0..version.num_levels()).map(|l| version.level_size(l)).sum::<u64>();
+        }
+        total
     }
 
-    /// The failpoint registry used by this instance (for tests).
+    /// The failpoint registry used by this instance (for tests). One registry
+    /// is shared by every shard, so arming a failpoint affects them all.
     pub fn failpoints(&self) -> &FailpointRegistry {
-        &self.inner.failpoints
+        &self.failpoints
     }
 
-    /// Closes the database, stopping background work and syncing the commit log.
-    ///
-    /// Dropping the handle performs the same shutdown.
+    /// Closes the database, stopping background work and syncing every shard's
+    /// commit log. Idempotent; dropping the handle performs the same shutdown.
     pub fn close(&self) -> Result<()> {
-        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
-            return Ok(());
+        let mut first_err = None;
+        for shard in &self.shards {
+            if let Err(err) = shard.close() {
+                first_err.get_or_insert(err);
+            }
         }
-        let _ = self.inner.work_tx.send(WorkItem::Shutdown);
-        if let Some(handle) = self.worker.lock().take() {
-            let _ = handle.join();
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(()),
         }
-        // Collect whatever the worker left queued (files pinned by readers that
-        // have finished since, or retirements raced with shutdown). Anything still
-        // pinned now is swept by the next open.
-        self.inner.collect_garbage();
-        // Make sure everything appended so far survives a process exit.
-        let mut wal = self.inner.wal.lock();
-        wal.writer.sync()?;
-        Ok(())
     }
 }
 
@@ -745,6 +988,26 @@ struct PipelinedPhase<'a> {
 }
 
 impl DbInner {
+    /// The file names this shard expects in its directory for its current
+    /// state (relative to the shard root). See [`Db::expected_live_files`].
+    pub(crate) fn expected_live_files(&self) -> BTreeSet<String> {
+        let (versions, manifest_name) = {
+            let mut set = self.versions.lock();
+            (set.live_versions(), set.live_manifest_name())
+        };
+        let mut names = BTreeSet::new();
+        for version in versions {
+            names.append(&mut version.referenced_file_names());
+        }
+        names.insert(manifest_name);
+        names.insert("CURRENT".to_string());
+        names.insert(log_file_name(self.wal.lock().id));
+        for imm in self.imm.read().iter() {
+            names.insert(log_file_name(imm.wal_id));
+        }
+        names
+    }
+
     /// Applies a batch: append to the commit log, insert into the active
     /// memtable, then decide whether a rotation is needed. Returns the sequence
     /// number of the batch's last operation.

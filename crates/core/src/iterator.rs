@@ -3,13 +3,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use triad_common::types::{Entry, SeqNo, ValueKind};
+use triad_common::types::{Entry, ValueKind};
 use triad_common::{Result, Stats};
-use triad_memtable::Memtable;
 use triad_sstable::{bounded_to_seqno, DedupIterator, EntryIter, MergingIterator};
 
-use crate::db::{DbInner, ImmutableMemtable};
-use crate::version::Version;
+use crate::db::DbInner;
+use crate::snapshot::SnapshotShard;
 
 /// An iterator over every live key/value pair in the database, in key order.
 ///
@@ -27,8 +26,9 @@ pub struct DbIterator {
     start: Option<Vec<u8>>,
     /// Exclusive upper bound on user keys, if any.
     end: Option<Vec<u8>>,
-    /// Keeps the snapshot's files safe from garbage collection until drop.
-    _pin: crate::db::PinnedVersion,
+    /// Keeps the captured files safe from garbage collection until drop —
+    /// one pinned version per shard the iterator reads.
+    _pins: Vec<crate::db::PinnedVersion>,
     /// Shared statistics registry; the drop impl records this iterator's
     /// lifetime into the scan-latency histogram.
     stats: Arc<Stats>,
@@ -102,55 +102,63 @@ impl DbIterator {
             inner: DedupIterator::new(Box::new(merged), false),
             start,
             end,
-            _pin: pin,
+            _pins: vec![pin],
             stats: Arc::clone(&db.stats),
             created,
         })
     }
 
-    /// Creates an iterator over a snapshot's captured components, bounded at the
-    /// snapshot's sequence number.
+    /// Creates an iterator over a snapshot's captured components — one
+    /// [`SnapshotShard`] per engine shard — each source bounded at its own
+    /// shard's snapshot sequence number.
     ///
     /// No lock is taken here, in contrast to [`with_bounds`](Self::with_bounds):
-    /// the snapshot seqno sits on a commit-group boundary, so bounding every
-    /// source at it yields a batch-atomic view by construction — a concurrent
-    /// group's writes all carry seqnos above the bound, and any version the
-    /// snapshot can see that such a write shadows is preserved on the memtable's
-    /// prior list (the snapshot registered itself before the bound was chosen).
-    /// Table sources are bounded *before* the dedup stage, so the survivor per
-    /// user key is the newest version visible at the snapshot. The version is
-    /// the one the snapshot pinned — never the current one, whose compactions
-    /// may already have deduped away versions the snapshot still needs.
-    pub(crate) fn with_snapshot(
-        db: &Arc<DbInner>,
-        mem: &Arc<Memtable>,
-        imm: &[Arc<ImmutableMemtable>],
-        version: Arc<Version>,
-        seqno: SeqNo,
+    /// each shard's snapshot seqno sits on a commit-group boundary, so bounding
+    /// that shard's sources at it yields a batch-atomic view by construction —
+    /// a concurrent group's writes all carry seqnos above the bound, and any
+    /// version the snapshot can see that such a write shadows is preserved on
+    /// the memtable's prior list (the snapshot registered itself before the
+    /// bound was chosen). Table sources are bounded *before* the dedup stage,
+    /// so the survivor per user key is the newest version visible at the
+    /// snapshot. The versions are the ones the snapshot pinned — never the
+    /// current ones, whose compactions may already have deduped away versions
+    /// the snapshot still needs. Hash routing makes the shards' key sets
+    /// disjoint, so the k-way merge needs no cross-shard conflict resolution.
+    ///
+    /// The iterator takes its own version pins, so the snapshot handle may be
+    /// dropped as soon as this returns (the ephemeral snapshot behind a live
+    /// multi-shard [`Db::scan_range`](crate::Db::scan_range) does exactly that).
+    pub(crate) fn with_snapshot_parts(
+        parts: &[SnapshotShard],
         start: Option<Vec<u8>>,
         end: Option<Vec<u8>>,
     ) -> Result<DbIterator> {
         let created = Instant::now();
         let mut sources: Vec<EntryIter> = Vec::new();
-        sources.push(Box::new(mem.snapshot_as_entries_at(seqno).into_iter().map(Ok)));
-        for sealed in imm.iter().rev() {
-            let entries = sealed.memtable.snapshot_as_entries_at(seqno);
-            sources.push(Box::new(entries.into_iter().map(Ok)));
-        }
-        let pin = db.pin_version(version);
-        for level in 0..pin.num_levels() {
-            for file in &pin.levels[level] {
-                let table = db.table_cache.get_or_open(file)?;
-                sources.push(bounded_to_seqno(table.entries()?, seqno));
+        let mut pins = Vec::with_capacity(parts.len());
+        for part in parts {
+            let db: &Arc<DbInner> = &part.db;
+            sources.push(Box::new(part.mem.snapshot_as_entries_at(part.seqno).into_iter().map(Ok)));
+            for sealed in part.imm.iter().rev() {
+                let entries = sealed.memtable.snapshot_as_entries_at(part.seqno);
+                sources.push(Box::new(entries.into_iter().map(Ok)));
             }
+            let pin = db.pin_version(Arc::clone(part.pin.version()));
+            for level in 0..pin.num_levels() {
+                for file in &pin.levels[level] {
+                    let table = db.table_cache.get_or_open(file)?;
+                    sources.push(bounded_to_seqno(table.entries()?, part.seqno));
+                }
+            }
+            pins.push(pin);
         }
         let merged = MergingIterator::new(sources)?;
         Ok(DbIterator {
             inner: DedupIterator::new(Box::new(merged), false),
             start,
             end,
-            _pin: pin,
-            stats: Arc::clone(&db.stats),
+            _pins: pins,
+            stats: Arc::clone(&parts[0].db.stats),
             created,
         })
     }

@@ -45,6 +45,7 @@ mod flush;
 pub mod iterator;
 pub mod manifest;
 pub mod options;
+mod shard;
 pub mod snapshot;
 pub mod table_cache;
 pub mod version;
@@ -52,7 +53,9 @@ pub mod version;
 pub use batch::{WriteBatch, WriteOptions};
 pub use db::Db;
 pub use iterator::DbIterator;
-pub use options::{BackgroundIoMode, GroupCommitConfig, Options, SyncMode, TriadConfig};
+pub use options::{
+    BackgroundIoMode, GroupCommitConfig, Options, ShardConfig, SyncMode, TriadConfig,
+};
 pub use snapshot::Snapshot;
 pub use version::{FileMetadata, Version, VersionEdit};
 

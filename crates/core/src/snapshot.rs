@@ -1,15 +1,16 @@
 //! MVCC snapshots: frozen, consistent views of the database.
 //!
-//! A [`Snapshot`] is a *pin* on three things at once:
+//! A [`Snapshot`] is, per shard, a *pin* on three things at once:
 //!
 //! 1. **A published sequence number** sitting on a commit-group boundary. The
-//!    snapshot is opened under the WAL lock plus an exclusive acquisition of
-//!    the commit gate, which drains the commit pipeline: every appended group
-//!    has published (or been abandoned) by the time the seqno is read, and no
-//!    new group can append while the locks are held. A boundary seqno can
-//!    never split a write batch, and — because publication happens only after
-//!    a group is as durable as the engine's sync policy promises — it can
-//!    never cover unacknowledged, non-durable data either.
+//!    capture happens under the shard's WAL lock plus an exclusive
+//!    acquisition of its commit gate, which drains the commit pipeline:
+//!    every appended group has published (or been abandoned) by the time the
+//!    seqno is read, and no new group can append while the locks are held. A
+//!    boundary seqno can never split a write batch, and — because
+//!    publication happens only after a group is as durable as the engine's
+//!    sync policy promises — it can never cover unacknowledged, non-durable
+//!    data either.
 //! 2. **The memory components**: the active memtable and the sealed list, by
 //!    `Arc`. The active memtable keeps absorbing writes afterwards, but the
 //!    snapshot registered itself in the shared
@@ -25,94 +26,70 @@
 //!    live. Compaction may dedup older versions out of *new* files, but the
 //!    snapshot never reads those; it reads the files of the version it pinned.
 //!
-//! Dropping the snapshot deregisters it (the next overwrite of each slot
-//! prunes retained versions nobody can read) and releases the version pin,
-//! nudging the collector to reclaim whatever only the snapshot was keeping.
+//! # The shard-spanning snapshot gate
+//!
+//! On a sharded database the snapshot must be consistent across shards: a
+//! cross-shard batch (committed per shard, see
+//! [`Db::write`](crate::Db::write)) must be visible either on every shard it
+//! touched or on none. `Snapshot::open_multi` achieves this by taking the
+//! router gate exclusively — in-flight cross-shard batches hold it shared —
+//! and then, inside the marked `SNAPSHOT-GATE` region, acquiring **every**
+//! shard's WAL lock and commit gate before capturing any shard's seqno.
+//! This is the only place in the engine where two shards' WAL locks may be
+//! held at once (enforced by `triad-lint`'s `multi-shard-wal-gate` rule and,
+//! dynamically, by the lock-rank checker's scoped equal-rank allowance).
+//! Lock order is global rank order: router gate (8), then the WAL locks
+//! (10, shard-index order), then the commit gates (20, shard-index order).
+//!
+//! Dropping the snapshot deregisters it per shard (the next overwrite of
+//! each slot prunes retained versions nobody can read) and releases the
+//! version pins, nudging each shard's collector to reclaim whatever only the
+//! snapshot was keeping.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use triad_common::lockrank::RankedRwLock;
 use triad_common::types::SeqNo;
 use triad_common::Result;
 use triad_memtable::Memtable;
 
-use crate::db::{DbInner, ImmutableMemtable, PinnedVersion};
+use crate::db::{lock_rank, DbInner, ImmutableMemtable, PinnedVersion};
 use crate::iterator::DbIterator;
+use crate::shard::{Shard, ShardRouter};
 
-/// A frozen, consistent view of the database at a commit-group boundary.
-///
-/// Obtained from [`Db::snapshot`](crate::Db::snapshot); reads through the
-/// handle are repeatable and unaffected by concurrent writes, flushes and
-/// compactions. The handle is `Send + Sync`; it may outlive arbitrary amounts
-/// of write traffic, at the cost of pinning the files and superseded in-memory
-/// versions it can still see.
-pub struct Snapshot {
-    db: Arc<DbInner>,
-    seqno: SeqNo,
+/// One shard's frozen view: the capture-time seqno, memory components and
+/// pinned version of a single engine shard.
+pub(crate) struct SnapshotShard {
+    pub(crate) db: Arc<DbInner>,
+    pub(crate) seqno: SeqNo,
     /// The memory component that was active at the snapshot point. Later
     /// writes land in it (or a successor) with larger seqnos; the bounded
     /// probes below never see them.
-    mem: Arc<Memtable>,
+    pub(crate) mem: Arc<Memtable>,
     /// The sealed memtables pending flush at the snapshot point, oldest first.
-    imm: Vec<Arc<ImmutableMemtable>>,
+    pub(crate) imm: Vec<Arc<ImmutableMemtable>>,
     /// Keeps every file of the captured version safe from garbage collection.
-    pin: PinnedVersion,
+    pub(crate) pin: PinnedVersion,
 }
 
-impl std::fmt::Debug for Snapshot {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Snapshot").field("seqno", &self.seqno).finish()
-    }
-}
-
-impl Snapshot {
-    /// Captures a snapshot of `db`. See the module docs for the protocol.
-    pub(crate) fn open(db: &Arc<DbInner>) -> Snapshot {
-        let (seqno, mem, imm, pin) = {
-            // WAL lock then exclusive commit gate — the engine's global lock
-            // order. With both held the pipeline is drained: `last_seqno` is a
-            // group boundary and every write at or below it is fully applied.
-            let _wal = db.wal.lock();
-            let _gate = db.commit_gate.write();
-            let seqno = db.last_seqno.load(Ordering::Acquire);
-            // Register *before* the gate opens: the first write group that could
-            // overwrite something this snapshot sees must already find it
-            // registered, or the shadowed version would be discarded.
-            db.retention.register(seqno);
-            let mem = db.mem.read().clone();
-            let imm: Vec<Arc<ImmutableMemtable>> = db.imm.read().clone();
-            let pin = db.pin_current_version();
-            (seqno, mem, imm, pin)
-        };
-        db.stats.add_snapshots_created(1);
-        Snapshot { db: Arc::clone(db), seqno, mem, imm, pin }
+impl SnapshotShard {
+    /// Captures one shard's view. The caller must hold the shard's WAL lock
+    /// and an exclusive acquisition of its commit gate (pipeline drained).
+    fn capture_locked(db: &Arc<DbInner>) -> SnapshotShard {
+        let seqno = db.last_seqno.load(Ordering::Acquire);
+        // Register *before* the gate opens: the first write group that could
+        // overwrite something this snapshot sees must already find it
+        // registered, or the shadowed version would be discarded.
+        db.retention.register(seqno);
+        let mem = db.mem.read().clone();
+        let imm: Vec<Arc<ImmutableMemtable>> = db.imm.read().clone();
+        let pin = db.pin_current_version();
+        SnapshotShard { db: Arc::clone(db), seqno, mem, imm, pin }
     }
 
-    /// The snapshot's sequence number: the largest seqno whose effects are
-    /// visible through this handle. Always a commit-group boundary.
-    pub fn seqno(&self) -> SeqNo {
-        self.seqno
-    }
-
-    /// Returns the value `key` had at the snapshot point, or `None` if it did
-    /// not exist (or was deleted) then.
-    ///
-    /// The probe order mirrors the live read path — active memtable, sealed
-    /// memtables newest first, then the pinned version level by level — but
-    /// every probe is bounded by the snapshot seqno and consults retained
-    /// prior versions. The capture-time components are used, not the current
-    /// ones: a memtable sealed, flushed and even garbage-collected since the
-    /// snapshot was taken is still read here, in memory, through its `Arc`.
-    pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Vec<u8>>> {
-        let started = std::time::Instant::now();
-        let result = self.get_inner(key.as_ref());
-        self.db.stats.record_get_latency_ns(started.elapsed().as_nanos() as u64);
-        result
-    }
-
-    /// The untimed body of [`get`](Self::get); bounded-probe order documented
-    /// there.
-    fn get_inner(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    /// Seqno-bounded point lookup within this shard's captured view.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let db = &self.db;
         db.stats.add_user_reads(1);
 
@@ -143,6 +120,117 @@ impl Snapshot {
         }
         Ok(None)
     }
+}
+
+/// A frozen, consistent view of the database at a commit-group boundary
+/// (one boundary per shard on a sharded database).
+///
+/// Obtained from [`Db::snapshot`](crate::Db::snapshot); reads through the
+/// handle are repeatable and unaffected by concurrent writes, flushes and
+/// compactions. The handle is `Send + Sync`; it may outlive arbitrary amounts
+/// of write traffic, at the cost of pinning the files and superseded in-memory
+/// versions it can still see.
+pub struct Snapshot {
+    /// One frozen view per engine shard, shard-index order.
+    shards: Vec<SnapshotShard>,
+    /// Key → shard routing, mirroring the database's own router.
+    routes: ShardRouter,
+    /// The largest per-shard snapshot seqno (equals the single shard's seqno
+    /// on an unsharded database).
+    seqno: SeqNo,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("seqno", &self.seqno)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl Snapshot {
+    /// Captures a snapshot of a single-shard database. See the module docs
+    /// for the protocol.
+    pub(crate) fn open(db: &Arc<DbInner>) -> Snapshot {
+        let captured = {
+            // WAL lock then exclusive commit gate — the engine's global lock
+            // order. With both held the pipeline is drained: `last_seqno` is a
+            // group boundary and every write at or below it is fully applied.
+            let _wal = db.wal.lock();
+            let _gate = db.commit_gate.write();
+            SnapshotShard::capture_locked(db)
+        };
+        db.stats.add_snapshots_created(1);
+        let seqno = captured.seqno;
+        Snapshot { shards: vec![captured], routes: ShardRouter::new(1), seqno }
+    }
+
+    /// Captures a shard-spanning snapshot: every shard's pipeline is drained
+    /// and its commit-group-boundary seqno captured under one exclusive
+    /// router-gate hold, so cross-shard batches (which commit under a shared
+    /// hold) are observed all-or-nothing. See the module docs.
+    pub(crate) fn open_multi(shards: &[Shard], router: &RankedRwLock<()>) -> Snapshot {
+        let captured = {
+            let _coord = router.write();
+            // SNAPSHOT-GATE-BEGIN: the one region allowed to hold several
+            // shards' WAL locks (and commit gates) at once. Acquisition is in
+            // shard-index order under a scoped equal-rank allowance; the
+            // locks are released together when the guards drop below.
+            let mut wals = Vec::with_capacity(shards.len());
+            {
+                let _same_rank = triad_common::allow_equal_rank(lock_rank::WAL);
+                for shard in shards {
+                    wals.push(shard.inner.wal.lock());
+                }
+            }
+            let mut gates = Vec::with_capacity(shards.len());
+            {
+                let _same_rank = triad_common::allow_equal_rank(lock_rank::COMMIT_GATE);
+                for shard in shards {
+                    gates.push(shard.inner.commit_gate.write());
+                }
+            }
+            let mut captured = Vec::with_capacity(shards.len());
+            for shard in shards {
+                captured.push(SnapshotShard::capture_locked(&shard.inner));
+            }
+            // SNAPSHOT-GATE-END
+            captured
+        };
+        // One snapshot, one count: attribute it to shard 0 so the merged
+        // stats see a single shard-spanning snapshot, not one per shard.
+        shards[0].inner.stats.add_snapshots_created(1);
+        let seqno = captured.iter().map(|shard| shard.seqno).max().unwrap_or(0);
+        Snapshot { shards: captured, routes: ShardRouter::new(shards.len()), seqno }
+    }
+
+    /// The snapshot's sequence number: the largest seqno whose effects are
+    /// visible through this handle. Always a commit-group boundary; on a
+    /// sharded database, the largest of the per-shard boundary seqnos
+    /// (advisory — bounded reads use each shard's own seqno).
+    pub fn seqno(&self) -> SeqNo {
+        self.seqno
+    }
+
+    /// Returns the value `key` had at the snapshot point, or `None` if it did
+    /// not exist (or was deleted) then.
+    ///
+    /// The probe order mirrors the live read path — active memtable, sealed
+    /// memtables newest first, then the pinned version level by level — but
+    /// every probe is bounded by the owning shard's snapshot seqno and
+    /// consults retained prior versions. The capture-time components are
+    /// used, not the current ones: a memtable sealed, flushed and even
+    /// garbage-collected since the snapshot was taken is still read here, in
+    /// memory, through its `Arc`.
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Vec<u8>>> {
+        let key = key.as_ref();
+        let shard = &self.shards[self.routes.route(key)];
+        let started = std::time::Instant::now();
+        let result = shard.get(key);
+        shard.db.stats.record_get_latency_ns(started.elapsed().as_nanos() as u64);
+        result
+    }
 
     /// Returns an iterator over every key/value pair that was live at the
     /// snapshot point, in key order.
@@ -154,17 +242,15 @@ impl Snapshot {
     /// keys in `[start, end)`; either bound may be omitted.
     ///
     /// Unlike the live [`Db::scan_range`](crate::Db::scan_range), no lock is
-    /// taken: the snapshot seqno already sits on a commit-group boundary, so
-    /// the bounded view is batch-atomic by construction — a concurrent group's
-    /// writes all carry seqnos above the bound, and anything it overwrites that
-    /// the snapshot can see is preserved by the retention registry.
+    /// taken: each shard's snapshot seqno already sits on a commit-group
+    /// boundary, so the bounded view is batch-atomic by construction — a
+    /// concurrent group's writes all carry seqnos above the bound, and
+    /// anything it overwrites that the snapshot can see is preserved by the
+    /// retention registry. On a sharded database the per-shard sources are
+    /// k-way merged; routing makes the shards' key sets disjoint.
     pub fn scan_range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> Result<DbIterator> {
-        DbIterator::with_snapshot(
-            &self.db,
-            &self.mem,
-            &self.imm,
-            Arc::clone(self.pin.version()),
-            self.seqno,
+        DbIterator::with_snapshot_parts(
+            &self.shards,
             start.map(|s| s.to_vec()),
             end.map(|e| e.to_vec()),
         )
@@ -175,8 +261,10 @@ impl Drop for Snapshot {
     fn drop(&mut self) {
         // Deregistration first: subsequent overwrites stop retaining for this
         // seqno and prune what only it could read. The field drops that follow
-        // release the memtables and the version pin; the pin's drop nudges the
-        // garbage collector if files are waiting.
-        self.db.retention.deregister(self.seqno);
+        // release the memtables and the version pins; each pin's drop nudges
+        // its shard's garbage collector if files are waiting.
+        for shard in &self.shards {
+            shard.db.retention.deregister(shard.seqno);
+        }
     }
 }

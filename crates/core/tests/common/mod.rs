@@ -35,12 +35,32 @@ pub fn value_for(key: u64, version: u64) -> Vec<u8> {
     format!("value-{key}-{version}-{}", "x".repeat(100)).into_bytes()
 }
 
-/// Every file name currently present in the database directory.
+/// Pins a test database to a single shard, regardless of the `TRIAD_SHARDS`
+/// environment override. For tests whose assertions are inherently
+/// single-shard: exact file counts, probe arithmetic, seqno density.
+pub fn single_shard(options: &mut Options) {
+    options.shards = triad_core::ShardConfig::single();
+}
+
+/// Every file name currently present in the database directory, relative to
+/// its root. Files inside `shard-NNN/` subdirectories (the sharded layout)
+/// are listed with their `shard-NNN/` prefix, matching
+/// [`Db::expected_live_files`].
 pub fn disk_files(dir: &std::path::Path) -> std::collections::BTreeSet<String> {
-    std::fs::read_dir(dir)
-        .unwrap()
-        .map(|entry| entry.unwrap().file_name().to_string_lossy().into_owned())
-        .collect()
+    let mut names = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if entry.file_type().unwrap().is_dir() && name.starts_with("shard-") {
+            for nested in std::fs::read_dir(entry.path()).unwrap() {
+                let nested = nested.unwrap().file_name().to_string_lossy().into_owned();
+                names.insert(format!("{name}/{nested}"));
+            }
+        } else {
+            names.insert(name);
+        }
+    }
+    names
 }
 
 /// Asserts that, once garbage collection converges, the files on disk are exactly

@@ -295,7 +295,7 @@ fn disk_usage_and_files_per_level_report_layout() {
 
 #[test]
 fn a_single_read_counts_one_probe_per_consulted_component() {
-    let (db, _dir) = open_small("probe-counters", |_| {});
+    let (db, _dir) = open_small("probe-counters", common::single_shard);
     for i in 0..100u64 {
         db.put(key_for(i), value_for(i, 1)).unwrap();
     }

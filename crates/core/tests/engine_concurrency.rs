@@ -136,6 +136,7 @@ fn group_commit_seqnos_are_dense_ordered_and_recoverable() {
     let threads = 8u64;
     let batches_per_thread = 250u64;
     let (db, dir) = open_small("group-seqnos", |options| {
+        common::single_shard(options); // seqno density is a per-shard property
         options.l0_compaction_trigger = 2;
     });
     let options = db.options().clone();
@@ -301,6 +302,7 @@ fn pipelined_sync_writers_overlap_fsyncs_and_publish_in_order() {
     let threads = 8u64;
     let batches_per_thread = 60u64;
     let (db, dir) = open_small("pipelined-overlap", |options| {
+        common::single_shard(options); // fsync counting assumes one commit log
         options.sync_mode = SyncMode::SyncEveryWrite;
         // Small groups force several groups into flight at once instead of one
         // group absorbing every writer; rotations stay out of the run.
@@ -387,6 +389,7 @@ fn grouped_mode_without_pipelining_stays_serial_and_correct() {
     let threads = 4u64;
     let batches_per_thread = 100u64;
     let (db, _dir) = open_small("grouped-serial", |options| {
+        common::single_shard(options); // fsync counting assumes one commit log
         options.sync_mode = SyncMode::SyncEveryWrite;
         options.group_commit.pipelined = false;
         options.memtable_size = 64 * 1024 * 1024;
@@ -534,6 +537,7 @@ fn scans_under_compaction_churn_never_hit_missing_files() {
 #[test]
 fn table_cache_never_resurrects_files_deleted_by_gc() {
     let (db, dir) = open_small("cache-resurrection", |options| {
+        common::single_shard(options); // asserts on root-relative table file names
         options.l0_compaction_trigger = 2;
     });
     let db = Arc::new(db);

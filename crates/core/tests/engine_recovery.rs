@@ -10,10 +10,19 @@ fn reopen(dir: &std::path::Path, options: &Options) -> Db {
     Db::open(dir, options.clone()).unwrap()
 }
 
+/// Recovery tests corrupt, truncate and inspect commit logs and manifests at
+/// the database root, so they always run single-shard regardless of the
+/// `TRIAD_SHARDS` override.
+fn small_single_shard() -> Options {
+    let mut options = Options::small_for_tests();
+    common::single_shard(&mut options);
+    options
+}
+
 #[test]
 fn unflushed_writes_are_recovered_from_the_commit_log() {
     let dir = temp_dir("wal-recovery");
-    let options = Options::small_for_tests();
+    let options = small_single_shard();
     {
         let db = Db::open(&dir, options.clone()).unwrap();
         for i in 0..50u64 {
@@ -37,7 +46,7 @@ fn unflushed_writes_are_recovered_from_the_commit_log() {
 #[test]
 fn flushed_and_compacted_state_is_recovered_from_the_manifest() {
     let dir = temp_dir("manifest-recovery");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.l0_compaction_trigger = 2;
     {
         let db = Db::open(&dir, options.clone()).unwrap();
@@ -74,7 +83,7 @@ fn flushed_and_compacted_state_is_recovered_from_the_manifest() {
 #[test]
 fn mixed_flushed_and_unflushed_state_is_recovered() {
     let dir = temp_dir("mixed-recovery");
-    let options = Options::small_for_tests();
+    let options = small_single_shard();
     {
         let db = Db::open(&dir, options.clone()).unwrap();
         for i in 0..300u64 {
@@ -102,7 +111,7 @@ fn mixed_flushed_and_unflushed_state_is_recovered() {
 #[test]
 fn triad_log_cl_sstables_survive_restart() {
     let dir = temp_dir("cl-recovery");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.triad = TriadConfig::log_only();
     // Keep compaction away so CL-SSTables stay on L0 across the restart.
     options.l0_compaction_trigger = 1_000;
@@ -140,7 +149,7 @@ fn triad_log_cl_sstables_survive_restart() {
 #[test]
 fn full_triad_configuration_recovers_a_skewed_workload() {
     let dir = temp_dir("triad-recovery");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.triad = TriadConfig::all_enabled();
     options.l0_compaction_trigger = 2;
     let mut expected = std::collections::BTreeMap::new();
@@ -167,7 +176,7 @@ fn full_triad_configuration_recovers_a_skewed_workload() {
 #[test]
 fn repeated_restarts_preserve_state() {
     let dir = temp_dir("repeated-restarts");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.triad = TriadConfig::all_enabled();
     options.l0_compaction_trigger = 2;
     let mut expected = std::collections::BTreeMap::new();
@@ -203,7 +212,7 @@ fn repeated_restarts_preserve_state() {
 #[test]
 fn injected_flush_failures_do_not_lose_acknowledged_writes() {
     let dir = temp_dir("flush-failpoint");
-    let options = Options::small_for_tests();
+    let options = small_single_shard();
     let failpoints = FailpointRegistry::new();
     // Every flush attempt fails while the failpoint is armed; data must stay safe in
     // the memtable + commit log.
@@ -236,7 +245,7 @@ fn injected_flush_failures_do_not_lose_acknowledged_writes() {
 #[test]
 fn injected_compaction_failures_do_not_corrupt_data() {
     let dir = temp_dir("compaction-failpoint");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.l0_compaction_trigger = 2;
     let failpoints = FailpointRegistry::new();
     failpoints.arm("compaction.start", FailpointAction::ErrorTimes(3));
@@ -270,7 +279,7 @@ fn injected_compaction_failures_do_not_corrupt_data() {
 #[test]
 fn crash_between_group_wal_append_and_memtable_insert_loses_nothing_acknowledged() {
     let dir = temp_dir("group-commit-crash-window");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     // Acknowledged ⇒ fsynced, so the durability claim below is unconditional.
     options.sync_mode = SyncMode::SyncEveryWrite;
     let failpoints = FailpointRegistry::new();
@@ -357,7 +366,7 @@ fn crash_between_group_wal_append_and_memtable_insert_loses_nothing_acknowledged
 #[test]
 fn crash_between_pipelined_append_and_fsync_loses_nothing_acknowledged() {
     let dir = temp_dir("pipelined-crash-window");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.sync_mode = SyncMode::SyncEveryWrite;
     assert!(options.group_commit.pipelined, "this probes the pipelined window");
     let failpoints = FailpointRegistry::new();
@@ -439,7 +448,7 @@ fn crash_between_pipelined_append_and_fsync_loses_nothing_acknowledged() {
 #[test]
 fn recovery_tolerates_a_torn_commit_log_tail() {
     let dir = temp_dir("torn-log");
-    let options = Options::small_for_tests();
+    let options = small_single_shard();
     {
         let db = Db::open(&dir, options.clone()).unwrap();
         for i in 0..100u64 {
@@ -474,7 +483,7 @@ fn recovery_tolerates_a_torn_commit_log_tail() {
 #[test]
 fn reopening_an_empty_directory_is_fine() {
     let dir = temp_dir("empty-reopen");
-    let options = Options::small_for_tests();
+    let options = small_single_shard();
     for _ in 0..3 {
         let db = Db::open(&dir, options.clone()).unwrap();
         assert_eq!(db.get(b"anything").unwrap(), None);
@@ -485,7 +494,7 @@ fn reopening_an_empty_directory_is_fine() {
 #[test]
 fn reopen_after_failed_compactions_sweeps_to_the_exact_live_set() {
     let dir = temp_dir("gc-failpoint-sweep");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.l0_compaction_trigger = 2;
     {
         // The first two compaction attempts die after writing their outputs but
@@ -520,7 +529,7 @@ fn reopen_after_failed_compactions_sweeps_to_the_exact_live_set() {
 #[test]
 fn stale_commit_logs_resurrected_by_a_crash_are_not_replayed() {
     let dir = temp_dir("stale-log-crash");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.triad = TriadConfig::log_only();
     options.l0_compaction_trigger = 2;
     let stale_logs: Vec<(std::path::PathBuf, Vec<u8>)>;
@@ -577,7 +586,7 @@ fn stale_commit_logs_resurrected_by_a_crash_are_not_replayed() {
 #[test]
 fn flushes_that_write_no_file_still_advance_the_recovery_horizon() {
     let dir = temp_dir("no-file-flush-horizon");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.triad = TriadConfig::mem_only();
     // Every entry counts as hot, so a flush writes *no* table: the whole sealed
     // memtable is carried back into memory and the sealed log must be retired
@@ -612,7 +621,7 @@ fn flushes_that_write_no_file_still_advance_the_recovery_horizon() {
 #[test]
 fn injected_append_failures_reject_writes_without_losing_state() {
     let dir = temp_dir("append-failpoint");
-    let options = Options::small_for_tests();
+    let options = small_single_shard();
     let failpoints = FailpointRegistry::new();
     let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
     db.put(key_for(0), value_for(0, 1)).unwrap();
@@ -639,7 +648,7 @@ fn injected_append_failures_reject_writes_without_losing_state() {
 #[test]
 fn injected_rotation_seal_failures_surface_once_and_recover() {
     let dir = temp_dir("rotate-seal-failpoint");
-    let options = Options::small_for_tests();
+    let options = small_single_shard();
     let failpoints = FailpointRegistry::new();
     failpoints.arm("rotate.seal", FailpointAction::ErrorTimes(1));
     let mut acked: Vec<u64> = Vec::new();
@@ -677,7 +686,7 @@ fn injected_rotation_seal_failures_surface_once_and_recover() {
 #[test]
 fn injected_small_flush_skip_failures_keep_hot_data() {
     let dir = temp_dir("small-flush-skip-failpoint");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.memtable_size = 1024 * 1024;
     options.max_log_size = 32 * 1024;
     options.triad = TriadConfig::mem_only();
@@ -728,7 +737,7 @@ fn write_skewed_keyspace(db: &Db) {
 #[test]
 fn injected_hot_write_back_failures_are_retried() {
     let dir = temp_dir("hot-write-back-failpoint");
-    let mut options = Options::small_for_tests();
+    let mut options = small_single_shard();
     options.triad = TriadConfig::mem_only();
     options.triad.flush_skip_threshold_bytes = 0; // force real flushes
     let failpoints = FailpointRegistry::new();
@@ -759,7 +768,7 @@ fn injected_hot_write_back_failures_are_retried() {
 #[test]
 fn injected_table_write_failures_are_retried() {
     let dir = temp_dir("table-write-failpoint");
-    let options = Options::small_for_tests();
+    let options = small_single_shard();
     let failpoints = FailpointRegistry::new();
     failpoints.arm("flush.before_table_write", FailpointAction::ErrorTimes(1));
     {
@@ -785,7 +794,7 @@ fn injected_table_write_failures_are_retried() {
 #[test]
 fn injected_manifest_failures_are_retried() {
     let dir = temp_dir("manifest-failpoint");
-    let options = Options::small_for_tests();
+    let options = small_single_shard();
     let failpoints = FailpointRegistry::new();
     failpoints.arm("flush.before_manifest", FailpointAction::ErrorTimes(1));
     {

@@ -136,6 +136,7 @@ fn baseline_flushes_even_when_memtable_is_small() {
 fn triad_log_writes_cl_sstables_and_flushes_fewer_bytes() {
     let run = |triad: TriadConfig, name: &str| -> (u64, u64, bool) {
         let (db, dir) = open_small(name, |options| {
+            common::single_shard(options); // flush-byte accounting assumes one shard
             options.triad = triad;
             // Disable compaction so we only measure flush I/O.
             options.l0_compaction_trigger = 1_000;
@@ -229,6 +230,7 @@ fn triad_disk_still_compacts_when_overlap_is_high() {
 #[test]
 fn triad_disk_hard_cap_forces_compaction_regardless_of_overlap() {
     let (db, _dir) = open_small("disk-cap", |options| {
+        common::single_shard(options); // L0 file-count arithmetic assumes one shard
         options.l0_compaction_trigger = 2;
         options.triad = TriadConfig::disk_only();
         options.triad.max_l0_files = 3;
@@ -304,6 +306,7 @@ fn config_labels_cover_the_breakdown_matrix() {
 #[test]
 fn pinned_scans_keep_cl_backing_logs_alive_until_dropped() {
     let (db, dir) = open_small("cl-pinned-scan", |options| {
+        common::single_shard(options); // counts .log/.clidx files of one shard
         options.triad = TriadConfig::log_only();
         options.l0_compaction_trigger = 2;
     });

@@ -35,6 +35,10 @@ pub const RULES: &[Rule] = &[
         summary: "the stale-version retry hack must not come back",
     },
     Rule { id: "lock-order", summary: "nested lock acquisitions follow the declared rank order" },
+    Rule {
+        id: "multi-shard-wal-gate",
+        summary: "no loop acquires several shards' WAL locks outside the snapshot gate",
+    },
     Rule { id: "no-std-sync-lock", summary: "engine crates use parking_lot locks, not std::sync" },
     Rule {
         id: "no-direct-remove-file",
@@ -70,6 +74,7 @@ const ENGINE_CRATES: &[&str] = &[
 /// lives in docs/ARCHITECTURE.md ("Enforced invariants").
 const LOCK_RANKS: &[(&str, u32)] = &[
     ("gc", 5),
+    ("router", 8),
     ("wal", 10),
     ("queue", 15),
     ("commit_gate", 20),
@@ -113,6 +118,7 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
         hot_read_newest_unbounded(file, &mut ctx);
         no_stale_version_retry(file, &mut ctx);
         lock_order(file, &mut ctx);
+        multi_shard_wal_gate(file, &mut ctx);
         no_std_sync_lock(file, &mut ctx);
         no_direct_remove_file(file, &mut ctx);
         no_wallclock_in_workload(file, &mut ctx);
@@ -177,6 +183,20 @@ fn region_markers(file: &SourceFile, ctx: &mut Ctx) {
                 );
             }
         }
+    }
+    if file.path == "crates/core/src/snapshot.rs"
+        && find_region(file, SNAPSHOT_GATE.0, SNAPSHOT_GATE.1).is_none()
+    {
+        ctx.emit(
+            file,
+            "region-markers",
+            1,
+            format!(
+                "the {}/{} markers must appear exactly once each, begin before end; \
+                 the multi-shard WAL drain is only legal inside this region",
+                SNAPSHOT_GATE.0, SNAPSHOT_GATE.1
+            ),
+        );
     }
     // Generic named regions: `// LINT-REGION: name` … `// LINT-REGION-END: name`.
     let names = |marker: &str| -> Vec<(String, u32)> {
@@ -472,6 +492,77 @@ fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
 
 fn nth_is(toks: &[Token], i: usize, punct: &str) -> bool {
     toks.get(i).is_some_and(|t| t.is_punct(punct))
+}
+
+// ---------------------------------------------------------------------------
+// multi-shard-wal-gate
+// ---------------------------------------------------------------------------
+
+/// The SNAPSHOT-GATE markers in crates/core/src/snapshot.rs delimit the one
+/// region allowed to hold several shards' WAL locks (and commit gates) at
+/// once — the shard-spanning snapshot drain, serialized by the router gate.
+const SNAPSHOT_GATE: (&str, &str) = ("SNAPSHOT-GATE-BEGIN", "SNAPSHOT-GATE-END");
+
+/// Holding two shards' WAL locks at once is the cross-shard deadlock shape:
+/// two threads draining shards in different orders wait on each other forever.
+/// Only the marked snapshot-gate region may do it, because the router gate
+/// (rank `ROUTER` = 8, below `WAL`) already serializes whole-database drains.
+///
+/// Lexically, acquiring *several* shards' WAL locks means a `wal.lock()`
+/// inside a `for`/`while`/`loop` body — one acquisition per iteration, guards
+/// accumulated — so that is what gets flagged outside the gate region. A
+/// single `wal.lock()` per statement (every hot-path site) never matches.
+fn multi_shard_wal_gate(file: &SourceFile, ctx: &mut Ctx) {
+    if !file.path.starts_with("crates/core/src/") {
+        return;
+    }
+    let gate = find_region(file, SNAPSHOT_GATE.0, SNAPSHOT_GATE.1);
+    let toks = &file.tokens;
+    // Token ranges of every loop body: keyword → first `{` → matching `}`.
+    let mut loop_bodies: Vec<(usize, usize)> = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_ident("for") || t.is_ident("while") || t.is_ident("loop") {
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct("{") {
+                if toks[j].is_punct(";") || toks[j].is_punct("}") {
+                    break; // not a loop header after all
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("{") {
+                loop_bodies.push((j, matching_brace(toks, j)));
+            }
+        }
+    }
+    let mut flagged: Vec<u32> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("wal")
+            && nth_is(toks, i + 1, ".")
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("lock"))
+            && nth_is(toks, i + 3, "(")
+            && nth_is(toks, i + 4, ")")
+            && !file.is_test(i)
+        {
+            let in_loop = loop_bodies.iter().any(|&(open, close)| i > open && i < close);
+            let in_gate = gate.is_some_and(|(b, e)| toks[i].line > b && toks[i].line < e);
+            if in_loop && !in_gate {
+                flagged.push(toks[i].line);
+            }
+        }
+    }
+    for line in flagged {
+        ctx.emit(
+            file,
+            "multi-shard-wal-gate",
+            line,
+            "`wal.lock()` inside a loop body: acquiring several shards' WAL locks is \
+             only legal inside the SNAPSHOT-GATE region of snapshot.rs, where the \
+             router gate serializes whole-database drains — anywhere else it is a \
+             cross-shard deadlock waiting to interleave"
+                .to_string(),
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

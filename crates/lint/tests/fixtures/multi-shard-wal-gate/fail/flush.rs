@@ -1,0 +1,11 @@
+// lint-fixture: crates/core/src/flush.rs
+// A loop acquiring one WAL lock per iteration outside the snapshot gate:
+// guards accumulate across shards, the cross-shard deadlock shape.
+
+fn drain_all(shards: &[Shard]) -> Vec<WalGuard> {
+    let mut wals = Vec::new();
+    for shard in shards {
+        wals.push(shard.inner.wal.lock());
+    }
+    wals
+}

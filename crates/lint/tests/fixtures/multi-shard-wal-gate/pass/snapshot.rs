@@ -1,0 +1,14 @@
+// lint-fixture: crates/core/src/snapshot.rs
+// The one legal multi-shard WAL drain: a loop over shards inside the marked
+// SNAPSHOT-GATE region, serialized by the router gate taken just above it.
+
+fn open_multi(shards: &[Shard], router: &RankedRwLock<()>) -> Snapshot {
+    let _coord = router.write();
+    // SNAPSHOT-GATE-BEGIN: drain every shard under the router gate.
+    let mut wals = Vec::new();
+    for shard in shards {
+        wals.push(shard.inner.wal.lock());
+    }
+    // SNAPSHOT-GATE-END
+    Snapshot::from_parts(wals)
+}
