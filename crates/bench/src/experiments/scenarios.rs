@@ -148,6 +148,16 @@ pub struct ScenarioOutcome {
     pub queue_full_stalls: u64,
     /// Times the rolling snapshot was re-taken.
     pub snapshot_rolls: u64,
+    /// Configured block-cache budget for this run, in bytes (0 = disabled).
+    pub block_cache_bytes: usize,
+    /// Block-cache probes served from a cached block during the timed phase.
+    pub block_cache_hits: u64,
+    /// Block-cache probes that had to load from disk during the timed phase.
+    pub block_cache_misses: u64,
+    /// Blocks evicted by the CLOCK hand during the timed phase.
+    pub block_cache_evictions: u64,
+    /// Decoded bytes inserted into the cache during the timed phase.
+    pub block_cache_inserted_bytes: u64,
     /// Client-observed latency per op kind, scheduled-arrival → completion.
     /// Always lists all five kinds in [`ScenarioOpKind::all`] order; kinds
     /// the mix never issues report zero counts.
@@ -166,6 +176,15 @@ impl ScenarioOutcome {
             .find(|(k, _)| *k == kind)
             .map(|(_, l)| *l)
             .expect("every outcome lists all five kinds")
+    }
+
+    /// Fraction of block-cache probes served from cache (0 when none ran).
+    pub fn block_cache_hit_rate(&self) -> f64 {
+        let total = self.block_cache_hits + self.block_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.block_cache_hits as f64 / total as f64
     }
 }
 
@@ -432,6 +451,11 @@ pub fn run_scenario(
         kops: config.ops as f64 / elapsed.as_secs_f64().max(1e-9) / 1_000.0,
         write_amplification: delta.write_amplification(),
         read_amplification: delta.read_amplification(),
+        block_cache_bytes: config.options.block_cache,
+        block_cache_hits: delta.block_cache_hits,
+        block_cache_misses: delta.block_cache_misses,
+        block_cache_evictions: delta.block_cache_evictions,
+        block_cache_inserted_bytes: delta.block_cache_inserted_bytes,
         op_stream_checksum: stream_checksum(scenario, config.seed, config.ops),
         max_queue_depth,
         queue_full_stalls,
@@ -551,8 +575,35 @@ pub fn validate(outcomes: &[ScenarioOutcome]) -> Vec<String> {
         if outcome.mix.scan > 0.0 && outcome.engine_scan_us.count == 0 {
             errors.push(format!("{}: engine scan histogram is empty despite scans", outcome.name));
         }
+        // YCSB-C is pure point reads over a prepopulated set: with a block
+        // cache enabled, a zero hit rate means the cache is wired up wrong
+        // (blocks keyed inconsistently, or probes bypassing it entirely).
+        if outcome.name.starts_with("ycsb_c")
+            && outcome.block_cache_bytes > 0
+            && outcome.block_cache_hit_rate() == 0.0
+        {
+            errors.push(format!(
+                "{}: block cache enabled ({} bytes) but the hit rate is 0",
+                outcome.name, outcome.block_cache_bytes
+            ));
+        }
+        if outcome.block_cache_bytes == 0
+            && outcome.block_cache_hits + outcome.block_cache_misses > 0
+        {
+            errors.push(format!("{}: block cache disabled but probes were counted", outcome.name));
+        }
     }
     errors
+}
+
+/// The block-cache budgets of the YCSB-C sweep: disabled, a budget small
+/// enough that the working set does not fit (CLOCK must actually evict), and
+/// one comfortably larger than the prepopulated data.
+fn cache_sweep(scale: Scale) -> [(&'static str, usize); 3] {
+    match scale {
+        Scale::Quick => [("off", 0), ("64kib", 64 << 10), ("16mib", 16 << 20)],
+        Scale::Full => [("off", 0), ("1mib", 1 << 20), ("64mib", 64 << 20)],
+    }
 }
 
 /// Runs the whole suite (YCSB A–F plus the burst/churn/drift scenarios) and
@@ -568,6 +619,19 @@ pub fn run(scale: Scale) -> triad_common::Result<(Table, Vec<ScenarioOutcome>)> 
         outcomes.push(run_scenario(&scenario, &config)?);
     }
 
+    // Cache-size sweep: the read-only YCSB-C mix re-run at several block-cache
+    // budgets, 0 first as the uncached baseline. Same stream, same options
+    // otherwise, so the rows are directly comparable before/after columns for
+    // the cache (an explicit budget also pins the rows against the
+    // TRIAD_BLOCK_CACHE override the smoke jobs use).
+    for (label, budget) in cache_sweep(scale) {
+        let mut sweep_config = config.clone();
+        sweep_config.options.block_cache = budget;
+        let mut outcome = run_scenario(&Scenario::ycsb('c', keys), &sweep_config)?;
+        outcome.name = format!("ycsb_c_cache_{label}");
+        outcomes.push(outcome);
+    }
+
     let mut table = Table::new(&[
         "scenario",
         "mix",
@@ -578,6 +642,7 @@ pub fn run(scale: Scale) -> triad_common::Result<(Table, Vec<ScenarioOutcome>)> 
         "put p50/p99/p999 us",
         "scan p50/p99/p999 us",
         "WA",
+        "cache hit%",
         "max queue",
         "snap rolls",
     ]);
@@ -599,6 +664,11 @@ pub fn run(scale: Scale) -> triad_common::Result<(Table, Vec<ScenarioOutcome>)> 
             fmt_lat(outcome.client_latency(ScenarioOpKind::Put)),
             fmt_lat(outcome.client_latency(ScenarioOpKind::Scan)),
             format!("{:.2}", outcome.write_amplification),
+            if outcome.block_cache_bytes == 0 {
+                "off".to_string()
+            } else {
+                format!("{:.0}", outcome.block_cache_hit_rate() * 100.0)
+            },
             outcome.max_queue_depth.to_string(),
             outcome.snapshot_rolls.to_string(),
         ]);
@@ -674,6 +744,17 @@ pub fn write_json(path: &Path, scale: Scale, outcomes: &[ScenarioOutcome]) -> st
             ));
         }
         out.push_str("},\n");
+        out.push_str(&format!(
+            "     \"block_cache\": {{\"budget_bytes\": {}, \"block_cache_hits\": {}, \
+             \"block_cache_misses\": {}, \"block_cache_evictions\": {}, \
+             \"block_cache_inserted_bytes\": {}, \"hit_rate\": {:.4}}},\n",
+            o.block_cache_bytes,
+            o.block_cache_hits,
+            o.block_cache_misses,
+            o.block_cache_evictions,
+            o.block_cache_inserted_bytes,
+            o.block_cache_hit_rate(),
+        ));
         out.push_str(&format!(
             "     \"engine_latency_us\": {{\"get\": {}, \"scan\": {}}}}}{}\n",
             json_latency(&o.engine_get_us),
@@ -781,6 +862,56 @@ mod tests {
         outcome.mix = ScenarioMix::new(0.5, 0.0, 0.5, 0.0, 0.0);
         let errors = validate(std::slice::from_ref(&outcome));
         assert!(errors.iter().any(|e| e.contains("scan")), "errors: {errors:?}");
+    }
+
+    #[test]
+    fn cache_counters_flow_into_outcomes_and_json() {
+        let mut scenario = Scenario::ycsb('c', 500);
+        scenario.arrival = ArrivalProcess::Poisson { ops_per_sec: 50_000.0 };
+        let mut config = tiny_config(400);
+        config.options.block_cache = 1 << 20;
+        let outcome = run_scenario(&scenario, &config).unwrap();
+        assert!(outcome.block_cache_misses > 0, "reads must probe the cache");
+        assert!(outcome.block_cache_hit_rate() > 0.0, "repeated reads must hit");
+        assert!(validate(std::slice::from_ref(&outcome)).is_empty());
+
+        let path = std::env::temp_dir()
+            .join(format!("triad-scenarios-cache-json-test-{}.json", std::process::id()));
+        write_json(&path, Scale::Quick, std::slice::from_ref(&outcome)).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        for field in [
+            "\"block_cache_hits\"",
+            "\"block_cache_misses\"",
+            "\"block_cache_evictions\"",
+            "\"hit_rate\"",
+        ] {
+            assert!(json.contains(field), "missing {field}");
+        }
+    }
+
+    #[test]
+    fn disabled_cache_runs_report_zero_probes() {
+        let mut scenario = Scenario::ycsb('c', 500);
+        scenario.arrival = ArrivalProcess::Poisson { ops_per_sec: 50_000.0 };
+        let mut config = tiny_config(300);
+        config.options.block_cache = 0;
+        let outcome = run_scenario(&scenario, &config).unwrap();
+        assert_eq!(outcome.block_cache_hits + outcome.block_cache_misses, 0);
+        assert!(validate(std::slice::from_ref(&outcome)).is_empty());
+    }
+
+    #[test]
+    fn validate_flags_a_cold_cache_on_ycsb_c() {
+        let mut scenario = Scenario::ycsb('c', 500);
+        scenario.arrival = ArrivalProcess::Poisson { ops_per_sec: 50_000.0 };
+        let mut config = tiny_config(300);
+        config.options.block_cache = 1 << 20;
+        let mut outcome = run_scenario(&scenario, &config).unwrap();
+        // Fake a wired-up-wrong cache: enabled, probed, but never hitting.
+        outcome.block_cache_hits = 0;
+        let errors = validate(std::slice::from_ref(&outcome));
+        assert!(errors.iter().any(|e| e.contains("hit rate is 0")), "errors: {errors:?}");
     }
 
     #[test]

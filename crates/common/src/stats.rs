@@ -74,6 +74,16 @@ pub struct Stats {
     block_reads: AtomicU64,
     bloom_negatives: AtomicU64,
     snapshots_created: AtomicU64,
+    table_cache_hits: AtomicU64,
+    table_cache_misses: AtomicU64,
+
+    // The shared block cache (one cache across all keyspace shards; each
+    // probe charges the stats registry of the shard that issued it, so the
+    // per-shard counters still sum to the cache-wide totals under `merge`).
+    block_cache_hits: AtomicU64,
+    block_cache_misses: AtomicU64,
+    block_cache_evictions: AtomicU64,
+    block_cache_inserted_bytes: AtomicU64,
 
     // Garbage collection of obsolete files.
     gc_files_deleted: AtomicU64,
@@ -195,6 +205,19 @@ impl Stats {
         bloom_negatives => add_bloom_negatives, bloom_negatives;
         /// Records MVCC snapshots opened via `Db::snapshot`.
         snapshots_created => add_snapshots_created, snapshots_created;
+        /// Records table-cache probes that found the table handle already open.
+        table_cache_hits => add_table_cache_hits, table_cache_hits;
+        /// Records table-cache probes that had to open the table from disk.
+        table_cache_misses => add_table_cache_misses, table_cache_misses;
+        /// Records block-cache probes served from a cached decoded block
+        /// (including probes that joined an in-flight single-flight load).
+        block_cache_hits => add_block_cache_hits, block_cache_hits;
+        /// Records block-cache probes that had to read the block from disk.
+        block_cache_misses => add_block_cache_misses, block_cache_misses;
+        /// Records blocks evicted from the cache to stay under the byte budget.
+        block_cache_evictions => add_block_cache_evictions, block_cache_evictions;
+        /// Records decoded bytes inserted into the block cache.
+        block_cache_inserted_bytes => add_block_cache_inserted_bytes, block_cache_inserted_bytes;
         /// Records obsolete table files (SSTables and CL indexes) physically deleted.
         gc_files_deleted => add_gc_files_deleted, gc_files_deleted;
         /// Records obsolete commit logs physically deleted.
@@ -317,6 +340,12 @@ impl Stats {
             block_reads => add_block_reads,
             bloom_negatives => add_bloom_negatives,
             snapshots_created => add_snapshots_created,
+            table_cache_hits => add_table_cache_hits,
+            table_cache_misses => add_table_cache_misses,
+            block_cache_hits => add_block_cache_hits,
+            block_cache_misses => add_block_cache_misses,
+            block_cache_evictions => add_block_cache_evictions,
+            block_cache_inserted_bytes => add_block_cache_inserted_bytes,
             gc_files_deleted => add_gc_files_deleted,
             gc_logs_deleted => add_gc_logs_deleted,
             gc_delete_failures => add_gc_delete_failures,
@@ -366,6 +395,12 @@ impl Stats {
             block_reads: self.block_reads(),
             bloom_negatives: self.bloom_negatives(),
             snapshots_created: self.snapshots_created(),
+            table_cache_hits: self.table_cache_hits(),
+            table_cache_misses: self.table_cache_misses(),
+            block_cache_hits: self.block_cache_hits(),
+            block_cache_misses: self.block_cache_misses(),
+            block_cache_evictions: self.block_cache_evictions(),
+            block_cache_inserted_bytes: self.block_cache_inserted_bytes(),
             gc_files_deleted: self.gc_files_deleted(),
             gc_logs_deleted: self.gc_logs_deleted(),
             gc_delete_failures: self.gc_delete_failures(),
@@ -417,6 +452,12 @@ pub struct StatSnapshot {
     pub block_reads: u64,
     pub bloom_negatives: u64,
     pub snapshots_created: u64,
+    pub table_cache_hits: u64,
+    pub table_cache_misses: u64,
+    pub block_cache_hits: u64,
+    pub block_cache_misses: u64,
+    pub block_cache_evictions: u64,
+    pub block_cache_inserted_bytes: u64,
     pub gc_files_deleted: u64,
     pub gc_logs_deleted: u64,
     pub gc_delete_failures: u64,
@@ -473,6 +514,12 @@ impl StatSnapshot {
             block_reads,
             bloom_negatives,
             snapshots_created,
+            table_cache_hits,
+            table_cache_misses,
+            block_cache_hits,
+            block_cache_misses,
+            block_cache_evictions,
+            block_cache_inserted_bytes,
             gc_files_deleted,
             gc_logs_deleted,
             gc_delete_failures,
@@ -530,6 +577,12 @@ impl StatSnapshot {
             block_reads,
             bloom_negatives,
             snapshots_created,
+            table_cache_hits,
+            table_cache_misses,
+            block_cache_hits,
+            block_cache_misses,
+            block_cache_evictions,
+            block_cache_inserted_bytes,
             gc_files_deleted,
             gc_logs_deleted,
             gc_delete_failures,
@@ -591,6 +644,17 @@ impl StatSnapshot {
             return 0.0;
         }
         self.table_probes as f64 / self.user_reads as f64
+    }
+
+    /// Fraction of block-cache probes served from memory,
+    /// `hits / (hits + misses)`. Returns 0.0 when the cache saw no probes
+    /// (disabled, or no table read ever reached a data block).
+    pub fn block_cache_hit_rate(&self) -> f64 {
+        let total = self.block_cache_hits + self.block_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.block_cache_hits as f64 / total as f64
     }
 
     /// Total bytes written to disk by background work (flush + compaction).

@@ -181,7 +181,9 @@ impl DbInner {
             let table = self.table_cache.get_or_open(file)?;
             bytes_read += file.size;
             input_entries += file.num_entries;
-            sources.push(table.entries()?);
+            // Streaming (with sequential readahead when an I/O pool runs) keeps
+            // compaction's memory footprint at one block per input, not one table.
+            sources.push(table.entries_arc()?);
         }
         let merged = MergingIterator::new(sources)?;
         // Tombstones can be dropped only when nothing older can exist below the

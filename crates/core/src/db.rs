@@ -27,8 +27,8 @@ use triad_common::types::{Entry, SeqNo, ValueKind};
 use triad_common::{Error, Result, SnapshotRetention, StatSnapshot, Stats};
 use triad_memtable::{LogPosition, Memtable};
 use triad_sstable::{
-    cl_index_file_path, parse_table_file_name, sst_file_path, TableBuilder, TableBuilderOptions,
-    TableKind,
+    cl_index_file_path, parse_table_file_name, sst_file_path, IoPool, TableBuilder,
+    TableBuilderOptions, TableKind,
 };
 use triad_wal::{
     log_file_name, log_file_path, parse_log_file_name, BatchEncoder, LogReader, LogRecord,
@@ -36,6 +36,7 @@ use triad_wal::{
 };
 
 use crate::batch::{BatchOp, WriteBatch, WriteOptions};
+use crate::block_cache::BlockCache;
 use crate::committer::{
     Committer, Direction, InsertBarrier, InsertTicket, PublicationSequencer, WriterSlot,
 };
@@ -190,6 +191,10 @@ pub(crate) mod lock_rank {
     pub const IMM: u32 = 45;
     /// The table cache's open-reader map.
     pub const TABLE_CACHE: u32 = 60;
+    /// One shard of the shared block cache. Above `TABLE_CACHE` (a table-cache
+    /// miss opens a table whose block reads probe the cache) and below the
+    /// memtable shard locks; block-cache shards never nest with each other.
+    pub const BLOCK_CACHE: u32 = 65;
 }
 
 /// Shared engine state.
@@ -304,6 +309,8 @@ impl Shard {
         options: Options,
         failpoints: FailpointRegistry,
         index: usize,
+        block_cache: Option<Arc<BlockCache>>,
+        io_pool: Option<Arc<IoPool>>,
     ) -> Result<Shard> {
         std::fs::create_dir_all(&path)
             .map_err(|e| Error::io(format!("creating database directory {}", path.display()), e))?;
@@ -346,7 +353,7 @@ impl Shard {
         let (work_tx, work_rx) = crossbeam_channel::unbounded();
         let retention = Arc::new(SnapshotRetention::new());
         let inner = Arc::new(DbInner {
-            table_cache: TableCache::new(path.clone(), Arc::clone(&stats)),
+            table_cache: TableCache::new(path.clone(), Arc::clone(&stats), block_cache, io_pool),
             path,
             options,
             stats,
@@ -514,6 +521,15 @@ impl Db {
             crate::shard::write_marker(&path, count)?;
         }
 
+        // One block cache (and one readahead pool) serves every keyspace
+        // shard: the cache shards internally by block key, independently of
+        // keyspace sharding, so the byte budget is global rather than
+        // multiplied by the shard count.
+        let block_cache =
+            (options.block_cache > 0).then(|| Arc::new(BlockCache::new(options.block_cache)));
+        let io_pool = (block_cache.is_some() && options.io_threads > 0)
+            .then(|| Arc::new(IoPool::new(options.io_threads)));
+
         let mut shards = Vec::with_capacity(count);
         for index in 0..count {
             let shard_path = if count == 1 {
@@ -523,7 +539,14 @@ impl Db {
             } else {
                 path.join(crate::shard::dir_name(index))
             };
-            shards.push(Shard::open(shard_path, options.clone(), failpoints.clone(), index)?);
+            shards.push(Shard::open(
+                shard_path,
+                options.clone(),
+                failpoints.clone(),
+                index,
+                block_cache.clone(),
+                io_pool.clone(),
+            )?);
         }
 
         Ok(Db {

@@ -94,7 +94,10 @@ impl DbIterator {
         for level in 0..pin.num_levels() {
             for file in &pin.levels[level] {
                 let table = db.table_cache.get_or_open(file)?;
-                sources.push(table.entries()?);
+                // `entries_arc` keeps the handle alive inside the iterator, which
+                // lets block-backed tables stream blocks through the shared cache
+                // (with readahead) instead of materialising the whole table.
+                sources.push(table.entries_arc()?);
             }
         }
         let merged = MergingIterator::new(sources)?;
@@ -147,7 +150,7 @@ impl DbIterator {
             for level in 0..pin.num_levels() {
                 for file in &pin.levels[level] {
                     let table = db.table_cache.get_or_open(file)?;
-                    sources.push(bounded_to_seqno(table.entries()?, part.seqno));
+                    sources.push(bounded_to_seqno(table.entries_arc()?, part.seqno));
                 }
             }
             pins.push(pin);

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod block_cache;
 mod committer;
 mod compaction;
 mod db;
@@ -51,6 +52,7 @@ pub mod table_cache;
 pub mod version;
 
 pub use batch::{WriteBatch, WriteOptions};
+pub use block_cache::BlockCache;
 pub use db::Db;
 pub use iterator::DbIterator;
 pub use options::{

@@ -10,6 +10,12 @@
 //! reader can only ask the cache for files listed in a version it has pinned, a
 //! pinned version keeps its files out of GC's reach, so no `get_or_open` can ever
 //! resurrect a handle for a deleted file after `evict` ran.
+//!
+//! When the engine runs with a shared [`BlockCache`], the table cache is also
+//! the bridge into it: each opened table gets a cache-wide unique table id and
+//! a [`FetchContext`] so its data-block reads go through the cache, and
+//! `evict` purges the departing table's blocks in the same breath — a
+//! recycled per-shard file id can therefore never resurrect stale blocks.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -17,16 +23,33 @@ use std::sync::Arc;
 
 use triad_common::lockrank::RankedMutex;
 use triad_common::{Error, Result, Stats};
-use triad_sstable::{cl_index_file_path, sst_file_path, ClTable, Table, TableKind, TableRef};
+use triad_sstable::{
+    cl_index_file_path, sst_file_path, BlockFetch, ClTable, FetchContext, IoPool, Table, TableKind,
+    TableRef,
+};
 use triad_wal::log_file_path;
 
+use crate::block_cache::BlockCache;
 use crate::version::FileMetadata;
+
+/// A cached open table plus its identity in the block cache (when one runs).
+struct OpenTable {
+    table: TableRef,
+    /// The cache-wide table id this handle's blocks are keyed under; `None`
+    /// when the engine runs without a block cache.
+    cache_table_id: Option<u64>,
+}
 
 /// A cache of open [`TableRef`]s.
 pub struct TableCache {
     dir: PathBuf,
     stats: Arc<Stats>,
-    tables: RankedMutex<HashMap<u64, TableRef>>,
+    /// The shared block cache, if enabled (`Options::block_cache > 0`). One
+    /// instance serves every keyspace shard's table cache.
+    block_cache: Option<Arc<BlockCache>>,
+    /// The shared readahead pool, handed to each opened table's fetch context.
+    io_pool: Option<Arc<IoPool>>,
+    tables: RankedMutex<HashMap<u64, OpenTable>>,
 }
 
 impl std::fmt::Debug for TableCache {
@@ -39,11 +62,20 @@ impl std::fmt::Debug for TableCache {
 }
 
 impl TableCache {
-    /// Creates an empty cache for tables living in `dir`.
-    pub fn new(dir: PathBuf, stats: Arc<Stats>) -> Self {
+    /// Creates an empty cache for tables living in `dir`. `block_cache` and
+    /// `io_pool`, when present, are threaded into every table this cache
+    /// opens.
+    pub fn new(
+        dir: PathBuf,
+        stats: Arc<Stats>,
+        block_cache: Option<Arc<BlockCache>>,
+        io_pool: Option<Arc<IoPool>>,
+    ) -> Self {
         TableCache {
             dir,
             stats,
+            block_cache,
+            io_pool,
             tables: RankedMutex::new(
                 crate::db::lock_rank::TABLE_CACHE,
                 "table_cache.tables",
@@ -54,13 +86,26 @@ impl TableCache {
 
     /// Returns an open handle for `file`, opening it if necessary.
     pub fn get_or_open(&self, file: &FileMetadata) -> Result<TableRef> {
-        if let Some(table) = self.tables.lock().get(&file.id) {
-            return Ok(Arc::clone(table));
+        // Probe under a scoped lock; the hit/miss counter bumps happen after
+        // the guard is dropped so stats traffic never extends the critical
+        // section (and an open racing below cannot double-count the probe).
+        let cached = { self.tables.lock().get(&file.id).map(|open| Arc::clone(&open.table)) };
+        if let Some(table) = cached {
+            self.stats.add_table_cache_hits(1);
+            return Ok(table);
         }
+        self.stats.add_table_cache_misses(1);
+
+        let fetch = self.block_cache.as_ref().map(|cache| FetchContext {
+            table_id: cache.allocate_table_id(),
+            fetch: Arc::clone(cache) as Arc<dyn BlockFetch>,
+            readahead: self.io_pool.clone(),
+        });
+        let cache_table_id = fetch.as_ref().map(|ctx| ctx.table_id);
         let table: TableRef = match file.kind {
             TableKind::Block => {
                 let path = sst_file_path(&self.dir, file.id);
-                Arc::new(Table::open(path, Some(Arc::clone(&self.stats)))?)
+                Arc::new(Table::open_with_fetch(path, Some(Arc::clone(&self.stats)), fetch)?)
             }
             TableKind::CommitLogIndex => {
                 let log_id = file.backing_log_id.ok_or_else(|| {
@@ -68,21 +113,43 @@ impl TableCache {
                 })?;
                 let index_path = cl_index_file_path(&self.dir, file.id);
                 let log_path = log_file_path(&self.dir, log_id);
-                Arc::new(ClTable::open(index_path, log_path, Some(Arc::clone(&self.stats)))?)
+                Arc::new(ClTable::open_with_fetch(
+                    index_path,
+                    log_path,
+                    Some(Arc::clone(&self.stats)),
+                    fetch,
+                )?)
             }
         };
         let mut tables = self.tables.lock();
-        let entry = tables.entry(file.id).or_insert_with(|| Arc::clone(&table));
-        Ok(Arc::clone(entry))
+        let entry = tables
+            .entry(file.id)
+            .or_insert_with(|| OpenTable { table: Arc::clone(&table), cache_table_id });
+        // If another opener won the race, our freshly allocated cache table
+        // id dies with our handle — it never cached a block, so there is
+        // nothing to purge.
+        Ok(Arc::clone(&entry.table))
     }
 
-    /// Drops the cached handle for `file_id`.
+    /// Drops the cached handle for `file_id`, purging the table's blocks from
+    /// the shared block cache.
     ///
     /// Called by the garbage collector immediately before it unlinks the file;
     /// because GC only deletes files no live version references, no reader can
     /// re-insert the handle afterwards.
     pub fn evict(&self, file_id: u64) {
-        self.tables.lock().remove(&file_id);
+        let evicted = self.tables.lock().remove(&file_id);
+        if let (Some(open), Some(cache)) = (evicted, &self.block_cache) {
+            if let Some(cache_table_id) = open.cache_table_id {
+                cache.purge_table(cache_table_id);
+            }
+        }
+    }
+
+    /// The shared block cache, if this table cache runs with one (exposed for
+    /// tests and diagnostics).
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
     }
 
     /// Number of cached handles (exposed for tests).
@@ -137,11 +204,15 @@ mod tests {
         }
     }
 
+    fn plain_cache(dir: PathBuf, stats: Arc<Stats>) -> TableCache {
+        TableCache::new(dir, stats, None, None)
+    }
+
     #[test]
     fn caches_open_handles() {
         let dir = temp_dir("cache");
         let stats = Arc::new(Stats::new());
-        let cache = TableCache::new(dir.clone(), stats);
+        let cache = plain_cache(dir.clone(), stats);
         let meta = build_sst(&dir, 1);
         assert!(cache.is_empty());
         let a = cache.get_or_open(&meta).unwrap();
@@ -152,9 +223,26 @@ mod tests {
     }
 
     #[test]
+    fn probe_counters_count_probes_not_cache_internal_retries() {
+        // Regression for the stats-under-lock bug: N sequential probes of one
+        // file must record exactly one miss and N-1 hits — the double-checked
+        // insert path must not double-count its re-probe, and counter bumps
+        // happen outside the map lock.
+        let dir = temp_dir("probe-counters");
+        let stats = Arc::new(Stats::new());
+        let cache = plain_cache(dir.clone(), Arc::clone(&stats));
+        let meta = build_sst(&dir, 7);
+        for _ in 0..5 {
+            cache.get_or_open(&meta).unwrap();
+        }
+        assert_eq!(stats.table_cache_misses(), 1, "one open, regardless of probes");
+        assert_eq!(stats.table_cache_hits(), 4);
+    }
+
+    #[test]
     fn evict_drops_the_handle() {
         let dir = temp_dir("evict");
-        let cache = TableCache::new(dir.clone(), Arc::new(Stats::new()));
+        let cache = plain_cache(dir.clone(), Arc::new(Stats::new()));
         let meta = build_sst(&dir, 2);
         cache.get_or_open(&meta).unwrap();
         assert_eq!(cache.len(), 1);
@@ -163,9 +251,25 @@ mod tests {
     }
 
     #[test]
+    fn evict_purges_the_tables_blocks_from_the_block_cache() {
+        let dir = temp_dir("evict-purges-blocks");
+        let stats = Arc::new(Stats::new());
+        let blocks = Arc::new(BlockCache::new(1 << 20));
+        let cache =
+            TableCache::new(dir.clone(), Arc::clone(&stats), Some(Arc::clone(&blocks)), None);
+        let meta = build_sst(&dir, 5);
+        let table = cache.get_or_open(&meta).unwrap();
+        table.get(b"key", u64::MAX).unwrap().unwrap();
+        assert!(blocks.block_count() > 0, "the lookup populated the block cache");
+        cache.evict(5);
+        assert_eq!(blocks.block_count(), 0, "evicting the table must purge its blocks");
+        assert_eq!(blocks.bytes_used(), 0);
+    }
+
+    #[test]
     fn missing_backing_log_is_an_error() {
         let dir = temp_dir("missing-log");
-        let cache = TableCache::new(dir.clone(), Arc::new(Stats::new()));
+        let cache = plain_cache(dir.clone(), Arc::new(Stats::new()));
         let mut meta = build_sst(&dir, 3);
         meta.kind = TableKind::CommitLogIndex;
         meta.backing_log_id = None;
@@ -175,7 +279,7 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         let dir = temp_dir("missing-file");
-        let cache = TableCache::new(dir.clone(), Arc::new(Stats::new()));
+        let cache = plain_cache(dir.clone(), Arc::new(Stats::new()));
         let mut meta = build_sst(&dir, 4);
         meta.id = 999;
         assert!(cache.get_or_open(&meta).is_err());

@@ -36,6 +36,10 @@ pub const RULES: &[Rule] = &[
     },
     Rule { id: "lock-order", summary: "nested lock acquisitions follow the declared rank order" },
     Rule {
+        id: "block-cache-checksum",
+        summary: "blocks enter the shared cache only via the checksum-verified decode path",
+    },
+    Rule {
         id: "multi-shard-wal-gate",
         summary: "no loop acquires several shards' WAL locks outside the snapshot gate",
     },
@@ -83,6 +87,7 @@ const LOCK_RANKS: &[(&str, u32)] = &[
     ("mem", 40),
     ("imm", 45),
     ("tables", 60),
+    ("blocks", 65),
     ("shard", 70),
     ("fsync_lock", 80),
     ("sync_active", 82),
@@ -118,6 +123,7 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
         hot_read_newest_unbounded(file, &mut ctx);
         no_stale_version_retry(file, &mut ctx);
         lock_order(file, &mut ctx);
+        block_cache_checksum(file, &mut ctx);
         multi_shard_wal_gate(file, &mut ctx);
         no_std_sync_lock(file, &mut ctx);
         no_direct_remove_file(file, &mut ctx);
@@ -492,6 +498,86 @@ fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
 
 fn nth_is(toks: &[Token], i: usize, punct: &str) -> bool {
     toks.get(i).is_some_and(|t| t.is_punct(punct))
+}
+
+// ---------------------------------------------------------------------------
+// block-cache-checksum
+// ---------------------------------------------------------------------------
+
+/// The BLOCK-CACHE-CHECKSUM markers in crates/sstable/src/reader.rs delimit
+/// the one region allowed to feed blocks into the shared block cache. The
+/// cache serves decoded blocks to every reader without re-verifying them, so
+/// a single unverified insert would silently spread corruption; inside the
+/// region every loader closure decodes bytes obtained from `read_block`, the
+/// CRC32C-verified read path.
+const BLOCK_CACHE_REGION: (&str, &str) = ("BLOCK-CACHE-CHECKSUM-BEGIN", "BLOCK-CACHE-CHECKSUM-END");
+
+/// Lexically, feeding the cache means calling `.get_or_load(` — the single
+/// entry point of the `BlockFetch` trait. Any such call outside the marked
+/// region (tests excepted) is flagged, as is a region that lost its
+/// `read_block` loader or a reader.rs that lost the markers entirely.
+fn block_cache_checksum(file: &SourceFile, ctx: &mut Ctx) {
+    if !in_engine_src(&file.path) {
+        return;
+    }
+    let region = find_region(file, BLOCK_CACHE_REGION.0, BLOCK_CACHE_REGION.1);
+    if file.path == "crates/sstable/src/reader.rs" {
+        match region {
+            None => {
+                ctx.emit(
+                    file,
+                    "block-cache-checksum",
+                    1,
+                    format!(
+                        "the {}/{} markers must appear exactly once each, begin before \
+                         end; block-cache inserts are only legal inside this region",
+                        BLOCK_CACHE_REGION.0, BLOCK_CACHE_REGION.1
+                    ),
+                );
+                return;
+            }
+            Some(range) => {
+                if !region_tokens(file, range).any(|(_, t)| t.is_ident("read_block")) {
+                    ctx.emit(
+                        file,
+                        "block-cache-checksum",
+                        range.0,
+                        "the BLOCK-CACHE-CHECKSUM region no longer loads through \
+                         `read_block`: the cache must only ever hold blocks decoded \
+                         from the CRC32C-verified read path"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+    let toks = &file.tokens;
+    let mut flagged: Vec<u32> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("get_or_load")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && nth_is(toks, i + 1, "(")
+            && !file.is_test(i)
+        {
+            let in_region = region.is_some_and(|(b, e)| toks[i].line > b && toks[i].line < e);
+            if !in_region {
+                flagged.push(toks[i].line);
+            }
+        }
+    }
+    for line in flagged {
+        ctx.emit(
+            file,
+            "block-cache-checksum",
+            line,
+            "`.get_or_load(` outside the BLOCK-CACHE-CHECKSUM region: blocks may \
+             enter the shared cache only from the checksum-verified decode path in \
+             crates/sstable/src/reader.rs — a cached block is served to every \
+             reader without re-verification"
+                .to_string(),
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

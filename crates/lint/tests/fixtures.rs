@@ -97,6 +97,7 @@ rule_fixture_tests! {
     hot_read_newest_unbounded => "hot-read-newest-unbounded",
     no_stale_version_retry => "no-stale-version-retry",
     lock_order => "lock-order",
+    block_cache_checksum => "block-cache-checksum",
     multi_shard_wal_gate => "multi-shard-wal-gate",
     no_std_sync_lock => "no-std-sync-lock",
     no_direct_remove_file => "no-direct-remove-file",

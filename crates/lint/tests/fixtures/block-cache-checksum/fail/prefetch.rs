@@ -1,0 +1,7 @@
+// lint-fixture: crates/core/src/prefetch.rs
+// Engine code outside reader.rs must never feed the cache itself — only
+// reader.rs's marked region may call `.get_or_load(`.
+
+fn warm(&self, table_id: u64, offset: u64) -> Result<Arc<Block>> {
+    self.cache.get_or_load(table_id, offset, None, &|| self.load_unchecked(offset))
+}

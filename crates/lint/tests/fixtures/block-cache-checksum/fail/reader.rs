@@ -1,0 +1,22 @@
+// lint-fixture: crates/sstable/src/reader.rs
+// The marked region is intact, but a second `.get_or_load(` call below it
+// feeds the cache with bytes that never went through checksum verification.
+
+fn read_data_block(&self, handle: BlockHandle) -> Result<Arc<Block>> {
+    // BLOCK-CACHE-CHECKSUM-BEGIN: blocks entering the shared cache are decoded
+    // from `read_block`, the checksum-verified read path.
+    if let Some(ctx) = &self.fetch {
+        return ctx.fetch.get_or_load(ctx.table_id, handle.offset, self.stats.as_deref(), &|| {
+            Block::new(self.reader.read_block(handle)?)
+        });
+    }
+    // BLOCK-CACHE-CHECKSUM-END
+    Block::new(self.reader.read_block(handle)?).map(Arc::new)
+}
+
+fn read_data_block_raw(&self, handle: BlockHandle) -> Result<Arc<Block>> {
+    let ctx = self.fetch.as_ref().unwrap();
+    ctx.fetch.get_or_load(ctx.table_id, handle.offset, None, &|| {
+        Block::from_unverified_bytes(self.reader.read_raw(handle)?)
+    })
+}

@@ -1,0 +1,16 @@
+// lint-fixture: crates/sstable/src/reader.rs
+// The one legal shape: the cache's `.get_or_load(` sits inside the marked
+// region and its loader decodes bytes from `read_block`, the CRC32C-verified
+// read path.
+
+fn read_data_block(&self, handle: BlockHandle) -> Result<Arc<Block>> {
+    // BLOCK-CACHE-CHECKSUM-BEGIN: blocks entering the shared cache are decoded
+    // from `read_block`, the checksum-verified read path.
+    if let Some(ctx) = &self.fetch {
+        return ctx.fetch.get_or_load(ctx.table_id, handle.offset, self.stats.as_deref(), &|| {
+            Block::new(self.reader.read_block(handle)?)
+        });
+    }
+    // BLOCK-CACHE-CHECKSUM-END
+    Block::new(self.reader.read_block(handle)?).map(Arc::new)
+}

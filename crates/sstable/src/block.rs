@@ -125,6 +125,12 @@ impl Block {
         self.offsets.len()
     }
 
+    /// Resident size of the decoded block in bytes — what a block cache
+    /// charges against its byte budget.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() + self.offsets.len() * 4
+    }
+
     /// Returns `true` when the block holds no entries.
     pub fn is_empty(&self) -> bool {
         self.offsets.is_empty()

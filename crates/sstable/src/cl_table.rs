@@ -107,7 +107,19 @@ impl ClTable {
         log_path: impl AsRef<Path>,
         stats: Option<Arc<Stats>>,
     ) -> Result<ClTable> {
-        let index = Table::open(index_path.as_ref(), stats)?;
+        ClTable::open_with_fetch(index_path, log_path, stats, None)
+    }
+
+    /// Opens the CL-SSTable with an optional [`FetchContext`](crate::FetchContext) for the *index*
+    /// table's data blocks (the value payloads live in the commit log and are
+    /// read positioned; only the index goes through the block cache).
+    pub fn open_with_fetch(
+        index_path: impl AsRef<Path>,
+        log_path: impl AsRef<Path>,
+        stats: Option<Arc<Stats>>,
+        fetch: Option<crate::FetchContext>,
+    ) -> Result<ClTable> {
+        let index = Table::open_with_fetch(index_path.as_ref(), stats, fetch)?;
         let mut props = index.properties().clone();
         if props.kind != TableKind::CommitLogIndex {
             return Err(Error::corruption_at(

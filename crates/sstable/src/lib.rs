@@ -12,6 +12,8 @@
 //!   sealed commit log, so flushes write only the index instead of re-writing values.
 //! * [`iter`] — the k-way merging iterator and the version-resolving iterator used by
 //!   compaction and scans.
+//! * [`readahead`] — the small I/O worker pool scan iterators use to prefetch the
+//!   next data block into the shared cache while the merge consumes the current one.
 //!
 //! All tables expose the same [`SortedTable`] interface so the engine's read path and
 //! compaction treat regular SSTables and CL-SSTables uniformly.
@@ -26,6 +28,7 @@ pub mod cl_table;
 pub mod format;
 pub mod iter;
 pub mod properties;
+pub mod readahead;
 pub mod reader;
 
 pub use bloom::BloomFilter;
@@ -33,13 +36,15 @@ pub use builder::{TableBuilder, TableBuilderOptions};
 pub use cl_table::{ClTable, ClTableBuilder};
 pub use iter::{bounded_to_seqno, DedupIterator, EntryIter, MergingIterator};
 pub use properties::{TableKind, TableProperties};
+pub use readahead::IoPool;
 pub use reader::Table;
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use block::Block;
 use triad_common::types::Entry;
-use triad_common::Result;
+use triad_common::{Result, Stats};
 
 /// Returns the canonical file name for SSTable `id`, e.g. `000042.sst`.
 pub fn sst_file_name(id: u64) -> String {
@@ -76,6 +81,40 @@ pub fn parse_table_file_name(name: &str) -> Option<(u64, TableKind)> {
     None
 }
 
+/// A provider of decoded data blocks for table readers — in practice the
+/// engine's shared block cache. `reader.rs` stays cache-agnostic: a [`Table`]
+/// opened with a [`FetchContext`] routes every data-block read through this
+/// trait, and the provider calls back into `load` (the checksum-verified
+/// decode path) only on a miss.
+pub trait BlockFetch: Send + Sync {
+    /// Returns the block at `(table_id, offset)`, loading it via `load` on a
+    /// miss. `load` must decode from a checksum-verified read; concurrent
+    /// probes for the same key should coalesce into a single load. `stats`,
+    /// when present, receives the hit/miss accounting for this probe.
+    fn get_or_load(
+        &self,
+        table_id: u64,
+        offset: u64,
+        stats: Option<&Stats>,
+        load: &dyn Fn() -> Result<Block>,
+    ) -> Result<Arc<Block>>;
+}
+
+/// Everything a table reader needs to serve block reads through a shared
+/// cache: its identity in the cache keyspace, the cache itself, and an
+/// optional I/O pool for sequential readahead during scans.
+#[derive(Clone)]
+pub struct FetchContext {
+    /// The table's globally unique id in the cache keyspace. Engine file ids
+    /// are a per-keyspace-shard namespace, so the cache allocates its own.
+    pub table_id: u64,
+    /// The shared block cache.
+    pub fetch: Arc<dyn BlockFetch>,
+    /// Worker pool that scan iterators use to prefetch the next data block.
+    /// `None` disables readahead; point lookups never use it.
+    pub readahead: Option<Arc<IoPool>>,
+}
+
 /// The uniform interface that the engine's read path and compaction use for any
 /// on-disk table, regardless of whether it is a regular SSTable or a CL-SSTable.
 pub trait SortedTable: Send + Sync {
@@ -85,6 +124,14 @@ pub trait SortedTable: Send + Sync {
 
     /// Returns an iterator over every entry in internal-key order.
     fn entries(&self) -> Result<EntryIter>;
+
+    /// Like [`entries`](Self::entries), but takes the table by `Arc` so
+    /// implementations can return an iterator that streams blocks on demand
+    /// (and prefetches ahead of the merge) instead of materializing the whole
+    /// table up front. The default falls back to the eager path.
+    fn entries_arc(self: Arc<Self>) -> Result<EntryIter> {
+        self.entries()
+    }
 
     /// The table's metadata.
     fn properties(&self) -> &TableProperties;

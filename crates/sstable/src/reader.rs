@@ -13,7 +13,7 @@ use crate::bloom::BloomFilter;
 use crate::format::{BlockFileReader, BlockHandle};
 use crate::iter::EntryIter;
 use crate::properties::{TableKind, TableProperties};
-use crate::SortedTable;
+use crate::{FetchContext, SortedTable};
 
 /// An open, immutable SSTable.
 ///
@@ -28,6 +28,9 @@ pub struct Table {
     file_size: u64,
     path: PathBuf,
     stats: Option<Arc<Stats>>,
+    /// The shared block cache, when the engine opened this table through one.
+    /// `None` falls back to the single-slot cache below.
+    fetch: Option<FetchContext>,
     /// A tiny single-block cache: compaction and scans read blocks sequentially, and
     /// point lookups often hit the same hot block repeatedly.
     cached_block: Mutex<Option<(u64, Arc<Block>)>>,
@@ -47,6 +50,17 @@ impl Table {
     /// Opens the table at `path`. `stats`, when provided, receives block-read and
     /// bloom-filter counters.
     pub fn open(path: impl AsRef<Path>, stats: Option<Arc<Stats>>) -> Result<Table> {
+        Table::open_with_fetch(path, stats, None)
+    }
+
+    /// Opens the table with an optional [`FetchContext`]: data-block reads go
+    /// through the shared block cache (and scans may prefetch via its I/O
+    /// pool) instead of this table's private single-slot cache.
+    pub fn open_with_fetch(
+        path: impl AsRef<Path>,
+        stats: Option<Arc<Stats>>,
+        fetch: Option<FetchContext>,
+    ) -> Result<Table> {
         let path = path.as_ref().to_path_buf();
         let reader = BlockFileReader::open(&path)?;
         let file_size = reader.len();
@@ -65,6 +79,7 @@ impl Table {
             file_size,
             path,
             stats,
+            fetch,
             cached_block: Mutex::new(None),
         })
     }
@@ -85,6 +100,24 @@ impl Table {
     }
 
     fn read_data_block(&self, handle: BlockHandle) -> Result<Arc<Block>> {
+        // BLOCK-CACHE-CHECKSUM-BEGIN: every block that can enter the shared
+        // cache is decoded inside this region, from `read_block` — the CRC32C-
+        // verified read path — so the cache never holds unverified bytes.
+        // (Enforced by triad-lint's `block-cache-checksum` rule.)
+        if let Some(ctx) = &self.fetch {
+            return ctx.fetch.get_or_load(
+                ctx.table_id,
+                handle.offset,
+                self.stats.as_deref(),
+                &|| {
+                    if let Some(stats) = &self.stats {
+                        stats.add_block_reads(1);
+                    }
+                    Block::new(self.reader.read_block(handle)?)
+                },
+            );
+        }
+        // BLOCK-CACHE-CHECKSUM-END
         {
             let cached = self.cached_block.lock();
             if let Some((offset, block)) = cached.as_ref() {
@@ -99,6 +132,31 @@ impl Table {
         let block = Arc::new(Block::new(self.reader.read_block(handle)?)?);
         *self.cached_block.lock() = Some((handle.offset, Arc::clone(&block)));
         Ok(block)
+    }
+
+    /// Best-effort readahead of the data block at index position `index_pos`:
+    /// hands the read to the fetch context's I/O pool, which populates the
+    /// shared cache through the same single-flight path as foreground reads.
+    /// A no-op without a cache or a pool (the single-slot fallback would be
+    /// *hurt* by a prefetch clobbering the block the iterator is consuming).
+    fn prefetch(self: &Arc<Self>, index_pos: usize) {
+        let Some(ctx) = &self.fetch else { return };
+        let Some(pool) = &ctx.readahead else { return };
+        if index_pos >= self.index.num_entries() {
+            return;
+        }
+        let handle = match self.index.entry(index_pos) {
+            Ok((_, handle_bytes)) => match BlockHandle::decode(handle_bytes) {
+                Ok(handle) => handle,
+                Err(_) => return,
+            },
+            Err(_) => return,
+        };
+        let table = Arc::clone(self);
+        pool.spawn(move || {
+            // Errors surface on the foreground read that actually needs the block.
+            let _ = table.read_data_block(handle);
+        });
     }
 
     /// Looks up the freshest version of `user_key` visible at `snapshot`.
@@ -172,6 +230,12 @@ impl SortedTable for Table {
         Ok(Box::new(all.into_iter().map(Ok)))
     }
 
+    fn entries_arc(self: Arc<Self>) -> Result<EntryIter> {
+        // Streams one block at a time (prefetching the next through the I/O
+        // pool when the table has one) instead of materializing the table.
+        Ok(Box::new(self.iter_entries()))
+    }
+
     fn properties(&self) -> &TableProperties {
         &self.props
     }
@@ -213,6 +277,8 @@ impl TableIterator {
             let handle = BlockHandle::decode(handle_bytes)?;
             self.block = Some(self.table.read_data_block(handle)?);
             self.index_pos += 1;
+            // Overlap the *next* block's I/O with consuming this one.
+            self.table.prefetch(self.index_pos);
         }
     }
 }
@@ -348,6 +414,52 @@ mod tests {
             table.get_entry(b"key-000042", u64::MAX).unwrap().unwrap();
         }
         assert_eq!(stats.block_reads(), 1, "repeated lookups of the same block hit the cache");
+    }
+
+    #[test]
+    fn fetch_context_routes_block_reads_through_the_provider() {
+        use crate::BlockFetch;
+        use std::collections::HashMap;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // A minimal in-memory BlockFetch: caches forever, counts loads.
+        struct MapCache {
+            slots: Mutex<HashMap<(u64, u64), Arc<Block>>>,
+            loads: AtomicU64,
+        }
+        impl BlockFetch for MapCache {
+            fn get_or_load(
+                &self,
+                table_id: u64,
+                offset: u64,
+                _stats: Option<&Stats>,
+                load: &dyn Fn() -> Result<Block>,
+            ) -> Result<Arc<Block>> {
+                if let Some(block) = self.slots.lock().get(&(table_id, offset)) {
+                    return Ok(Arc::clone(block));
+                }
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                let block = Arc::new(load()?);
+                self.slots.lock().insert((table_id, offset), Arc::clone(&block));
+                Ok(block)
+            }
+        }
+
+        let path = temp_path("fetch.sst");
+        build_table(&path, 100, 64 * 1024);
+        let cache =
+            Arc::new(MapCache { slots: Mutex::new(HashMap::new()), loads: AtomicU64::new(0) });
+        let ctx = FetchContext { table_id: 7, fetch: Arc::clone(&cache) as _, readahead: None };
+        let table = Table::open_with_fetch(&path, None, Some(ctx)).unwrap();
+        for _ in 0..10 {
+            assert_eq!(
+                table.get_entry(b"key-000042", u64::MAX).unwrap().unwrap().value,
+                b"value-42"
+            );
+        }
+        assert_eq!(cache.loads.load(Ordering::Relaxed), 1, "provider loads each block once");
+        // The private single-slot cache stays untouched when a provider is set.
+        assert!(table.cached_block.lock().is_none());
     }
 
     #[test]
