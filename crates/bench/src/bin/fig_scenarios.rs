@@ -14,7 +14,7 @@
 
 use std::path::PathBuf;
 
-use triad_bench::experiments::scenarios;
+use triad_bench::experiments::{replica_lag, scenarios};
 use triad_bench::runner::Scale;
 
 fn out_path() -> PathBuf {
@@ -30,8 +30,10 @@ fn out_path() -> PathBuf {
 fn main() {
     let scale = Scale::from_args();
     let (_table, outcomes) = scenarios::run(scale).expect("scenario suite failed");
+    let replication = replica_lag::run(scale).expect("replica-lag scenario failed");
     let path = out_path();
-    scenarios::write_json(&path, scale, &outcomes).expect("writing BENCH_scenarios.json failed");
+    scenarios::write_json(&path, scale, &outcomes, Some(&replica_lag::json(&replication)))
+        .expect("writing BENCH_scenarios.json failed");
     println!("\nwrote {}", path.display());
 
     let errors = scenarios::validate(&outcomes);

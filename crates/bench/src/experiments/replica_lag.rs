@@ -1,0 +1,245 @@
+//! The replication-lag scenario: a primary under sustained multi-writer load
+//! shipping its commit log to a read replica.
+//!
+//! The harness mirrors production read-replica deployments: the primary is
+//! checkpointed (after arming WAL retention), a [`Replica`] bootstraps from
+//! the checkpoint, and while writer threads keep committing, a catch-up loop
+//! ships and applies records round after round, sampling the replica's lag
+//! (in records) just before each round. Once the writers stop, the replica
+//! drains to lag zero and the run **verifies convergence**: the replica's
+//! full scan must equal the primary's snapshot at the same watermark —
+//! a divergence fails the run, which is what the CI smoke step relies on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use triad_common::{Error, Result};
+use triad_core::{Db, Replica, TriadConfig};
+
+use crate::report::{print_table, Table};
+use crate::runner::Scale;
+
+/// Everything measured from one replica-lag run.
+#[derive(Debug, Clone)]
+pub struct ReplicaLagOutcome {
+    /// Stable name for trajectory files and CI greps.
+    pub name: &'static str,
+    /// Concurrent writer threads on the primary.
+    pub writer_threads: usize,
+    /// Writes committed on the primary during the churn phase.
+    pub total_writes: u64,
+    /// Catch-up rounds executed (including the drain after writers stop).
+    pub rounds: u64,
+    /// Records shipped and applied on the replica across all rounds.
+    pub records_applied: u64,
+    /// Largest lag (records) sampled just before a catch-up round.
+    pub max_lag: u64,
+    /// Mean of the sampled lags.
+    pub mean_lag: f64,
+    /// Lag after the final drain (must be 0 on a quiesced primary).
+    pub final_lag: u64,
+    /// Wall-clock time of the churn + drain phase.
+    pub elapsed: Duration,
+    /// Whether the converged replica byte-agreed with the primary's snapshot
+    /// at the same watermark (a `false` never escapes [`run`]; it errors).
+    pub converged: bool,
+}
+
+fn unique_dir(label: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "triad-replica-lag-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Runs the scenario at `scale` and prints its table. Errors if the replica
+/// fails to converge to the primary's contents.
+pub fn run(scale: Scale) -> Result<ReplicaLagOutcome> {
+    let writer_threads = 4usize;
+    let total_writes = scale.ops(4_000, 100_000);
+    let keys = scale.keys(2_000, 50_000);
+    let options = super::bench_options(scale, TriadConfig::all_enabled());
+
+    let primary_dir = unique_dir("primary");
+    let replica_dir = unique_dir("follower");
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+
+    let db = Arc::new(Db::open(&primary_dir, options.clone())?);
+    for key in 0..keys {
+        db.put(key_bytes(key), value_bytes(key, 0))?;
+    }
+    db.flush()?;
+
+    // Arm retention before the seeding checkpoint: the primary keeps every
+    // log the follower could still need, releasing them as catch-up advances.
+    db.hold_wal_for_replication();
+    db.checkpoint(&replica_dir)?;
+    let replica = Replica::bootstrap(&replica_dir, options)?;
+
+    let started = Instant::now();
+    let committed = Arc::new(AtomicU64::new(0));
+    let writers: Vec<_> = (0..writer_threads as u64)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let committed = Arc::clone(&committed);
+            let share = total_writes / writer_threads as u64;
+            std::thread::spawn(move || -> Result<()> {
+                let mut state = 0x9e37_79b9_u64 ^ (t << 32);
+                for i in 0..share {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let key = state % keys;
+                    db.put(key_bytes(key), value_bytes(key, i + 1))?;
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            })
+        })
+        .collect();
+
+    // The catch-up loop: sample lag, ship, apply, repeat — then drain.
+    let mut rounds = 0u64;
+    let mut records_applied = 0u64;
+    let mut max_lag = 0u64;
+    let mut lag_sum = 0u64;
+    let mut samples = 0u64;
+    let mut writers_done = false;
+    loop {
+        let lag = replica.lag(&db);
+        max_lag = max_lag.max(lag);
+        lag_sum += lag;
+        samples += 1;
+        records_applied += replica.catch_up(&db)?;
+        rounds += 1;
+        if writers_done && replica.lag(&db) == 0 {
+            break;
+        }
+        if !writers_done && writers.iter().all(|w| w.is_finished()) {
+            writers_done = true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for writer in writers {
+        writer.join().expect("writer thread panicked")?;
+    }
+    // Writers may have raced the last pre-`writers_done` round; drain fully.
+    while replica.lag(&db) > 0 {
+        records_applied += replica.catch_up(&db)?;
+        rounds += 1;
+    }
+    let elapsed = started.elapsed();
+
+    // Convergence proof: the replica's view against the primary's snapshot
+    // at the same watermark, key for key.
+    let primary_view = db.snapshot();
+    let ours: Vec<(Vec<u8>, Vec<u8>)> = replica.scan()?.collect::<Result<Vec<_>>>()?;
+    let theirs: Vec<(Vec<u8>, Vec<u8>)> = primary_view.scan()?.collect::<Result<Vec<_>>>()?;
+    if ours != theirs {
+        return Err(Error::corruption(format!(
+            "replica diverged from the primary after draining: {} vs {} entries",
+            ours.len(),
+            theirs.len()
+        )));
+    }
+
+    db.release_wal_hold();
+    replica.close()?;
+    db.close()?;
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+
+    let outcome = ReplicaLagOutcome {
+        name: "replica_lag",
+        writer_threads,
+        total_writes: committed.load(Ordering::Relaxed),
+        rounds,
+        records_applied,
+        max_lag,
+        mean_lag: lag_sum as f64 / samples.max(1) as f64,
+        final_lag: 0,
+        elapsed,
+        converged: true,
+    };
+
+    let mut table = Table::new(&[
+        "scenario",
+        "writers",
+        "writes",
+        "rounds",
+        "applied",
+        "max lag",
+        "mean lag",
+        "elapsed s",
+        "converged",
+    ]);
+    table.add_row(vec![
+        outcome.name.to_string(),
+        outcome.writer_threads.to_string(),
+        outcome.total_writes.to_string(),
+        outcome.rounds.to_string(),
+        outcome.records_applied.to_string(),
+        outcome.max_lag.to_string(),
+        format!("{:.1}", outcome.mean_lag),
+        format!("{:.2}", outcome.elapsed.as_secs_f64()),
+        outcome.converged.to_string(),
+    ]);
+    print_table(
+        "Replication: WAL shipping lag under sustained writer churn",
+        &table,
+        "lag is sampled (in records) just before each catch-up round; the run fails \
+         unless the drained replica byte-agrees with the primary's snapshot",
+    );
+    Ok(outcome)
+}
+
+/// The JSON object the scenario contributes to `BENCH_scenarios.json`.
+pub fn json(outcome: &ReplicaLagOutcome) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"writer_threads\": {}, \"total_writes\": {}, \
+         \"rounds\": {}, \"records_applied\": {}, \"max_lag\": {}, \
+         \"mean_lag\": {:.1}, \"final_lag\": {}, \"elapsed_sec\": {:.3}, \
+         \"converged\": {}}}",
+        outcome.name,
+        outcome.writer_threads,
+        outcome.total_writes,
+        outcome.rounds,
+        outcome.records_applied,
+        outcome.max_lag,
+        outcome.mean_lag,
+        outcome.final_lag,
+        outcome.elapsed.as_secs_f64(),
+        outcome.converged,
+    )
+}
+
+fn key_bytes(key: u64) -> Vec<u8> {
+    format!("user{key:012}").into_bytes()
+}
+
+fn value_bytes(key: u64, version: u64) -> Vec<u8> {
+    format!("v-{key}-{version}-{}", "x".repeat(96)).into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_converges_and_reports_shipping() {
+        let outcome = run(Scale::Quick).unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.final_lag, 0);
+        assert!(outcome.records_applied > 0, "catch-up must have shipped records");
+        assert!(outcome.rounds >= 1);
+        assert!(outcome.total_writes > 0);
+        let json = json(&outcome);
+        for field in ["\"name\": \"replica_lag\"", "\"max_lag\"", "\"converged\": true"] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

@@ -694,8 +694,15 @@ fn json_latency(l: &OpLatencies) -> String {
 /// (`BENCH_scenarios.json`). The schema is stable: every scenario always
 /// lists all five op kinds under `client_latency_us` (zero counts included)
 /// plus the engine's `get`/`scan` histograms, so downstream diffing never
-/// sees keys appear or vanish with the mix.
-pub fn write_json(path: &Path, scale: Scale, outcomes: &[ScenarioOutcome]) -> std::io::Result<()> {
+/// sees keys appear or vanish with the mix. `replication` is the
+/// pre-rendered object from
+/// [`replica_lag::json`](super::replica_lag::json), when that scenario ran.
+pub fn write_json(
+    path: &Path,
+    scale: Scale,
+    outcomes: &[ScenarioOutcome],
+    replication: Option<&str>,
+) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"experiment\": \"scenarios\",\n");
@@ -762,8 +769,12 @@ pub fn write_json(path: &Path, scale: Scale, outcomes: &[ScenarioOutcome]) -> st
             if i + 1 == outcomes.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n");
-    out.push_str("}\n");
+    out.push_str("  ]");
+    if let Some(replication) = replication {
+        out.push_str(",\n  \"replication\": ");
+        out.push_str(replication);
+    }
+    out.push_str("\n}\n");
     std::fs::write(path, out)
 }
 
@@ -841,7 +852,7 @@ mod tests {
         let outcome = run_scenario(&scenario, &tiny_config(300)).unwrap();
         let path = std::env::temp_dir()
             .join(format!("triad-scenarios-json-test-{}.json", std::process::id()));
-        write_json(&path, Scale::Quick, std::slice::from_ref(&outcome)).unwrap();
+        write_json(&path, Scale::Quick, std::slice::from_ref(&outcome), None).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         // All five kinds appear even though YCSB-C only ever issues gets.
@@ -877,7 +888,7 @@ mod tests {
 
         let path = std::env::temp_dir()
             .join(format!("triad-scenarios-cache-json-test-{}.json", std::process::id()));
-        write_json(&path, Scale::Quick, std::slice::from_ref(&outcome)).unwrap();
+        write_json(&path, Scale::Quick, std::slice::from_ref(&outcome), None).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         for field in [

@@ -66,7 +66,13 @@ impl SnapshotRetention {
 
     /// Removes one registration of `seqno` (snapshot dropped). May race
     /// inserts: a stale bound only retains more than necessary.
-    pub fn deregister(&self, seqno: SeqNo) {
+    ///
+    /// Returns `true` when the visibility bounds moved — some retained prior
+    /// versions may have just become unreachable, so the caller should sweep
+    /// its memory component with [`oldest_open`](Self::oldest_open) /
+    /// [`max_open`](Self::max_open) instead of waiting for the slot's next
+    /// overwrite or flush.
+    pub fn deregister(&self, seqno: SeqNo) -> bool {
         let mut open = self.open.lock();
         if let Some(count) = open.get_mut(&seqno) {
             *count -= 1;
@@ -74,7 +80,9 @@ impl SnapshotRetention {
                 open.remove(&seqno);
             }
         }
+        let before = (self.max_open(), self.oldest_open());
         self.publish_bounds(&open);
+        before != (self.max_open(), self.oldest_open())
     }
 
     fn publish_bounds(&self, open: &BTreeMap<SeqNo, usize>) {
@@ -148,7 +156,20 @@ mod tests {
     fn deregistering_unknown_seqno_is_a_no_op() {
         let retention = SnapshotRetention::new();
         retention.register(3);
-        retention.deregister(99);
+        assert!(!retention.deregister(99), "unknown seqno cannot move the bounds");
         assert_eq!(retention.max_open(), 3);
+    }
+
+    #[test]
+    fn deregister_reports_whether_the_bounds_moved() {
+        let retention = SnapshotRetention::new();
+        retention.register(5);
+        retention.register(5);
+        retention.register(9);
+        assert!(!retention.deregister(5), "a refcounted duplicate keeps both bounds");
+        assert!(retention.deregister(5), "the oldest bound moves to 9");
+        assert!(retention.deregister(9), "the registry empties: both bounds reset");
+        assert_eq!(retention.max_open(), 0);
+        assert_eq!(retention.oldest_open(), u64::MAX);
     }
 }

@@ -90,6 +90,15 @@ pub struct Stats {
     gc_logs_deleted: AtomicU64,
     gc_delete_failures: AtomicU64,
 
+    // Crash recovery.
+    recovery_torn_batches: AtomicU64,
+
+    // Checkpoints and replication.
+    checkpoints_created: AtomicU64,
+    checkpoint_files_linked: AtomicU64,
+    checkpoint_files_copied: AtomicU64,
+    replica_records_applied: AtomicU64,
+
     // Read-path latency distributions (nanoseconds). Cumulative histograms,
     // not counters: they are read through [`Stats::get_latency`] /
     // [`Stats::scan_latency`] and deliberately absent from [`StatSnapshot`],
@@ -226,6 +235,19 @@ impl Stats {
         /// file stays queued and the next GC pass retries, so a non-zero value means
         /// disk space is leaking observably rather than silently.
         gc_delete_failures => add_gc_delete_failures, gc_delete_failures;
+        /// Records cross-shard batches crash recovery found partially durable and
+        /// dropped wholesale (torn-batch detection over the shards' stray logs).
+        recovery_torn_batches => add_recovery_torn_batches, recovery_torn_batches;
+        /// Records crash-consistent checkpoints completed via `Db::checkpoint`.
+        checkpoints_created => add_checkpoints_created, checkpoints_created;
+        /// Records checkpoint files captured by hard link (shared storage with the
+        /// primary's immutable files).
+        checkpoint_files_linked => add_checkpoint_files_linked, checkpoint_files_linked;
+        /// Records checkpoint files captured by byte copy — log prefixes, manifests,
+        /// and any file whose hard link failed (e.g. a cross-filesystem target).
+        checkpoint_files_copied => add_checkpoint_files_copied, checkpoint_files_copied;
+        /// Records shipped WAL records a replica applied through its local engine.
+        replica_records_applied => add_replica_records_applied, replica_records_applied;
     }
 
     /// Records the size (in batches) of one commit group, keeping the running
@@ -349,6 +371,11 @@ impl Stats {
             gc_files_deleted => add_gc_files_deleted,
             gc_logs_deleted => add_gc_logs_deleted,
             gc_delete_failures => add_gc_delete_failures,
+            recovery_torn_batches => add_recovery_torn_batches,
+            checkpoints_created => add_checkpoints_created,
+            checkpoint_files_linked => add_checkpoint_files_linked,
+            checkpoint_files_copied => add_checkpoint_files_copied,
+            replica_records_applied => add_replica_records_applied,
         );
         self.record_write_group_size(snap.write_group_max_size);
         self.record_pipeline_depth(snap.wal_pipeline_max_depth);
@@ -404,6 +431,11 @@ impl Stats {
             gc_files_deleted: self.gc_files_deleted(),
             gc_logs_deleted: self.gc_logs_deleted(),
             gc_delete_failures: self.gc_delete_failures(),
+            recovery_torn_batches: self.recovery_torn_batches(),
+            checkpoints_created: self.checkpoints_created(),
+            checkpoint_files_linked: self.checkpoint_files_linked(),
+            checkpoint_files_copied: self.checkpoint_files_copied(),
+            replica_records_applied: self.replica_records_applied(),
         }
     }
 }
@@ -461,6 +493,11 @@ pub struct StatSnapshot {
     pub gc_files_deleted: u64,
     pub gc_logs_deleted: u64,
     pub gc_delete_failures: u64,
+    pub recovery_torn_batches: u64,
+    pub checkpoints_created: u64,
+    pub checkpoint_files_linked: u64,
+    pub checkpoint_files_copied: u64,
+    pub replica_records_applied: u64,
 }
 
 impl StatSnapshot {
@@ -523,6 +560,11 @@ impl StatSnapshot {
             gc_files_deleted,
             gc_logs_deleted,
             gc_delete_failures,
+            recovery_torn_batches,
+            checkpoints_created,
+            checkpoint_files_linked,
+            checkpoint_files_copied,
+            replica_records_applied,
         )
     }
 
@@ -586,6 +628,11 @@ impl StatSnapshot {
             gc_files_deleted,
             gc_logs_deleted,
             gc_delete_failures,
+            recovery_torn_batches,
+            checkpoints_created,
+            checkpoint_files_linked,
+            checkpoint_files_copied,
+            replica_records_applied,
         )
     }
 

@@ -25,6 +25,11 @@ pub(crate) struct BatchOp {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WriteBatch {
     pub(crate) ops: Vec<BatchOp>,
+    /// Cross-shard provenance, set by the router when this batch is one
+    /// shard's slice of a shard-spanning batch. The commit paths write it
+    /// onto the slice's first WAL record so crash recovery can detect a
+    /// partially-durable batch. `None` for ordinary (single-shard) batches.
+    pub(crate) stamp: Option<triad_wal::BatchStamp>,
 }
 
 impl WriteBatch {

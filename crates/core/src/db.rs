@@ -31,8 +31,8 @@ use triad_sstable::{
     TableBuilderOptions, TableKind,
 };
 use triad_wal::{
-    log_file_name, log_file_path, parse_log_file_name, BatchEncoder, LogReader, LogRecord,
-    LogSyncHandle, LogWriter,
+    log_file_name, log_file_path, parse_log_file_name, BatchEncoder, BatchStamp, LogReader,
+    LogRecord, LogSyncHandle, LogWriter,
 };
 
 use crate::batch::{BatchOp, WriteBatch, WriteOptions};
@@ -189,6 +189,11 @@ pub(crate) mod lock_rank {
     pub const MEM: u32 = 40;
     /// The sealed-memtable list.
     pub const IMM: u32 = 45;
+    /// The cross-shard batch-stamp retention registry (`stamps.rs`). Taken
+    /// briefly from the commit paths (WAL lock held), flush (no locks held),
+    /// GC (queue lock held) and checkpoint capture (WAL lock held), so it
+    /// sits above all of those.
+    pub const STAMPS: u32 = 50;
     /// The table cache's open-reader map.
     pub const TABLE_CACHE: u32 = 60;
     /// One shard of the shared block cache. Above `TABLE_CACHE` (a table-cache
@@ -250,6 +255,20 @@ pub(crate) struct DbInner {
     /// whether a collection nudge is worth sending without taking the queue lock.
     gc_pending: Arc<AtomicBool>,
     pub(crate) table_cache: TableCache,
+    /// WAL-shipping retention floor: commit logs with `id >= ship_floor` are
+    /// exempt from garbage collection, so a read replica that last caught up
+    /// while `ship_floor`'s log was active can always re-read the records past
+    /// its cursor. `u64::MAX` (the default) holds nothing. Armed by
+    /// [`Db::hold_wal_for_replication`] and ratcheted forward by each
+    /// [`Replica::catch_up`](crate::Replica::catch_up); see `replica.rs`.
+    pub(crate) ship_floor: AtomicU64,
+    /// Cross-shard batch-stamp retention, shared by every shard of this
+    /// database: keeps a commit log on disk while it holds the last evidence
+    /// that a cross-shard batch committed everywhere. See `stamps.rs`.
+    pub(crate) stamps: Arc<crate::stamps::StampRetention>,
+    /// This shard's index in the router order (0 on single-shard databases);
+    /// the key under which it reports to the shared `stamps` registry.
+    pub(crate) shard_index: usize,
     /// Largest sequence number whose effects are visible to readers.
     pub(crate) last_seqno: AtomicU64,
     pub(crate) shutdown: AtomicBool,
@@ -276,19 +295,25 @@ impl std::fmt::Debug for DbInner {
 /// *per shard* — see [`Db::write`] for the caveat.
 pub struct Db {
     /// The engine shards, router index order. Always at least one.
-    shards: Vec<Shard>,
+    pub(crate) shards: Vec<Shard>,
     /// Key → shard routing (pure function of the key and the shard count).
-    routes: ShardRouter,
+    pub(crate) routes: ShardRouter,
     /// The cross-shard coordination gate (rank `ROUTER`, below every
     /// per-shard lock). Multi-shard batch writes hold it shared across their
     /// sequential per-shard commits; a shard-spanning snapshot holds it
     /// exclusively while it drains every shard's pipeline, so a snapshot can
     /// never observe a cross-shard batch half-applied. Single-shard
     /// operations — the hot path — never touch it.
-    router: RankedRwLock<()>,
+    pub(crate) router: RankedRwLock<()>,
+    /// Allocator of cross-shard batch ids ([`triad_wal::BatchStamp`]).
+    /// Seeded as `(epoch << 32) | 1`, where the epoch is the manifest's
+    /// file-number high-water mark at open: retained stamp-evidence logs can
+    /// carry a previous epoch's stamps into this one (see `stamps.rs`), so
+    /// ids must be unique across opens, not just within one.
+    next_batch_id: AtomicU64,
     path: PathBuf,
     options: Options,
-    failpoints: FailpointRegistry,
+    pub(crate) failpoints: FailpointRegistry,
 }
 
 impl std::fmt::Debug for Db {
@@ -297,51 +322,119 @@ impl std::fmt::Debug for Db {
     }
 }
 
+/// A shard recovered from disk but not yet live: the manifest is loaded and
+/// every stray commit log's records are in memory, but nothing has been
+/// replayed. [`Db::open`] runs cross-shard torn-batch detection over the
+/// stray records of *every* shard between [`Shard::begin_open`] and
+/// [`Shard::finish_open`] — a per-shard open could never tell a complete
+/// cross-shard batch from a torn one.
+struct ShardRecovery {
+    path: PathBuf,
+    versions: VersionSet,
+    /// Stray commit logs in log-id order, each with its recovered records.
+    stray_logs: Vec<(u64, Vec<LogRecord>)>,
+}
+
+impl ShardRecovery {
+    /// Reads every on-disk commit log *not* in the stray set — retained
+    /// batch-stamp evidence below the recovery horizon, and live CL-SSTable
+    /// backing logs — and returns the records of those carrying a stamp.
+    /// These records are never replayed (the version chain already owns
+    /// them); they exist purely so torn-batch detection can tell a batch
+    /// whose slice graduated into an SSTable from one that never committed.
+    /// Best-effort by design: an unreadable log contributes nothing, and
+    /// detection falls back to its conservative stray-only verdict.
+    fn read_stamp_evidence(&self) -> Vec<LogRecord> {
+        let stray: HashSet<u64> = self.stray_logs.iter().map(|(id, _)| *id).collect();
+        let mut evidence = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&self.path) else { return evidence };
+        let mut ids: Vec<u64> = entries
+            .flatten()
+            .filter_map(|entry| parse_log_file_name(&entry.file_name().to_string_lossy()))
+            .filter(|id| !stray.contains(id))
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let Ok(reader) = LogReader::open(log_file_path(&self.path, id)) else { continue };
+            let Ok((records, _tail)) = reader.recover() else { continue };
+            let records: Vec<LogRecord> = records.into_iter().map(|r| r.record).collect();
+            if records.iter().any(|record| record.stamp.is_some()) {
+                evidence.extend(records);
+            }
+        }
+        evidence
+    }
+}
+
 impl Shard {
-    /// Opens (creating or recovering) one engine shard rooted at `path`.
-    ///
-    /// This is the whole pre-sharding open path: recovery, stray-log replay,
-    /// fresh WAL and background worker — per shard. It lives here rather than
-    /// in `shard.rs` because it constructs [`DbInner`], whose GC and pipeline
-    /// fields are private to this module.
-    fn open(
-        path: PathBuf,
-        options: Options,
-        failpoints: FailpointRegistry,
-        index: usize,
-        block_cache: Option<Arc<BlockCache>>,
-        io_pool: Option<Arc<IoPool>>,
-    ) -> Result<Shard> {
+    /// First half of opening one engine shard rooted at `path`: recover the
+    /// manifest and read (but do not replay) every stray commit log.
+    fn begin_open(path: PathBuf, options: &Options) -> Result<ShardRecovery> {
         std::fs::create_dir_all(&path)
             .map_err(|e| Error::io(format!("creating database directory {}", path.display()), e))?;
 
-        let stats = Arc::new(Stats::new());
-        let mut versions = VersionSet::recover(&path, options.num_levels)?;
-        let mut last_seqno = versions.last_seqno();
+        let versions = VersionSet::recover(&path, options.num_levels)?;
 
-        // Replay commit logs that hold updates which never reached an SSTable: logs
+        // Find commit logs that hold updates which never reached an SSTable: logs
         // at or past the recovered `log_number` horizon that no live CL-SSTable owns.
-        // Each log becomes one L0 table, in log-id order, so newer logs shadow older
-        // ones. Logs *below* the horizon are either backing stores of live CL-SSTables
+        // Logs *below* the horizon are either backing stores of live CL-SSTables
         // (kept) or leftovers of a crash while deletions were pending — replaying one
         // of those would resurrect data a compaction already superseded, so they are
-        // swept below instead.
+        // swept by `finish_open` instead.
         let live_backing_logs = versions.current().live_backing_logs();
         let recovery_horizon = versions.log_number();
-        let mut stray_logs: Vec<u64> = Vec::new();
+        let mut stray_ids: Vec<u64> = Vec::new();
         for entry in
             std::fs::read_dir(&path).map_err(|e| Error::io("listing database directory", e))?
         {
             let entry = entry.map_err(|e| Error::io("listing database directory", e))?;
             if let Some(id) = parse_log_file_name(&entry.file_name().to_string_lossy()) {
                 if id >= recovery_horizon && !live_backing_logs.contains(&id) {
-                    stray_logs.push(id);
+                    stray_ids.push(id);
                 }
             }
         }
-        stray_logs.sort_unstable();
-        for log_id in &stray_logs {
-            last_seqno = last_seqno.max(replay_log(&path, *log_id, &mut versions, &options)?);
+        stray_ids.sort_unstable();
+        let mut stray_logs = Vec::with_capacity(stray_ids.len());
+        for id in stray_ids {
+            let reader = LogReader::open(log_file_path(&path, id))?;
+            let (records, _tail) = reader.recover()?;
+            stray_logs.push((id, records.into_iter().map(|r| r.record).collect()));
+        }
+        Ok(ShardRecovery { path, versions, stray_logs })
+    }
+
+    /// Second half of the open: replay the stray logs (skipping `drops`, the
+    /// seqnos of torn cross-shard batches), start a fresh WAL and memtable,
+    /// and spawn the background worker.
+    #[allow(clippy::too_many_arguments)] // one-call-site constructor plumbing
+    fn finish_open(
+        recovery: ShardRecovery,
+        options: Options,
+        failpoints: FailpointRegistry,
+        index: usize,
+        block_cache: Option<Arc<BlockCache>>,
+        io_pool: Option<Arc<IoPool>>,
+        stamps: Arc<crate::stamps::StampRetention>,
+        drops: &HashSet<SeqNo>,
+        torn_batches: u64,
+    ) -> Result<Shard> {
+        let ShardRecovery { path, mut versions, stray_logs } = recovery;
+        let stats = Arc::new(Stats::new());
+        stats.add_recovery_torn_batches(torn_batches);
+        let mut last_seqno = versions.last_seqno();
+
+        // Replay each stray log as one L0 table, in log-id order, so newer logs
+        // shadow older ones.
+        for (log_id, records) in &stray_logs {
+            last_seqno = last_seqno.max(replay_log(
+                &path,
+                *log_id,
+                records,
+                drops,
+                &mut versions,
+                &options,
+            )?);
         }
         versions.set_last_seqno(last_seqno);
 
@@ -391,6 +484,9 @@ impl Shard {
             retention,
             gc: RankedMutex::new(lock_rank::GC, "db.gc", GcQueue::default()),
             gc_pending: Arc::new(AtomicBool::new(false)),
+            ship_floor: AtomicU64::new(u64::MAX),
+            stamps,
+            shard_index: index,
             last_seqno: AtomicU64::new(last_seqno),
             shutdown: AtomicBool::new(false),
             work_tx,
@@ -433,33 +529,49 @@ impl Shard {
     }
 }
 
-/// Rebuilds one stray commit log into an L0 SSTable during recovery.
+/// Rebuilds one stray commit log into an L0 SSTable during recovery, skipping
+/// the seqnos in `drops` (slices of torn cross-shard batches).
 ///
-/// Returns the largest sequence number seen in the log.
+/// Returns the largest sequence number seen in the log — over *all* records,
+/// dropped ones included: their seqnos are consumed (the records were durable
+/// once) and must never be re-issued to different data.
 fn replay_log(
     path: &Path,
     log_id: u64,
+    records: &[LogRecord],
+    drops: &HashSet<SeqNo>,
     versions: &mut VersionSet,
     options: &Options,
 ) -> Result<SeqNo> {
-    let log_path = log_file_path(path, log_id);
-    let reader = LogReader::open(&log_path)?;
-    let (records, _tail) = reader.recover()?;
     if records.is_empty() {
         return Ok(0);
     }
     let mut latest: std::collections::BTreeMap<Vec<u8>, (SeqNo, ValueKind, Vec<u8>)> =
         std::collections::BTreeMap::new();
     let mut max_seqno = 0;
-    for recovered in records {
-        let record = recovered.record;
+    for record in records {
         max_seqno = max_seqno.max(record.seqno);
+        if drops.contains(&record.seqno) {
+            continue;
+        }
         match latest.get(&record.key) {
             Some((existing_seqno, _, _)) if *existing_seqno >= record.seqno => {}
             _ => {
-                latest.insert(record.key, (record.seqno, record.kind, record.value));
+                latest
+                    .insert(record.key.clone(), (record.seqno, record.kind, record.value.clone()));
             }
         }
+    }
+    if latest.is_empty() {
+        // Every record was dropped: there is no table to build, but the seqno
+        // range is still consumed and the horizon must advance past this log,
+        // or the next open would replay the torn slice after all.
+        versions.log_and_apply(VersionEdit {
+            last_seqno: Some(max_seqno),
+            log_number: Some(log_id + 1),
+            ..Default::default()
+        })?;
+        return Ok(max_seqno);
     }
     let file_id = versions.allocate_file_number();
     let sst_path = sst_file_path(path, file_id);
@@ -495,6 +607,70 @@ fn replay_log(
     Ok(max_seqno)
 }
 
+/// Cross-shard torn-batch detection over every shard's stray-log records.
+///
+/// A shard-spanning batch commits per shard, and its per-shard slices carry a
+/// [`BatchStamp`] on their first record. A batch is *torn* when fewer (or
+/// more) than `fanout` shards hold a complete slice — all `len` consecutive
+/// seqnos durable — or when its stamps disagree on the fanout. Every seqno of
+/// every slice of a torn batch, complete slices included, goes into the
+/// owning shard's drop set: the batch was never acknowledged (the router acks
+/// only after all shards commit), so dropping it wholesale restores
+/// all-or-nothing semantics. Returns one drop set per shard (seqnos are a
+/// per-shard namespace) and the number of torn batches.
+///
+/// Residual caveat: detection sees only records still in stray logs. In the
+/// (much rarer) crash window where one shard's slice already graduated into
+/// an SSTable — a flush between the per-shard commits — that slice is beyond
+/// recall and the tear survives; fixing that would take cross-shard
+/// two-phase commit.
+pub(crate) fn torn_batch_drops(per_shard: &[Vec<&LogRecord>]) -> (Vec<HashSet<SeqNo>>, u64) {
+    struct Slice {
+        shard: usize,
+        first: SeqNo,
+        len: u32,
+        complete: bool,
+    }
+    struct BatchSlices {
+        fanout: u32,
+        fanout_disagrees: bool,
+        slices: Vec<Slice>,
+    }
+    let mut batches: HashMap<u64, BatchSlices> = HashMap::new();
+    for (shard, records) in per_shard.iter().enumerate() {
+        let seqnos: HashSet<SeqNo> = records.iter().map(|record| record.seqno).collect();
+        for record in records {
+            let Some(stamp) = record.stamp else { continue };
+            let complete = (record.seqno..record.seqno + u64::from(stamp.len))
+                .all(|seqno| seqnos.contains(&seqno));
+            let entry = batches.entry(stamp.batch_id).or_insert_with(|| BatchSlices {
+                fanout: stamp.fanout,
+                fanout_disagrees: false,
+                slices: Vec::new(),
+            });
+            if entry.fanout != stamp.fanout {
+                entry.fanout_disagrees = true;
+            }
+            entry.slices.push(Slice { shard, first: record.seqno, len: stamp.len, complete });
+        }
+    }
+    let mut drops: Vec<HashSet<SeqNo>> = vec![HashSet::new(); per_shard.len()];
+    let mut torn = 0;
+    for batch in batches.values() {
+        let complete = batch.slices.iter().filter(|slice| slice.complete).count();
+        if !batch.fanout_disagrees && complete == batch.fanout as usize {
+            continue;
+        }
+        torn += 1;
+        for slice in &batch.slices {
+            for seqno in slice.first..slice.first + u64::from(slice.len) {
+                drops[slice.shard].insert(seqno);
+            }
+        }
+    }
+    (drops, torn)
+}
+
 impl Db {
     /// Opens (creating or recovering) the database at `path`.
     pub fn open(path: impl AsRef<Path>, options: Options) -> Result<Db> {
@@ -511,6 +687,18 @@ impl Db {
         let path = path.as_ref().to_path_buf();
         std::fs::create_dir_all(&path)
             .map_err(|e| Error::io(format!("creating database directory {}", path.display()), e))?;
+
+        // A directory still carrying the checkpoint-in-progress marker is a
+        // partial checkpoint: opening it would silently recover a torn subset
+        // of the source database (or reinitialize an empty one). Refuse hard;
+        // the remedy is to delete the directory and take a fresh checkpoint.
+        if path.join(crate::checkpoint::PENDING_MARKER).exists() {
+            return Err(Error::corruption_at(
+                "partial checkpoint (CHECKPOINT-PENDING marker present); \
+                 remove the directory and take a new checkpoint",
+                path.clone(),
+            ));
+        }
 
         // The persisted shard count always wins over the requested one; the
         // effective count is reflected back into `options.shards`.
@@ -530,7 +718,9 @@ impl Db {
         let io_pool = (block_cache.is_some() && options.io_threads > 0)
             .then(|| Arc::new(IoPool::new(options.io_threads)));
 
-        let mut shards = Vec::with_capacity(count);
+        // Phase one: recover every shard's manifest and read (without
+        // replaying) its stray commit logs.
+        let mut recoveries = Vec::with_capacity(count);
         for index in 0..count {
             let shard_path = if count == 1 {
                 // Single-shard databases keep the unsharded root layout,
@@ -539,20 +729,88 @@ impl Db {
             } else {
                 path.join(crate::shard::dir_name(index))
             };
-            shards.push(Shard::open(
-                shard_path,
+            recoveries.push(Shard::begin_open(shard_path, &options)?);
+        }
+
+        // Cross-shard torn-batch detection, between the per-shard phases: a
+        // crash between the sequential per-shard commits of a shard-spanning
+        // batch can persist some shards' slices and not others, and only a
+        // view across every shard's stray records can tell. Single-shard
+        // databases never write stamps, so there is nothing to detect.
+        let (drops, torn_batches) = if count > 1 {
+            let per_shard: Vec<Vec<&LogRecord>> = recoveries
+                .iter()
+                .map(|recovery| {
+                    recovery.stray_logs.iter().flat_map(|(_, records)| records).collect()
+                })
+                .collect();
+            let first_pass = torn_batch_drops(&per_shard);
+            if first_pass.1 == 0 {
+                first_pass
+            } else {
+                // A batch can look torn from the stray logs alone when one
+                // shard's slice already graduated into an SSTable: its
+                // stamped records left the stray set with the flush. The
+                // retention registry kept (and checkpoints copied) the
+                // sub-horizon logs holding that evidence, so read them back
+                // and re-judge before dropping anything acknowledged. The
+                // merged drop sets may name evidence-log seqnos; harmless —
+                // only stray-log replay consults them.
+                let evidence: Vec<Vec<LogRecord>> =
+                    recoveries.iter().map(ShardRecovery::read_stamp_evidence).collect();
+                let merged: Vec<Vec<&LogRecord>> = recoveries
+                    .iter()
+                    .zip(&evidence)
+                    .map(|(recovery, extra)| {
+                        recovery
+                            .stray_logs
+                            .iter()
+                            .flat_map(|(_, records)| records)
+                            .chain(extra.iter())
+                            .collect()
+                    })
+                    .collect();
+                torn_batch_drops(&merged)
+            }
+        } else {
+            (vec![HashSet::new()], 0)
+        };
+
+        // Phase two: replay (minus the torn slices) and go live. The global
+        // torn count lands on shard 0's stats registry: `Db::stats` sums
+        // across shards, so attributing it once keeps the merged total right.
+        let stamps = Arc::new(crate::stamps::StampRetention::new());
+        let mut shards = Vec::with_capacity(count);
+        for (index, recovery) in recoveries.into_iter().enumerate() {
+            shards.push(Shard::finish_open(
+                recovery,
                 options.clone(),
                 failpoints.clone(),
                 index,
                 block_cache.clone(),
                 io_pool.clone(),
+                Arc::clone(&stamps),
+                &drops[index],
+                if index == 0 { torn_batches } else { 0 },
             )?);
         }
 
+        // Batch ids must be unique across open-to-open epochs: retained
+        // evidence logs (and checkpoints of them) can carry stamps from a
+        // previous epoch into this one, and a colliding id would corrupt the
+        // per-batch slice counts. The manifest's file-number space strictly
+        // grows across opens (every open allocates a fresh commit-log
+        // number), so its high-water mark is a ready-made epoch counter.
+        let epoch = shards
+            .iter()
+            .map(|shard| shard.inner.versions.lock().next_file_number())
+            .max()
+            .unwrap_or(1);
         Ok(Db {
             shards,
             routes: ShardRouter::new(count),
             router: RankedRwLock::new(lock_rank::ROUTER, "db.router", ()),
+            next_batch_id: AtomicU64::new((epoch << 32) | 1),
             path,
             options,
             failpoints,
@@ -585,17 +843,20 @@ impl Db {
 
     /// Applies a [`WriteBatch`] atomically with respect to the commit log.
     ///
-    /// # Cross-shard atomicity caveat
+    /// # Cross-shard atomicity
     ///
     /// On a sharded database (`Options::shards.count > 1`) a batch whose keys
-    /// hash to more than one shard is split and committed **atomically per
-    /// shard, not globally**: each shard's slice goes through that shard's
-    /// commit log and group commit as one batch, but a crash between the
-    /// per-shard commits can persist some shards' slices and not others.
-    /// Live readers never observe the tear — MVCC snapshots (and the scans
-    /// built on them) drain every shard behind the router gate that
-    /// in-flight cross-shard batches hold, so a snapshot sees either all of
-    /// a batch or none of it — the caveat is strictly about crash recovery.
+    /// hash to more than one shard is split and committed sequentially per
+    /// shard. Live readers never observe a half-applied batch — MVCC
+    /// snapshots (and the scans built on them) drain every shard behind the
+    /// router gate that in-flight cross-shard batches hold. Crash recovery
+    /// holds the same line for *unacknowledged* batches: each slice's first
+    /// WAL record carries a [`triad_wal::BatchStamp`], and recovery drops
+    /// every slice of a batch that is only partially durable (counted in
+    /// `recovery_torn_batches`), so a batch whose `write` never returned
+    /// recovers all-or-nothing. The residual window: a slice that already
+    /// graduated into an SSTable (a flush racing the crash) is beyond
+    /// recall — see `torn_batch_drops`.
     pub fn write(&self, batch: WriteBatch, opts: WriteOptions) -> Result<()> {
         self.write_routed(batch, opts).map(|_| ())
     }
@@ -639,14 +900,39 @@ impl Db {
             per_shard[self.routes.route(&op.key)].ops.push(op);
         }
 
+        // Stamp every slice with the batch's provenance — one fresh batch id,
+        // the number of shards that got a slice, and the slice's own length.
+        // The commit paths put the stamp on the slice's first WAL record;
+        // recovery counts durable slices per batch id and drops the slices of
+        // any batch a crash left partially committed.
+        let fanout = per_shard.iter().filter(|slice| !slice.ops.is_empty()).count() as u32;
+        let batch_id = self.next_batch_id.fetch_add(1, Ordering::Relaxed);
+        for slice in per_shard.iter_mut().filter(|slice| !slice.ops.is_empty()) {
+            slice.stamp = Some(BatchStamp { batch_id, fanout, len: slice.ops.len() as u32 });
+        }
+
         let _coord = self.router.read();
         let mut max_seqno = 0;
         for (index, slice) in per_shard.into_iter().enumerate() {
             if slice.ops.is_empty() {
                 continue;
             }
-            let seqno = self.shards[index].inner.write_batch(slice, opts)?;
-            max_seqno = max_seqno.max(seqno);
+            let committed = self.shards[index].inner.write_batch(slice, opts).and_then(|seqno| {
+                // The crash window the torn-batch recovery test probes: some
+                // shards' slices are durably committed, the rest never happen.
+                self.failpoints.check("db.after_shard_commit")?;
+                Ok(seqno)
+            });
+            match committed {
+                Ok(seqno) => max_seqno = max_seqno.max(seqno),
+                Err(err) => {
+                    // The fan-out died partway: this batch can never complete,
+                    // so its slices must not pin their logs forever. The
+                    // committed slices stay durable; recovery judges the tear.
+                    self.shards[0].inner.stamps.abandon(batch_id);
+                    return Err(err);
+                }
+            }
         }
         Ok(max_seqno)
     }
@@ -875,10 +1161,10 @@ impl Db {
     ///
     /// Exposed for tests and diagnostics of the MVCC retention bound: with
     /// `S` open snapshots, each key slot retains at most `S` prior versions,
-    /// and a stale prior left behind by a dropped snapshot is released by the
-    /// slot's next overwrite or by a memtable flush — so under churn this
-    /// value stays bounded by the live key count and never grows with the
-    /// number of overwrites.
+    /// and a prior left stale by a dropped snapshot is released promptly —
+    /// whenever a drop moves the retention registry's visibility bounds, the
+    /// shard's memory components are swept of every prior no remaining
+    /// snapshot can see (see [`crate::snapshot::Snapshot`]).
     pub fn retained_prior_versions(&self) -> usize {
         let mut total = 0;
         for shard in &self.shards {
@@ -931,6 +1217,34 @@ impl Db {
     /// is shared by every shard, so arming a failpoint affects them all.
     pub fn failpoints(&self) -> &FailpointRegistry {
         &self.failpoints
+    }
+
+    /// Arms WAL retention for replication: from this call on, no shard deletes
+    /// a commit log that was active at or after the call, so a [`Replica`]
+    /// bootstrapped from a checkpoint taken *after* this call can always ship
+    /// the records past its cursor. Each successful
+    /// [`Replica::catch_up`](crate::Replica::catch_up) ratchets the retention
+    /// floor forward, releasing the logs the replica no longer needs. Call
+    /// before [`Db::checkpoint`](Db::checkpoint) when the checkpoint seeds a
+    /// replica; a plain backup checkpoint does not need it.
+    ///
+    /// [`Replica`]: crate::Replica
+    pub fn hold_wal_for_replication(&self) {
+        for shard in &self.shards {
+            shard.inner.arm_ship_floor();
+        }
+    }
+
+    /// Releases the WAL retention armed by
+    /// [`hold_wal_for_replication`](Db::hold_wal_for_replication): retired
+    /// logs become collectable again on the next garbage-collection pass.
+    /// A replica that has not caught up past the released logs must
+    /// re-bootstrap from a fresh checkpoint.
+    pub fn release_wal_hold(&self) {
+        for shard in &self.shards {
+            shard.inner.ship_floor.store(u64::MAX, Ordering::Release);
+        }
+        self.collect_garbage();
     }
 
     /// Closes the database, stopping background work and syncing every shard's
@@ -1027,6 +1341,9 @@ impl DbInner {
         names.insert(log_file_name(self.wal.lock().id));
         for imm in self.imm.read().iter() {
             names.insert(log_file_name(imm.wal_id));
+        }
+        for log_id in self.stamps.retained_logs(self.shard_index) {
+            names.insert(log_file_name(log_id));
         }
         names
     }
@@ -1252,9 +1569,17 @@ impl DbInner {
         let mut seqno = first_seqno;
         let mut slot_offsets: Vec<Vec<u64>> = Vec::with_capacity(group.len());
         for slot in group.iter() {
+            if let Some(stamp) = &slot.batch.stamp {
+                // The stamped record below is this shard's durable evidence of
+                // a cross-shard batch: keep its log on disk until every
+                // shard's slice graduates (see `stamps.rs`).
+                self.stamps.note_slice(self.shard_index, wal.id, stamp);
+            }
             let mut rel = Vec::with_capacity(slot.batch.ops.len());
-            for BatchOp { kind, key, value } in &slot.batch.ops {
-                rel.push(wal.encoder.add_parts(seqno, *kind, key, value)?);
+            for (op_index, BatchOp { kind, key, value }) in slot.batch.ops.iter().enumerate() {
+                // A cross-shard slice's stamp rides on its first record only.
+                let stamp = if op_index == 0 { slot.batch.stamp } else { None };
+                rel.push(wal.encoder.add_parts_stamped(seqno, *kind, key, value, stamp)?);
                 seqno += 1;
             }
             slot_offsets.push(rel);
@@ -1327,9 +1652,17 @@ impl DbInner {
         let mut seqno = first_seqno;
         let mut slot_offsets: Vec<Vec<u64>> = Vec::with_capacity(group.len());
         for slot in group.iter() {
+            if let Some(stamp) = &slot.batch.stamp {
+                // The stamped record below is this shard's durable evidence of
+                // a cross-shard batch: keep its log on disk until every
+                // shard's slice graduates (see `stamps.rs`).
+                self.stamps.note_slice(self.shard_index, wal.id, stamp);
+            }
             let mut rel = Vec::with_capacity(slot.batch.ops.len());
-            for BatchOp { kind, key, value } in &slot.batch.ops {
-                rel.push(wal.encoder.add_parts(seqno, *kind, key, value)?);
+            for (op_index, BatchOp { kind, key, value }) in slot.batch.ops.iter().enumerate() {
+                // A cross-shard slice's stamp rides on its first record only.
+                let stamp = if op_index == 0 { slot.batch.stamp } else { None };
+                rel.push(wal.encoder.add_parts_stamped(seqno, *kind, key, value, stamp)?);
                 seqno += 1;
             }
             slot_offsets.push(rel);
@@ -1599,10 +1932,20 @@ impl DbInner {
     fn write_batch_serial(&self, batch: WriteBatch, opts: WriteOptions) -> Result<SeqNo> {
         let mut wal = self.wal.lock();
         let mem = self.mem.read().clone();
+        if let Some(stamp) = &batch.stamp {
+            // Same evidence bookkeeping as the grouped paths; see `stamps.rs`.
+            self.stamps.note_slice(self.shard_index, wal.id, stamp);
+        }
         let mut seqno = wal.next_seqno - 1;
-        for BatchOp { kind, key, value } in &batch.ops {
+        for (op_index, BatchOp { kind, key, value }) in batch.ops.iter().enumerate() {
             seqno += 1;
-            let record = LogRecord { seqno, kind: *kind, key: key.clone(), value: value.clone() };
+            let record = LogRecord {
+                seqno,
+                kind: *kind,
+                key: key.clone(),
+                value: value.clone(),
+                stamp: if op_index == 0 { batch.stamp } else { None },
+            };
             let offset = wal.writer.append(&record)?;
             let record_bytes = triad_wal::RECORD_HEADER_LEN as u64 + record.encoded_len() as u64;
             self.stats.add_wal_appends(1);
@@ -1658,7 +2001,7 @@ impl DbInner {
     /// inserted) or a forced rotation reaches this, so the TRIAD-MEM small-flush
     /// rewrite below never runs on a follower thread and never races a group's
     /// in-flight inserts.
-    fn rotate_locked(
+    pub(crate) fn rotate_locked(
         &self,
         wal: &mut WalState,
         mem: &Arc<Memtable>,
@@ -1821,6 +2164,15 @@ impl DbInner {
     /// references safe from garbage collection until it is dropped.
     pub(crate) fn pin_current_version(&self) -> PinnedVersion {
         self.pin_version(self.current_version.read().clone())
+    }
+
+    /// Lowers this shard's shipping floor to its active commit log so the
+    /// collector retains every log a future shipment could need (see
+    /// [`Db::hold_wal_for_replication`]). Only ever lowers: a later call must
+    /// not release logs an earlier hold still covers.
+    pub(crate) fn arm_ship_floor(&self) {
+        let active = self.wal.lock().id;
+        let _ = self.ship_floor.fetch_min(active, Ordering::AcqRel);
     }
 
     /// Pins an explicit version (used by snapshot iterators, which must read the
@@ -2001,11 +2353,25 @@ impl DbInner {
             }
         }
 
+        let ship_floor = self.ship_floor.load(Ordering::Acquire);
+        let stamp_evidence = self.stamps.retained_logs(self.shard_index);
         let deletable_logs: Vec<u64> = gc
             .logs
             .iter()
             .copied()
-            .filter(|id| !live_logs.contains(id) && *id != active_wal && !imm_logs.contains(id))
+            .filter(|id| {
+                !live_logs.contains(id)
+                    && *id != active_wal
+                    && !imm_logs.contains(id)
+                    // Logs at or past the shipping floor may still owe a read
+                    // replica records past its cursor; they stay queued until
+                    // the replica's next catch-up ratchets the floor forward.
+                    && *id < ship_floor
+                    // Logs holding the last evidence of an in-flight
+                    // cross-shard batch stay until it settles (`stamps.rs`):
+                    // deleting one would make the batch look torn on reopen.
+                    && !stamp_evidence.contains(id)
+            })
             .collect();
         for id in deletable_logs {
             if self.remove_file_counted(&log_file_path(&self.path, id), true) {

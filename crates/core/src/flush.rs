@@ -66,6 +66,7 @@ impl DbInner {
                 let new_version = versions.log_and_apply(edit)?;
                 *self.current_version.write() = new_version;
             }
+            self.stamps.note_graduated(self.shard_index, imm.wal_id + 1);
             self.retire_log(imm.wal_id);
             return Ok(());
         }
@@ -182,6 +183,11 @@ impl DbInner {
             let new_version = versions.log_and_apply(edit)?;
             *self.current_version.write() = new_version;
         }
+
+        // The recovery horizon just moved past this memtable's log: every
+        // cross-shard slice at or below it is now owned by the version chain,
+        // which may settle batches and release their evidence logs.
+        self.stamps.note_graduated(self.shard_index, imm.wal_id + 1);
 
         // Warm the table cache so the first readers of the new version skip the
         // open cost. Done after the install (a failure between table write and

@@ -38,6 +38,7 @@
 
 pub mod batch;
 pub mod block_cache;
+mod checkpoint;
 mod committer;
 mod compaction;
 mod db;
@@ -46,8 +47,10 @@ mod flush;
 pub mod iterator;
 pub mod manifest;
 pub mod options;
+mod replica;
 mod shard;
 pub mod snapshot;
+mod stamps;
 pub mod table_cache;
 pub mod version;
 
@@ -58,6 +61,7 @@ pub use iterator::DbIterator;
 pub use options::{
     BackgroundIoMode, GroupCommitConfig, Options, ShardConfig, SyncMode, TriadConfig,
 };
+pub use replica::Replica;
 pub use snapshot::Snapshot;
 pub use version::{FileMetadata, Version, VersionEdit};
 

@@ -115,6 +115,37 @@ impl VersionSet {
         })
     }
 
+    /// Writes a fresh manifest into `dir` — a single snapshot edit describing
+    /// `version` plus the counters — and installs the `CURRENT` pointer.
+    ///
+    /// This is checkpoint capture's building block: the checkpoint directory
+    /// gets a manifest equivalent to what [`VersionSet::recover`] would write
+    /// for the captured state, so opening the checkpoint recovers exactly the
+    /// linked files and replays exactly the copied logs (those at or past
+    /// `log_number`). `next_file_number` must exceed every file id the
+    /// version references (the caller passes the primary's own counter).
+    pub(crate) fn write_snapshot_manifest(
+        dir: &Path,
+        version: &Version,
+        next_file_number: u64,
+        last_seqno: u64,
+        log_number: u64,
+    ) -> Result<()> {
+        let manifest_id = next_file_number;
+        let mut manifest =
+            LogWriter::create(dir.join(manifest_file_name(manifest_id)), manifest_id)?;
+        let snapshot = VersionEdit {
+            added: version.levels.iter().flatten().map(|f| f.as_ref().clone()).collect(),
+            deleted: Vec::new(),
+            next_file_number: Some(next_file_number + 1),
+            last_seqno: Some(last_seqno),
+            log_number: Some(log_number),
+        };
+        manifest.append(&LogRecord::put(0, b"edit".to_vec(), snapshot.encode()))?;
+        manifest.sync()?;
+        Self::set_current(dir, manifest_id)
+    }
+
     fn set_current(dir: &Path, manifest_id: u64) -> Result<()> {
         let tmp = dir.join(format!("{CURRENT_FILE}.tmp"));
         std::fs::write(&tmp, manifest_file_name(manifest_id))

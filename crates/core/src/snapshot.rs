@@ -41,10 +41,12 @@
 //! Lock order is global rank order: router gate (8), then the WAL locks
 //! (10, shard-index order), then the commit gates (20, shard-index order).
 //!
-//! Dropping the snapshot deregisters it per shard (the next overwrite of
-//! each slot prunes retained versions nobody can read) and releases the
-//! version pins, nudging each shard's collector to reclaim whatever only the
-//! snapshot was keeping.
+//! Dropping the snapshot deregisters it per shard and, whenever that moves
+//! the registry's visibility bounds, sweeps the shard's memory components so
+//! retained versions nobody can read are released promptly — even on idle
+//! keys that are never overwritten again. It also releases the version pins,
+//! nudging each shard's collector to reclaim whatever only the snapshot was
+//! keeping.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -54,7 +56,7 @@ use triad_common::types::SeqNo;
 use triad_common::Result;
 use triad_memtable::Memtable;
 
-use crate::db::{lock_rank, DbInner, ImmutableMemtable, PinnedVersion};
+use crate::db::{lock_rank, DbInner, ImmutableMemtable, PinnedVersion, WalState};
 use crate::iterator::DbIterator;
 use crate::shard::{Shard, ShardRouter};
 
@@ -171,38 +173,9 @@ impl Snapshot {
     /// router-gate hold, so cross-shard batches (which commit under a shared
     /// hold) are observed all-or-nothing. See the module docs.
     pub(crate) fn open_multi(shards: &[Shard], router: &RankedRwLock<()>) -> Snapshot {
-        let captured = {
-            let _coord = router.write();
-            // SNAPSHOT-GATE-BEGIN: the one region allowed to hold several
-            // shards' WAL locks (and commit gates) at once. Acquisition is in
-            // shard-index order under a scoped equal-rank allowance; the
-            // locks are released together when the guards drop below.
-            let mut wals = Vec::with_capacity(shards.len());
-            {
-                let _same_rank = triad_common::allow_equal_rank(lock_rank::WAL);
-                for shard in shards {
-                    wals.push(shard.inner.wal.lock());
-                }
-            }
-            let mut gates = Vec::with_capacity(shards.len());
-            {
-                let _same_rank = triad_common::allow_equal_rank(lock_rank::COMMIT_GATE);
-                for shard in shards {
-                    gates.push(shard.inner.commit_gate.write());
-                }
-            }
-            let mut captured = Vec::with_capacity(shards.len());
-            for shard in shards {
-                captured.push(SnapshotShard::capture_locked(&shard.inner));
-            }
-            // SNAPSHOT-GATE-END
-            captured
-        };
-        // One snapshot, one count: attribute it to shard 0 so the merged
-        // stats see a single shard-spanning snapshot, not one per shard.
-        shards[0].inner.stats.add_snapshots_created(1);
-        let seqno = captured.iter().map(|shard| shard.seqno).max().unwrap_or(0);
-        Snapshot { shards: captured, routes: ShardRouter::new(shards.len()), seqno }
+        let (snapshot, _) = capture_all_shards(shards, router, |_, _, _| Ok(()))
+            .expect("snapshot capture with a no-op callback cannot fail");
+        snapshot
     }
 
     /// The snapshot's sequence number: the largest seqno whose effects are
@@ -257,6 +230,66 @@ impl Snapshot {
     }
 }
 
+/// The shard-spanning capture protocol, generalized: drains every shard's
+/// pipeline under one exclusive router-gate hold (exactly as a shard-spanning
+/// snapshot does), captures a [`Snapshot`], and then — while **every** shard's
+/// WAL lock and commit gate are still held — runs `capture` once per shard
+/// with that shard's locked [`WalState`]. Checkpoint capture copies per-shard
+/// commit-log state here, and WAL shipping reads its segments here; both get
+/// a cut that can never split a write batch or a cross-shard batch, plus a
+/// [`Snapshot`] pinned at exactly the same cut.
+///
+/// On a callback error the already-captured snapshot drops (deregistering its
+/// retention and version pins) and the error propagates; the locks release
+/// either way when the function returns. Works unchanged on a single-shard
+/// database, where the router gate is simply uncontended.
+pub(crate) fn capture_all_shards<T>(
+    shards: &[Shard],
+    router: &RankedRwLock<()>,
+    mut capture: impl FnMut(usize, &Shard, &mut WalState) -> Result<T>,
+) -> Result<(Snapshot, Vec<T>)> {
+    let coord = router.write();
+    // SNAPSHOT-GATE-BEGIN: the one region allowed to hold several
+    // shards' WAL locks (and commit gates) at once. Acquisition is in
+    // shard-index order under a scoped equal-rank allowance; the
+    // locks are released together when the guards drop below.
+    let mut wals = Vec::with_capacity(shards.len());
+    {
+        let _same_rank = triad_common::allow_equal_rank(lock_rank::WAL);
+        for shard in shards {
+            wals.push(shard.inner.wal.lock());
+        }
+    }
+    let mut gates = Vec::with_capacity(shards.len());
+    {
+        let _same_rank = triad_common::allow_equal_rank(lock_rank::COMMIT_GATE);
+        for shard in shards {
+            gates.push(shard.inner.commit_gate.write());
+        }
+    }
+    let mut captured = Vec::with_capacity(shards.len());
+    for shard in shards {
+        captured.push(SnapshotShard::capture_locked(&shard.inner));
+    }
+    let seqno = captured.iter().map(|shard| shard.seqno).max().unwrap_or(0);
+    // Assemble the snapshot *before* the fallible callbacks: an early return
+    // below drops it, and `Snapshot::drop` runs the full release protocol
+    // (deregistration, retention sweep, pin release) for the captured shards.
+    let snapshot = Snapshot { shards: captured, routes: ShardRouter::new(shards.len()), seqno };
+    let mut extras = Vec::with_capacity(shards.len());
+    for (index, (shard, wal)) in shards.iter().zip(wals.iter_mut()).enumerate() {
+        extras.push(capture(index, shard, wal)?);
+    }
+    drop(gates);
+    drop(wals);
+    // SNAPSHOT-GATE-END
+    drop(coord);
+    // One snapshot, one count: attribute it to shard 0 so the merged
+    // stats see a single shard-spanning snapshot, not one per shard.
+    shards[0].inner.stats.add_snapshots_created(1);
+    Ok((snapshot, extras))
+}
+
 impl Drop for Snapshot {
     fn drop(&mut self) {
         // Deregistration first: subsequent overwrites stop retaining for this
@@ -264,7 +297,20 @@ impl Drop for Snapshot {
         // release the memtables and the version pins; each pin's drop nudges
         // its shard's garbage collector if files are waiting.
         for shard in &self.shards {
-            shard.db.retention.deregister(shard.seqno);
+            if shard.db.retention.deregister(shard.seqno) {
+                // The visibility bounds moved: some retained priors may have
+                // just become unreachable, including on idle keys no future
+                // overwrite would ever prune. Sweep the shard's *current*
+                // memory components (lock order MEM < IMM < the memtable's
+                // internal shard locks); the components this snapshot captured
+                // are either among them or dropped with this handle.
+                let mem = shard.db.mem.read().clone();
+                let imm: Vec<Arc<ImmutableMemtable>> = shard.db.imm.read().clone();
+                mem.prune_retained();
+                for sealed in &imm {
+                    sealed.memtable.prune_retained();
+                }
+            }
         }
     }
 }

@@ -816,3 +816,131 @@ fn injected_manifest_failures_are_retried() {
     }
     db.close().unwrap();
 }
+
+/// A crash between the per-shard commits of a cross-shard batch must not
+/// surface the slices that did commit: recovery counts the batch torn
+/// (`recovery_torn_batches`) and drops every durable slice, while batches
+/// before and after the tear survive intact.
+#[test]
+fn torn_cross_shard_batches_are_dropped_on_recovery() {
+    use triad_core::{ShardConfig, WriteBatch, WriteOptions};
+
+    let dir = temp_dir("torn-batch");
+    let mut options = Options::small_for_tests();
+    options.shards = ShardConfig::with_count(4);
+    let failpoints = FailpointRegistry::new();
+    {
+        let db = Db::open_with_failpoints(&dir, options.clone(), failpoints.clone()).unwrap();
+        // A baseline cross-shard batch that must survive the crash.
+        let mut batch = WriteBatch::new();
+        for i in 0..16u64 {
+            batch.put(key_for(i), value_for(i, 0));
+        }
+        db.write(batch, WriteOptions { sync: true }).unwrap();
+
+        // The torn batch: the failpoint lets exactly one shard's slice commit
+        // durably, then kills the fan-out before the remaining shards see it.
+        failpoints.arm("db.after_shard_commit", FailpointAction::ErrorTimes(1));
+        let mut torn = WriteBatch::new();
+        for i in 100..116u64 {
+            torn.put(key_for(i), value_for(i, 7));
+        }
+        let err = db.write(torn, WriteOptions { sync: true }).unwrap_err();
+        assert!(matches!(err, triad_core::Error::Injected(_)), "got {err:?}");
+        assert_eq!(failpoints.hits("db.after_shard_commit"), 1);
+
+        // Writes after the tear keep flowing and must also survive.
+        db.put(key_for(50), value_for(50, 1)).unwrap();
+        // No flush: the torn slice exists only in one shard's commit log, the
+        // crash window the stamp-counting recovery is built for.
+        db.close().unwrap();
+    }
+    let db = Db::open(&dir, options).unwrap();
+    assert!(db.stats().recovery_torn_batches >= 1, "recovery must count the torn batch");
+    for i in 100..116u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), None, "torn slice key {i} resurfaced");
+    }
+    for i in 0..16u64 {
+        assert_eq!(db.get(key_for(i)).unwrap(), Some(value_for(i, 0)), "baseline key {i} lost");
+    }
+    assert_eq!(db.get(key_for(50)).unwrap(), Some(value_for(50, 1)));
+    db.close().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The inverse guarantee: a cross-shard batch that *was* fully acknowledged
+/// must survive a reopen even after one shard's slice graduated into an
+/// SSTable — the crash window where the slice's stamped WAL records have
+/// left the stray-log set and detection would otherwise misjudge the batch
+/// as torn, dropping the other shard's acknowledged slice. The retention
+/// registry keeps the flushed shard's retired log on disk as evidence
+/// (`stamps.rs`), and recovery's second detection pass reads it back.
+#[test]
+fn acknowledged_cross_shard_batch_survives_one_shards_flush() {
+    use triad_core::{ShardConfig, WriteBatch, WriteOptions};
+
+    // Mirrors the engine's key -> shard routing (FNV-1a mod count), so the
+    // filler below can target shard 0 exclusively.
+    fn shard_of(key: &[u8], count: u64) -> usize {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in key {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (hash % count) as usize
+    }
+
+    let dir = temp_dir("acked-batch-flush");
+    let mut options = Options::small_for_tests();
+    options.shards = ShardConfig::with_count(2);
+    let on_shard_0: Vec<u64> = (0..4_000).filter(|i| shard_of(&key_for(*i), 2) == 0).collect();
+    let on_shard_1 = (0..4_000).find(|i| shard_of(&key_for(*i), 2) == 1).unwrap();
+    {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        // An acknowledged batch spanning both shards.
+        let mut batch = WriteBatch::new();
+        batch.put(key_for(on_shard_0[0]), value_for(on_shard_0[0], 9));
+        batch.put(key_for(on_shard_1), value_for(on_shard_1, 9));
+        db.write(batch, WriteOptions { sync: true }).unwrap();
+
+        // Graduate shard 0's slice: filler routed exclusively to shard 0
+        // rotates its memtable and flushes the sealed log holding the stamped
+        // slice, while shard 1's slice stays put in its (stray) commit log.
+        for &i in &on_shard_0[1..] {
+            db.put(key_for(i), value_for(i, 1)).unwrap();
+        }
+        for _ in 0..500 {
+            if db.stats().flush_count >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(db.stats().flush_count >= 1, "filler never triggered shard 0's flush");
+        // The retired log now holds the only stamped copy of shard 0's slice;
+        // retention must keep it on disk (and account for it) through GC.
+        common::assert_disk_matches_live_set(&db, &dir);
+        let retained_logs = common::disk_files(&dir)
+            .iter()
+            .filter(|name| name.starts_with("shard-000/") && name.ends_with(".log"))
+            .count();
+        assert!(
+            retained_logs >= 2,
+            "expected shard 0 to keep its retired stamp-evidence log alongside              the active one, found {retained_logs} log(s)"
+        );
+        db.close().unwrap();
+    }
+    let db = reopen(&dir, &options);
+    assert_eq!(
+        db.stats().recovery_torn_batches,
+        0,
+        "acknowledged cross-shard batch misjudged as torn"
+    );
+    assert_eq!(db.get(key_for(on_shard_0[0])).unwrap(), Some(value_for(on_shard_0[0], 9)));
+    assert_eq!(
+        db.get(key_for(on_shard_1)).unwrap(),
+        Some(value_for(on_shard_1, 9)),
+        "acknowledged slice on the unflushed shard was dropped at recovery"
+    );
+    db.close().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

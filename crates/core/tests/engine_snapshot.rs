@@ -375,12 +375,14 @@ fn snapshot_in_the_pipelined_sync_window_never_sees_nondurable_data() {
 }
 
 #[test]
-fn stale_prior_of_an_idle_key_is_released_by_overwrite_or_flush() {
-    // The PR 5 retention caveat, pinned as a test: pruning is piggybacked on
-    // the overwrite path, so a key overwritten *under* a snapshot keeps its
-    // retained prior version after the snapshot drops — until the slot's next
-    // overwrite (branch 1) or a memtable flush (branch 2) visits the slot.
-    let (db, dir) = open_small("retention-caveat", |options| {
+fn stale_prior_of_an_idle_key_is_released_when_the_snapshot_drops() {
+    // The PR 5 retention caveat, fixed: pruning used to be piggybacked on the
+    // overwrite path only, so a key overwritten *under* a snapshot kept its
+    // retained prior after the snapshot dropped until the slot's next
+    // overwrite or a flush. Now the last deregistration of a seqno moves the
+    // registry bounds and triggers a prune sweep, so release is prompt even
+    // for keys that are never touched again.
+    let (db, dir) = open_small("retention-prompt-release", |options| {
         // Keep everything in one active memtable: no rotation, no flush.
         options.memtable_size = 4 * 1024 * 1024;
     });
@@ -394,24 +396,27 @@ fn stale_prior_of_an_idle_key_is_released_by_overwrite_or_flush() {
     assert_eq!(snap.get(b"idle").unwrap().as_deref(), Some(b"v1".as_ref()));
 
     drop(snap);
-    // The caveat itself: nothing revisits the slot, so the stale prior stays.
+    // The key is never overwritten again and nothing flushes; the drop alone
+    // must have swept the stale prior.
     assert_eq!(
         db.retained_prior_versions(),
-        1,
-        "an idle key's stale prior survives the snapshot drop (released lazily)"
+        0,
+        "an idle key's stale prior is released promptly when the last snapshot drops"
     );
+    assert_eq!(db.get(b"idle").unwrap().as_deref(), Some(b"v2".as_ref()));
 
-    // Branch 1: the slot's next overwrite prunes it.
+    // An older snapshot that still needs the prior keeps it across a younger
+    // snapshot's drop — only unreachable versions are swept.
+    let older = db.snapshot();
     db.put(b"idle", b"v3").unwrap();
-    assert_eq!(db.retained_prior_versions(), 0, "the next overwrite released the stale prior");
-
-    // Branch 2: a flush releases whatever overwrites never touched.
-    let snap = db.snapshot();
-    db.put(b"other", b"w2").unwrap();
-    drop(snap);
-    assert_eq!(db.retained_prior_versions(), 1, "stale prior for the idle `other` slot");
-    db.flush().unwrap();
-    assert_eq!(db.retained_prior_versions(), 0, "flush rebuilds the memory component prior-free");
+    let younger = db.snapshot();
+    db.put(b"idle", b"v4").unwrap();
+    assert_eq!(db.retained_prior_versions(), 2);
+    drop(younger);
+    assert_eq!(db.retained_prior_versions(), 1, "the older snapshot still pins v2's successor");
+    assert_eq!(older.get(b"idle").unwrap().as_deref(), Some(b"v2".as_ref()));
+    drop(older);
+    assert_eq!(db.retained_prior_versions(), 0, "the last drop sweeps everything");
 
     db.close().unwrap();
     std::fs::remove_dir_all(&dir).ok();

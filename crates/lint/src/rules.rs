@@ -49,6 +49,10 @@ pub const RULES: &[Rule] = &[
         summary: "file deletion goes through GC, not ad-hoc remove_file calls",
     },
     Rule {
+        id: "checkpoint-fs-region",
+        summary: "checkpoint filesystem mutation stays inside the CHECKPOINT-FS region",
+    },
+    Rule {
         id: "no-wallclock-in-workload",
         summary: "deterministic workload code never reads wall clocks",
     },
@@ -73,10 +77,12 @@ const ENGINE_CRATES: &[&str] = &[
 ];
 
 /// The declared lock ranks, by field name. Mirrors `lock_rank` in
-/// crates/core/src/db.rs, `SHARD_LOCK_RANK` in crates/memtable, and the
-/// std-sync locks in committer.rs/durability.rs; the table with rationale
-/// lives in docs/ARCHITECTURE.md ("Enforced invariants").
+/// crates/core/src/db.rs, `VIEW_RANK` in crates/core/src/replica.rs,
+/// `SHARD_LOCK_RANK` in crates/memtable, and the std-sync locks in
+/// committer.rs/durability.rs; the table with rationale lives in
+/// docs/ARCHITECTURE.md ("Enforced invariants").
 const LOCK_RANKS: &[(&str, u32)] = &[
+    ("view", 2),
     ("gc", 5),
     ("router", 8),
     ("wal", 10),
@@ -86,6 +92,7 @@ const LOCK_RANKS: &[(&str, u32)] = &[
     ("current_version", 35),
     ("mem", 40),
     ("imm", 45),
+    ("stamps", 50),
     ("tables", 60),
     ("blocks", 65),
     ("shard", 70),
@@ -97,10 +104,13 @@ const LOCK_RANKS: &[(&str, u32)] = &[
 /// Files the lock-order rule scans: everywhere the ranked locks live.
 const LOCK_ORDER_SCOPE: &[&str] = &["crates/core/src/", "crates/memtable/src/"];
 
-/// The only files allowed to call `remove_file` directly: GC's deletion path
-/// and manifest rotation cleanup. Everything else must retire files through
-/// the GC queue so live versions keep their files on disk.
-const REMOVE_FILE_ALLOWED: &[&str] = &["crates/core/src/db.rs", "crates/core/src/manifest.rs"];
+/// The only files allowed to call `remove_file` directly: GC's deletion path,
+/// manifest rotation cleanup, and the checkpoint module (whose deletions are
+/// further confined to the CHECKPOINT-FS region by `checkpoint-fs-region`).
+/// Everything else must retire files through the GC queue so live versions
+/// keep their files on disk.
+const REMOVE_FILE_ALLOWED: &[&str] =
+    &["crates/core/src/db.rs", "crates/core/src/manifest.rs", "crates/core/src/checkpoint.rs"];
 
 struct Ctx {
     diags: Vec<Diagnostic>,
@@ -127,6 +137,7 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
         multi_shard_wal_gate(file, &mut ctx);
         no_std_sync_lock(file, &mut ctx);
         no_direct_remove_file(file, &mut ctx);
+        checkpoint_fs_region(file, &mut ctx);
         no_wallclock_in_workload(file, &mut ctx);
         forbid_unsafe_code(file, &mut ctx);
         waiver_hygiene(file, &mut ctx);
@@ -737,6 +748,100 @@ fn no_direct_remove_file(file: &SourceFile, ctx: &mut Ctx) {
              that a live version still references is the resurrection bug PR 2 fixed — \
              retire files through the GC queue instead"
                 .to_string(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint-fs-region
+// ---------------------------------------------------------------------------
+
+/// The CHECKPOINT-FS markers in crates/core/src/checkpoint.rs delimit the one
+/// region allowed to mutate the filesystem on behalf of a checkpoint: links,
+/// copies, directory creation and the pending-marker deletion. Keeping every
+/// mutation in one marked region makes the feature's whole on-disk footprint
+/// auditable at a glance — a stray link or delete elsewhere in the module is
+/// exactly how a checkpoint starts touching primary-owned paths.
+const CHECKPOINT_FS: (&str, &str) = ("CHECKPOINT-FS-BEGIN", "CHECKPOINT-FS-END");
+
+/// The file the rule applies to.
+const CHECKPOINT_FILE: &str = "crates/core/src/checkpoint.rs";
+
+/// `std::fs` functions that mutate the filesystem; matched as `fs :: name (`.
+const FS_MUTATORS: &[&str] = &[
+    "hard_link",
+    "copy",
+    "remove_file",
+    "remove_dir_all",
+    "remove_dir",
+    "rename",
+    "write",
+    "create_dir",
+    "create_dir_all",
+    "set_permissions",
+];
+
+fn checkpoint_fs_region(file: &SourceFile, ctx: &mut Ctx) {
+    if file.path != CHECKPOINT_FILE {
+        return;
+    }
+    let region = find_region(file, CHECKPOINT_FS.0, CHECKPOINT_FS.1);
+    if region.is_none() {
+        ctx.emit(
+            file,
+            "checkpoint-fs-region",
+            1,
+            format!(
+                "the {}/{} markers must appear exactly once each, begin before end; \
+                 checkpoint filesystem mutation is only legal inside this region",
+                CHECKPOINT_FS.0, CHECKPOINT_FS.1
+            ),
+        );
+    }
+    let toks = &file.tokens;
+    let mut flagged: Vec<(u32, String)> = Vec::new();
+    for i in 0..toks.len() {
+        if file.is_test(i) {
+            continue;
+        }
+        // `fs :: <mutator> (` or `File :: create (`.
+        let call = if toks[i].is_ident("fs")
+            && nth_is(toks, i + 1, ":")
+            && nth_is(toks, i + 2, ":")
+            && toks.get(i + 3).is_some_and(|t| {
+                t.kind == TokenKind::Ident && FS_MUTATORS.contains(&t.text.as_str())
+            })
+            && nth_is(toks, i + 4, "(")
+        {
+            Some((toks[i + 3].line, format!("fs::{}", toks[i + 3].text)))
+        } else if toks[i].is_ident("File")
+            && nth_is(toks, i + 1, ":")
+            && nth_is(toks, i + 2, ":")
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("create"))
+            && nth_is(toks, i + 4, "(")
+        {
+            Some((toks[i + 3].line, "File::create".to_string()))
+        } else {
+            None
+        };
+        if let Some((line, what)) = call {
+            let in_region = region.is_some_and(|(b, e)| line > b && line < e);
+            if !in_region {
+                flagged.push((line, what));
+            }
+        }
+    }
+    for (line, what) in flagged {
+        ctx.emit(
+            file,
+            "checkpoint-fs-region",
+            line,
+            format!(
+                "`{what}` outside the CHECKPOINT-FS region: every filesystem mutation \
+                 a checkpoint performs (links, copies, directory creation, the \
+                 pending-marker deletion) must live inside the marked region so the \
+                 feature's on-disk footprint stays auditable in one place"
+            ),
         );
     }
 }

@@ -101,6 +101,7 @@ rule_fixture_tests! {
     multi_shard_wal_gate => "multi-shard-wal-gate",
     no_std_sync_lock => "no-std-sync-lock",
     no_direct_remove_file => "no-direct-remove-file",
+    checkpoint_fs_region => "checkpoint-fs-region",
     no_wallclock_in_workload => "no-wallclock-in-workload",
     forbid_unsafe_code => "forbid-unsafe-code",
     failpoint_registry => "failpoint-registry",

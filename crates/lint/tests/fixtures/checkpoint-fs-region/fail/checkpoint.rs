@@ -1,0 +1,17 @@
+// lint-fixture: crates/core/src/checkpoint.rs
+//! A hard link escaped the CHECKPOINT-FS region: the checkpoint's on-disk
+//! footprint is no longer auditable in one place.
+
+use std::path::Path;
+
+pub fn rogue_link(dir: &Path) -> std::io::Result<()> {
+    std::fs::hard_link(dir.join("000001.sst"), dir.join("escaped.sst"))
+}
+
+// CHECKPOINT-FS-BEGIN: the sanctioned region.
+
+fn finalize_target(dir: &Path) -> std::io::Result<()> {
+    std::fs::remove_file(dir.join("CHECKPOINT-PENDING"))
+}
+
+// CHECKPOINT-FS-END

@@ -1,0 +1,34 @@
+// lint-fixture: crates/core/src/checkpoint.rs
+//! Condensed checkpoint module: every filesystem mutation — links, copies,
+//! directory creation, the pending-marker deletion — sits inside the marked
+//! CHECKPOINT-FS region, so the whole on-disk footprint is auditable there.
+
+use std::path::Path;
+
+pub fn checkpoint(dir: &Path) -> std::io::Result<()> {
+    prepare_target(dir)?;
+    link_or_copy(&dir.join("000001.sst"), &dir.join("copy.sst"))?;
+    finalize_target(dir)
+}
+
+// CHECKPOINT-FS-BEGIN: all checkpoint filesystem mutation lives here.
+
+fn prepare_target(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let marker = std::fs::File::create(dir.join("CHECKPOINT-PENDING"))?;
+    marker.sync_all()
+}
+
+fn link_or_copy(src: &Path, dst: &Path) -> std::io::Result<()> {
+    if std::fs::hard_link(src, dst).is_ok() {
+        return Ok(());
+    }
+    std::fs::copy(src, dst)?;
+    Ok(())
+}
+
+fn finalize_target(dir: &Path) -> std::io::Result<()> {
+    std::fs::remove_file(dir.join("CHECKPOINT-PENDING"))
+}
+
+// CHECKPOINT-FS-END

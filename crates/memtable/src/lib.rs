@@ -461,6 +461,24 @@ impl Memtable {
         shard.read().get(key).map(|slot| slot.live.clone())
     }
 
+    /// Sweeps every slot's prior list against the current retention bounds,
+    /// dropping versions no open snapshot can read any more.
+    ///
+    /// Overwrites prune their own slot lazily, but an *idle* key's stale prior
+    /// would otherwise be held until the slot's next overwrite or the flush.
+    /// The engine calls this when a snapshot's deregistration moves the
+    /// registry bounds, so release is prompt for idle keys too. Slots with an
+    /// empty prior list (the overwhelmingly common case) cost one branch; the
+    /// sweep takes one shard lock at a time.
+    pub fn prune_retained(&self) {
+        for shard in &self.shards {
+            let mut map = shard.write();
+            for (key, slot) in map.iter_mut() {
+                self.prune_priors(key.len(), slot);
+            }
+        }
+    }
+
     /// Total number of snapshot-retained prior versions currently held
     /// (diagnostics and tests).
     pub fn retained_versions(&self) -> usize {
@@ -819,6 +837,40 @@ mod tests {
         assert_eq!(now[0].1.value, b"a2");
         // The unbounded flush snapshot still carries only live versions.
         assert_eq!(memtable.snapshot_entries().len(), 3);
+    }
+
+    #[test]
+    fn prune_retained_sweeps_idle_keys_after_the_bounds_move() {
+        let (memtable, retention) = retained_memtable();
+        memtable.insert(b"idle", b"v1", 5, ValueKind::Put, pos(1, 0));
+        retention.register(5);
+        memtable.insert(b"idle", b"v2", 9, ValueKind::Put, pos(1, 40));
+        assert_eq!(memtable.retained_versions(), 1);
+        let with_prior = memtable.approximate_size();
+        assert!(retention.deregister(5), "the registry emptied: bounds moved");
+        // The key is never touched again; the sweep alone must free the prior.
+        memtable.prune_retained();
+        assert_eq!(memtable.retained_versions(), 0);
+        assert!(memtable.approximate_size() < with_prior);
+        assert_eq!(memtable.get(b"idle", u64::MAX).unwrap().value, b"v2");
+    }
+
+    #[test]
+    fn prune_retained_keeps_versions_live_snapshots_can_see() {
+        let (memtable, retention) = retained_memtable();
+        memtable.insert(b"k", b"v1", 2, ValueKind::Put, pos(1, 0));
+        retention.register(2);
+        memtable.insert(b"k", b"v2", 6, ValueKind::Put, pos(1, 40));
+        retention.register(6);
+        memtable.insert(b"k", b"v3", 9, ValueKind::Put, pos(1, 80));
+        assert_eq!(memtable.retained_versions(), 2);
+        retention.deregister(2);
+        memtable.prune_retained();
+        assert_eq!(memtable.retained_versions(), 1, "snapshot 6 still needs v2");
+        assert_eq!(memtable.get_at(b"k", 6).unwrap().value, b"v2");
+        retention.deregister(6);
+        memtable.prune_retained();
+        assert_eq!(memtable.retained_versions(), 0);
     }
 
     #[test]

@@ -4,6 +4,58 @@ use triad_common::types::{SeqNo, ValueKind};
 use triad_common::varint;
 use triad_common::{Error, Result};
 
+/// Provenance of a record that belongs to a cross-shard write batch.
+///
+/// A multi-key batch that straddles keyspace shards commits per shard, so a
+/// crash can persist some shards' slices and not others. The *first* record of
+/// each per-shard slice carries this stamp (three trailing varints on the
+/// record payload); recovery groups the slices by `batch_id`, counts how many
+/// of the `fanout` shards made their slice durable, and drops the slices of
+/// any batch that is only partially present — restoring cross-shard atomicity
+/// for unacknowledged batches. Unstamped records (single-shard writes, and
+/// every log written before stamps existed) decode exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStamp {
+    /// Identifier of the cross-shard batch, unique across the primary's
+    /// open-to-open epochs: retained stamp-evidence logs can carry one
+    /// epoch's stamps into the next open's detection pass, so ids are seeded
+    /// per epoch from the manifest's strictly-growing file-number space
+    /// (`(epoch << 32) | 1`).
+    pub batch_id: u64,
+    /// How many shards received a slice of the batch.
+    pub fanout: u32,
+    /// Number of records in *this shard's* slice (the stamped record and its
+    /// `len - 1` successors, consecutive seqnos).
+    pub len: u32,
+}
+
+impl BatchStamp {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        varint::encode_u64(out, self.batch_id);
+        varint::encode_u64(out, u64::from(self.fanout));
+        varint::encode_u64(out, u64::from(self.len));
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint::encoded_len_u64(self.batch_id)
+            + varint::encoded_len_u64(u64::from(self.fanout))
+            + varint::encoded_len_u64(u64::from(self.len))
+    }
+
+    fn decode(payload: &[u8]) -> Result<(BatchStamp, usize)> {
+        let (batch_id, mut pos) = varint::decode_u64(payload)?;
+        let (fanout, consumed) = varint::decode_u64(&payload[pos..])?;
+        pos += consumed;
+        let (len, consumed) = varint::decode_u64(&payload[pos..])?;
+        pos += consumed;
+        let fanout = u32::try_from(fanout)
+            .map_err(|_| Error::corruption("batch stamp fanout overflows u32"))?;
+        let len =
+            u32::try_from(len).map_err(|_| Error::corruption("batch stamp len overflows u32"))?;
+        Ok((BatchStamp { batch_id, fanout, len }, pos))
+    }
+}
+
 /// A single logical update recorded in the commit log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogRecord {
@@ -15,17 +67,27 @@ pub struct LogRecord {
     pub key: Vec<u8>,
     /// The value; empty for deletes.
     pub value: Vec<u8>,
+    /// Cross-shard batch provenance, carried by the first record of each
+    /// per-shard slice of a shard-straddling batch. `None` for everything
+    /// else.
+    pub stamp: Option<BatchStamp>,
 }
 
 impl LogRecord {
     /// Creates a put record.
     pub fn put(seqno: SeqNo, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> Self {
-        LogRecord { seqno, kind: ValueKind::Put, key: key.into(), value: value.into() }
+        LogRecord { seqno, kind: ValueKind::Put, key: key.into(), value: value.into(), stamp: None }
     }
 
     /// Creates a delete record.
     pub fn delete(seqno: SeqNo, key: impl Into<Vec<u8>>) -> Self {
-        LogRecord { seqno, kind: ValueKind::Delete, key: key.into(), value: Vec::new() }
+        LogRecord {
+            seqno,
+            kind: ValueKind::Delete,
+            key: key.into(),
+            value: Vec::new(),
+            stamp: None,
+        }
     }
 
     /// Serializes the record payload (excluding the CRC/length framing).
@@ -40,7 +102,7 @@ impl LogRecord {
     /// The group-commit path encodes many records back to back into one reusable
     /// buffer; this is the allocation-free building block it uses.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        encode_record_parts(out, self.seqno, self.kind, &self.key, &self.value);
+        encode_record_parts_stamped(out, self.seqno, self.kind, &self.key, &self.value, self.stamp);
     }
 
     /// Upper bound on the encoded payload length.
@@ -51,6 +113,7 @@ impl LogRecord {
             + self.key.len()
             + varint::encoded_len_u64(self.value.len() as u64)
             + self.value.len()
+            + self.stamp.map_or(0, |stamp| stamp.encoded_len())
     }
 
     /// Parses a record payload produced by [`encode`](Self::encode).
@@ -66,10 +129,19 @@ impl LogRecord {
         pos += consumed;
         let (value, consumed) = varint::decode_length_prefixed(&payload[pos..])?;
         pos += consumed;
-        if pos != payload.len() {
-            return Err(Error::corruption("log record has trailing bytes"));
-        }
-        Ok(LogRecord { seqno, kind, key: key.to_vec(), value: value.to_vec() })
+        // Remaining bytes, if any, must be exactly one batch stamp; anything
+        // else (a truncated varint, leftovers past the stamp) is corruption.
+        let stamp = if pos == payload.len() {
+            None
+        } else {
+            let (stamp, consumed) = BatchStamp::decode(&payload[pos..])?;
+            pos += consumed;
+            if pos != payload.len() {
+                return Err(Error::corruption("log record has trailing bytes"));
+            }
+            Some(stamp)
+        };
+        Ok(LogRecord { seqno, kind, key: key.to_vec(), value: value.to_vec(), stamp })
     }
 
     /// Logical size of the update as seen by the application (key + value bytes).
@@ -90,10 +162,27 @@ pub fn encode_record_parts(
     key: &[u8],
     value: &[u8],
 ) {
+    encode_record_parts_stamped(out, seqno, kind, key, value, None);
+}
+
+/// [`encode_record_parts`] with an optional cross-shard [`BatchStamp`]
+/// appended as trailing varints. Byte-identical to the unstamped form when
+/// `stamp` is `None`.
+pub fn encode_record_parts_stamped(
+    out: &mut Vec<u8>,
+    seqno: SeqNo,
+    kind: ValueKind,
+    key: &[u8],
+    value: &[u8],
+    stamp: Option<BatchStamp>,
+) {
     varint::encode_u64(out, seqno);
     out.push(kind.as_u8());
     varint::encode_length_prefixed(out, key);
     varint::encode_length_prefixed(out, value);
+    if let Some(stamp) = stamp {
+        stamp.encode_into(out);
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +248,37 @@ mod tests {
         let mut payload = LogRecord::put(1, b"k".to_vec(), b"v".to_vec()).encode();
         payload.push(0xff);
         assert!(LogRecord::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn stamped_record_round_trips() {
+        let mut record = LogRecord::put(99, b"key".to_vec(), b"value".to_vec());
+        record.stamp = Some(BatchStamp { batch_id: 1234, fanout: 4, len: 7 });
+        let payload = record.encode();
+        assert!(payload.len() <= record.encoded_len());
+        let decoded = LogRecord::decode(&payload).expect("decodes");
+        assert_eq!(decoded, record);
+        assert_eq!(decoded.stamp, Some(BatchStamp { batch_id: 1234, fanout: 4, len: 7 }));
+    }
+
+    #[test]
+    fn stamp_is_optional_and_unstamped_encoding_is_unchanged() {
+        // An unstamped record's bytes are identical to the pre-stamp format,
+        // so logs written before stamps existed decode exactly as before.
+        let record = LogRecord::put(7, b"k".to_vec(), b"v".to_vec());
+        let mut legacy = Vec::new();
+        encode_record_parts(&mut legacy, 7, ValueKind::Put, b"k", b"v");
+        assert_eq!(record.encode(), legacy);
+        assert_eq!(LogRecord::decode(&legacy).unwrap().stamp, None);
+    }
+
+    #[test]
+    fn stamped_payload_rejects_bytes_past_the_stamp() {
+        let mut record = LogRecord::put(5, b"k".to_vec(), b"v".to_vec());
+        record.stamp = Some(BatchStamp { batch_id: 8, fanout: 2, len: 1 });
+        let mut payload = record.encode();
+        payload.push(0x01);
+        assert!(LogRecord::decode(&payload).is_err(), "leftovers past the stamp are corruption");
     }
 
     #[test]

@@ -52,12 +52,13 @@ impl BatchEncoder {
         self.offsets.clear();
     }
 
-    /// Frames `record` and returns its offset relative to the batch start.
+    /// Frames `record` — its cross-shard [`BatchStamp`](crate::BatchStamp)
+    /// included, if any — and returns its offset relative to the batch start.
     ///
     /// The absolute file offset is this value plus the start offset returned by
     /// [`LogWriter::append_batch`].
     pub fn add(&mut self, record: &LogRecord) -> Result<u64> {
-        self.add_parts(record.seqno, record.kind, &record.key, &record.value)
+        self.add_parts_stamped(record.seqno, record.kind, &record.key, &record.value, record.stamp)
     }
 
     /// Frames a record given as borrowed parts — the clone-free variant of
@@ -69,8 +70,28 @@ impl BatchEncoder {
         key: &[u8],
         value: &[u8],
     ) -> Result<u64> {
+        self.add_parts_stamped(seqno, kind, key, value, None)
+    }
+
+    /// [`add_parts`](Self::add_parts) with an optional cross-shard
+    /// [`BatchStamp`](crate::BatchStamp) appended to the record payload.
+    pub fn add_parts_stamped(
+        &mut self,
+        seqno: triad_common::types::SeqNo,
+        kind: triad_common::types::ValueKind,
+        key: &[u8],
+        value: &[u8],
+        stamp: Option<crate::BatchStamp>,
+    ) -> Result<u64> {
         self.scratch.clear();
-        crate::record::encode_record_parts(&mut self.scratch, seqno, kind, key, value);
+        crate::record::encode_record_parts_stamped(
+            &mut self.scratch,
+            seqno,
+            kind,
+            key,
+            value,
+            stamp,
+        );
         let (crc_bytes, len_bytes) = frame_header(&self.scratch)?;
 
         let start = self.framed.len() as u64;
